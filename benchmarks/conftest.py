@@ -1,0 +1,59 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (§7).  The suite prints the regenerated tables (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
+paper's *qualitative* claims — who wins, the direction and rough factor
+of every overhead — since absolute numbers come from our modeled Tofino
+rather than the authors' testbed.
+"""
+
+import pytest
+
+from repro.backend.tna import TnaBackend
+from repro.backend.tna.report import overhead_row
+from repro.errors import ResourceError
+from repro.lib.catalog import PROGRAMS, build_monolithic, build_pipeline
+
+# Paper values for reference printing: Table 2 (%) and Table 3 (stages).
+PAPER_TABLE2 = {
+    "P1": (80.00, 312.50, -85.00, 32.34),
+    "P2": (0.00, 315.79, -84.21, 0.00),
+    "P3": (272.73, 564.71, -85.71, 54.58),
+    "P4": (9.09, 331.25, -85.00, 1.64),
+    "P5": (-20.00, 226.67, -63.64, 47.10),
+    "P6": (18.18, 290.48, -80.00, 48.52),
+    "P7": None,  # monolithic failed to compile on the paper's toolchain
+}
+PAPER_TABLE3 = {
+    "P1": (3, 5),
+    "P2": (4, 9),
+    "P3": (3, 8),
+    "P4": (3, 5),
+    "P5": (3, 5),
+    "P6": (3, 8),
+    "P7": (None, 7),
+}
+
+
+@pytest.fixture(scope="session")
+def tna_reports():
+    """(micro, mono-or-None) TNA reports for every composition."""
+    backend = TnaBackend()
+    out = {}
+    for name in PROGRAMS:
+        micro = backend.compile(build_pipeline(name))
+        try:
+            mono = backend.compile(build_monolithic(name))
+        except ResourceError:
+            mono = None
+        out[name] = (micro, mono)
+    return out
+
+
+@pytest.fixture(scope="session")
+def overhead_rows(tna_reports):
+    return {
+        name: overhead_row(name, micro, mono)
+        for name, (micro, mono) in tna_reports.items()
+    }

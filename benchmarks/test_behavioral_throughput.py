@@ -1,0 +1,56 @@
+"""Behavioral-model throughput: the cost of composition at *simulation*
+time.
+
+Not a paper table — the paper measures hardware resources, where µP4
+costs PHV and stages but not packet rate.  In the behavioral model the
+extra MATs do cost interpreter cycles, so this bench quantifies the
+simulation-speed gap between composed and monolithic pipelines and
+tracks regressions in the interpreter.
+"""
+
+import pytest
+
+from tests.integration.helpers import eth_ipv4, eth_ipv6, make_instance
+
+
+@pytest.fixture(scope="module")
+def micro_router():
+    return make_instance("P4", "micro")
+
+
+@pytest.fixture(scope="module")
+def mono_router():
+    return make_instance("P4", "mono")
+
+
+def test_bench_micro_ipv4(benchmark, micro_router):
+    pkt = eth_ipv4()
+    result = benchmark(lambda: micro_router.process(pkt.copy(), 1))
+    assert result
+
+
+def test_bench_mono_ipv4(benchmark, mono_router):
+    pkt = eth_ipv4()
+    result = benchmark(lambda: mono_router.process(pkt.copy(), 1))
+    assert result
+
+
+def test_bench_micro_ipv6(benchmark, micro_router):
+    pkt = eth_ipv6()
+    result = benchmark(lambda: micro_router.process(pkt.copy(), 1))
+    assert result
+
+
+def test_bench_micro_drop_path(benchmark, micro_router):
+    pkt = eth_ipv4(dst="172.16.0.1")  # no route
+    result = benchmark(lambda: micro_router.process(pkt.copy(), 1))
+    assert result == []
+
+
+def test_bench_mpls_pop(benchmark):
+    from tests.integration.helpers import eth_mpls_ipv4
+
+    instance = make_instance("P2", "micro")
+    pkt = eth_mpls_ipv4(label=100)
+    result = benchmark(lambda: instance.process(pkt.copy(), 1))
+    assert result

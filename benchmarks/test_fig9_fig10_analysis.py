@@ -1,0 +1,71 @@
+"""Figures 9 and 10 — static analysis and parser→MAT transformation.
+
+Fig. 9's worked example fixes concrete numbers the implementation must
+hit (El(caller) = 78 B via Eq. 3, byte-stack = 98 B via Eq. 4); Fig. 10
+fixes the parser-MAT structure (two paths, 54/74 B, per-path entries,
+forward substitution).  The benchmarks time both analyses, which the
+paper argues are fast ("can be done in linear time", §5.2).
+"""
+
+import pytest
+
+from repro.ir.parse_graph import build_parse_graph
+from repro.midend.analysis import analyze
+from repro.midend.bytestack import ByteStack
+from repro.midend.linker import link_modules
+from repro.midend.parser_to_mat import parser_to_mat
+
+from tests.midend.conftest import check
+from tests.midend.test_analysis_fig9 import CALLEE1, CALLEE2, CALLER
+from tests.midend.test_parse_graph import FIG10_PARSER
+
+
+@pytest.fixture(scope="module")
+def fig9_linked():
+    return link_modules(
+        check(CALLER, "caller"), [check(CALLEE1, "c1"), check(CALLEE2, "c2")]
+    )
+
+
+@pytest.fixture(scope="module")
+def fig10_parser():
+    return check(FIG10_PARSER).programs["Fig10"].parser
+
+
+class TestFig9Numbers:
+    def test_extract_length_78(self, fig9_linked):
+        assert analyze(fig9_linked).extract_length == 78
+
+    def test_byte_stack_98(self, fig9_linked):
+        assert analyze(fig9_linked).byte_stack_size == 98
+
+
+class TestFig10Structure:
+    def test_two_entries_one_per_path(self, fig10_parser):
+        mat = parser_to_mat(fig10_parser, 0, ByteStack(94), "m")
+        assert len(mat.table.const_entries) == 2
+        assert len(mat.paths) == 2
+
+    def test_default_is_parser_error(self, fig10_parser):
+        mat = parser_to_mat(fig10_parser, 0, ByteStack(94), "m")
+        assert mat.table.default_action.startswith("set_parser_error")
+
+    def test_length_guard_per_path(self, fig10_parser):
+        """Fig. 10c's validity test: each entry requires the packet to be
+        long enough for its path (54 or 74 bytes)."""
+        mat = parser_to_mat(fig10_parser, 0, ByteStack(94), "m")
+        lows = sorted(
+            entry.keysets[0].lo.value for entry in mat.table.const_entries
+        )
+        assert lows == [54, 74]
+
+
+def test_bench_fig9_analysis(benchmark, fig9_linked):
+    """Benchmark: the Eq. 1–4 operational-region analysis."""
+    benchmark(lambda: analyze(fig9_linked))
+
+
+def test_bench_fig10_parser_to_mat(benchmark, fig10_parser):
+    """Benchmark: parser path enumeration + MAT synthesis."""
+    bs = ByteStack(94)
+    benchmark(lambda: parser_to_mat(fig10_parser, 0, bs, "m"))

@@ -1,0 +1,133 @@
+"""Scalability of the static analysis (paper §5.2).
+
+The paper argues µP4C avoids symbolic-execution blowup: parse-graph
+analysis "can be reduced to finding the longest path in a directed
+acyclic graph, which can be done in linear time", and control-flow
+analysis depends only on program *structure* (conditionals, actions per
+MAT), not table contents.
+
+These benches generate synthetic programs of growing size — parser
+chains, table pipelines, composition depth — and measure frontend +
+analysis time, asserting it stays far from exponential.
+"""
+
+import time
+
+import pytest
+
+from repro.frontend.typecheck import check_program
+from repro.ir.parse_graph import build_parse_graph
+from repro.midend.analysis import analyze
+from repro.midend.linker import link_modules
+
+
+def chain_parser_program(num_states: int) -> str:
+    """A linear parser chain: h0 -> h1 -> ... -> accept."""
+    headers = "".join(
+        f"header h{i}_t {{ bit<8> kind; bit<8> data; }}\n"
+        for i in range(num_states)
+    )
+    fields = "".join(f"  h{i}_t h{i};\n" for i in range(num_states))
+    states = []
+    for i in range(num_states):
+        nxt = f"s{i + 1}" if i + 1 < num_states else "accept"
+        states.append(
+            f"state s{i} {{ ex.extract(p, h.h{i}); "
+            f"transition select(h.h{i}.kind) {{ 0x01 : {nxt}; "
+            f"default : accept; }} }}"
+        )
+    states_text = "\n    ".join(states).replace("state s0", "state start", 1)
+    return f"""
+{headers}
+struct chain_t {{
+{fields}}}
+program Chain : implements Unicast<> {{
+  parser P(extractor ex, pkt p, out chain_t h) {{
+    {states_text}
+  }}
+  control C(pkt p, inout chain_t h, im_t im) {{ apply {{ }} }}
+  control D(emitter em, pkt p, in chain_t h) {{ apply {{ }} }}
+}}
+Chain(P, C, D) main;
+"""
+
+
+def table_pipeline_program(num_tables: int) -> str:
+    """A control with N sequential tables over one header."""
+    actions = "\n    ".join(
+        f"action set{i}(bit<8> v) {{ h.h0.f{i % 4} = v; }}"
+        for i in range(num_tables)
+    )
+    tables = "\n    ".join(
+        f"table t{i} {{ key = {{ h.h0.f{(i + 1) % 4} : exact; }} "
+        f"actions = {{ set{i}; }} }}"
+        for i in range(num_tables)
+    )
+    applies = " ".join(f"t{i}.apply();" for i in range(num_tables))
+    return f"""
+header h0_t {{ bit<8> f0; bit<8> f1; bit<8> f2; bit<8> f3; }}
+struct tp_t {{ h0_t h0; }}
+program Tables : implements Unicast<> {{
+  parser P(extractor ex, pkt p, out tp_t h) {{
+    state start {{ ex.extract(p, h.h0); transition accept; }}
+  }}
+  control C(pkt p, inout tp_t h, im_t im) {{
+    {actions}
+    {tables}
+    apply {{ {applies} }}
+  }}
+  control D(emitter em, pkt p, in tp_t h) {{ apply {{ em.emit(p, h.h0); }} }}
+}}
+Tables(P, C, D) main;
+"""
+
+
+class TestParseGraphScaling:
+    @pytest.mark.parametrize("size", [4, 16, 64])
+    def test_linear_chain_analyzes(self, size):
+        module = check_program(chain_parser_program(size), f"chain{size}")
+        graph = build_parse_graph(module.programs["Chain"].parser)
+        # Each state adds one early-accept path; the last state's two
+        # cases both accept, so the chain has size+1 accept paths.
+        assert len(graph.paths()) == size + 1
+        assert graph.extract_length == 2 * size
+
+    def test_growth_is_polynomial(self):
+        """Doubling the chain must not square the runtime."""
+        timings = {}
+        for size in (16, 32, 64):
+            start = time.perf_counter()
+            module = check_program(chain_parser_program(size), f"c{size}")
+            build_parse_graph(module.programs["Chain"].parser).paths()
+            timings[size] = time.perf_counter() - start
+        # Allow generous constant factors; fail only on blowup.
+        assert timings[64] < 40 * max(timings[16], 1e-4)
+
+
+class TestControlScaling:
+    @pytest.mark.parametrize("size", [8, 32, 64])
+    def test_table_pipeline_analyzes(self, size):
+        module = check_program(table_pipeline_program(size), f"t{size}")
+        linked = link_modules(module, [])
+        region = analyze(linked)
+        assert region.extract_length == 4
+
+
+@pytest.mark.parametrize("size", [16, 64])
+def test_bench_frontend_chain(benchmark, size):
+    source = chain_parser_program(size)
+    benchmark(lambda: check_program(source, f"chain{size}"))
+
+
+@pytest.mark.parametrize("size", [64])
+def test_bench_parse_graph(benchmark, size):
+    module = check_program(chain_parser_program(size), f"chain{size}")
+    parser = module.programs["Chain"].parser
+    benchmark(lambda: build_parse_graph(parser).paths())
+
+
+@pytest.mark.parametrize("size", [32])
+def test_bench_analysis_tables(benchmark, size):
+    module = check_program(table_pipeline_program(size), f"t{size}")
+    linked = link_modules(module, [])
+    benchmark(lambda: analyze(linked))

@@ -1,0 +1,95 @@
+"""Table 2 — PHV resource overhead of µP4 vs monolithic on Tofino.
+
+Regenerates the paper's headline resource table:
+
+    % overhead = (usage(µP4) − usage(monolithic)) / usage(monolithic) × 100
+
+per container size (8b/16b/32b) and total allocated bits, and asserts
+the qualitative shape the paper reports:
+
+* µP4 programs heavily inflate 16-bit container usage (the byte stack
+  plus the alignment pass — "almost 3× of their monolithic
+  counterparts"),
+* µP4 32-bit usage collapses ("negligible … as compared to the
+  monolithic ones"),
+* total PHV bits grow but stay within a small factor,
+* every µP4 program still fits the chip ("in each case, the resources
+  required to run µP4 programs were within Tofino's limits").
+
+Known deviation (documented in EXPERIMENTS.md): the paper's monolithic
+P7 failed to compile under bf-p4c's proprietary heuristics; our
+deterministic allocator compiles it, so the P7 row has a baseline here.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_TABLE2
+from repro.backend.tna import TnaBackend
+from repro.backend.tna.phv import allocate_phv
+from repro.lib.catalog import PROGRAMS, build_monolithic, build_pipeline
+
+
+def test_print_table2(overhead_rows, capsys):
+    with capsys.disabled():
+        print("\n=== Table 2: % PHV overhead of µP4 vs monolithic ===")
+        print(f"{'prog':4s} {'8b':>8s} {'16b':>8s} {'32b':>8s} {'bits':>8s}"
+              f"   stages        paper(8b,16b,32b,bits)")
+        for name in PROGRAMS:
+            paper = PAPER_TABLE2[name]
+            paper_text = (
+                f"{paper}" if paper else "NA: monolithic failed (paper)"
+            )
+            print(f"{overhead_rows[name].render()}   {paper_text}")
+
+
+class TestShape:
+    @pytest.mark.parametrize("name", [p for p in PROGRAMS])
+    def test_16b_heavily_inflated(self, overhead_rows, name):
+        """µP4 uses far more 16b containers (paper: ~3×, i.e. >200%)."""
+        row = overhead_rows[name]
+        assert row.pct_16b is not None and row.pct_16b > 200.0
+
+    @pytest.mark.parametrize("name", [p for p in PROGRAMS])
+    def test_32b_collapsed(self, overhead_rows, name):
+        """µP4 32b usage drops well below monolithic (paper: −63..−86%;
+        our model: −40..−81%, the weakest case being P6 whose three
+        IPv4 header copies keep exactly-32-bit address fields)."""
+        row = overhead_rows[name]
+        assert row.pct_32b is not None and row.pct_32b < -30.0
+
+    @pytest.mark.parametrize("name", [p for p in PROGRAMS])
+    def test_bits_overhead_bounded(self, overhead_rows, name):
+        """More bits overall, but within a small constant factor."""
+        row = overhead_rows[name]
+        assert 0.0 < row.pct_bits < 200.0  # paper: 0–55%; ours ≤ ~130%
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_micro_fits_the_chip(self, tna_reports, name):
+        """Every µP4 program compiles within the Tofino envelope."""
+        micro, _ = tna_reports[name]
+        assert micro.num_stages <= 12
+
+
+class TestMechanism:
+    def test_byte_stack_drives_16b_usage(self):
+        """The 16b inflation comes from the byte stack: allocation
+        without it (monolithic) shows no such skew."""
+        micro = allocate_phv(build_pipeline("P4"), align=True)
+        mono = allocate_phv(build_monolithic("P4"), align=True)
+        micro_counts, mono_counts = micro.counts(), mono.counts()
+        assert micro_counts[16] >= 3 * max(mono_counts[16], 1)
+        assert micro_counts[32] < mono_counts[32]
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_bench_phv_allocation(benchmark, name):
+    """Benchmark: PHV allocation for the µP4 version of each program."""
+    composed = build_pipeline(name)
+    benchmark(lambda: allocate_phv(composed, align=True))
+
+
+def test_bench_full_tna_compile(benchmark):
+    """Benchmark: complete TNA backend on the modular router."""
+    composed = build_pipeline("P4")
+    backend = TnaBackend()
+    benchmark(lambda: backend.compile(composed))

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A-B testing composition operator (paper §7.2, after P4Visor).
+
+A one-byte test header carries a flag; the main program parses it and
+dispatches the rest of the packet to either the production or the test
+routing module — both implementing the same interface.  The deparser
+puts the test header back.
+
+Run:  python examples/ab_testing.py
+"""
+
+from repro import build_dataplane, compile_module
+from repro.net.build import PacketBuilder
+from repro.net.ipv4 import IPV4, ip4
+from repro.net.packet import Packet
+
+ROUTER_TEMPLATE = """
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct v4_t { ipv4_h ipv4; }
+
+program %(name)s : implements Unicast<> {
+  parser P(extractor ex, pkt p, out v4_t h) {
+    state start { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout v4_t h, im_t im) {
+    action route(bit<8> port) {
+      h.ipv4.ttl = h.ipv4.ttl - 1;
+      im.set_out_port(port);
+    }
+    action no_route() { im.drop(); }
+    table %(table)s {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { route; no_route; }
+      default_action = no_route();
+    }
+    apply { %(table)s.apply(); }
+  }
+  control D(emitter em, pkt p, in v4_t h) {
+    apply { em.emit(p, h.ipv4); }
+  }
+}
+"""
+
+AB_MAIN = """
+header test_h { bit<8> flag; }
+struct ab_t { test_h testHdr; }
+
+ProdRouter(pkt p, im_t im);
+TestRouter(pkt p, im_t im);
+
+program AbTest : implements Unicast<> {
+  parser P(extractor ex, pkt p, out ab_t h) {
+    state start { ex.extract(p, h.testHdr); transition accept; }
+  }
+  control C(pkt p, inout ab_t h, im_t im) {
+    ProdRouter() prod_i;
+    TestRouter() test_i;
+    apply {
+      if (h.testHdr.flag == 1) {
+        test_i.apply(p, im);
+      } else {
+        prod_i.apply(p, im);
+      }
+    }
+  }
+  control D(emitter em, pkt p, in ab_t h) {
+    apply { em.emit(p, h.testHdr); }
+  }
+}
+AbTest(P, C, D) main;
+"""
+
+
+def main() -> None:
+    prod = compile_module(
+        ROUTER_TEMPLATE % {"name": "ProdRouter", "table": "prod_lpm"}, "prod.up4"
+    )
+    test = compile_module(
+        ROUTER_TEMPLATE % {"name": "TestRouter", "table": "test_lpm"}, "test.up4"
+    )
+    main_mod = compile_module(AB_MAIN, "abtest.up4")
+    dp = build_dataplane(main_mod, [prod, test])
+
+    # Same prefix, different decisions: prod -> port 1, test -> port 9.
+    dp.api.add_entry("prod_lpm", [(ip4("10.0.0.0"), 8)], "route", [1])
+    dp.api.add_entry("test_lpm", [(ip4("10.0.0.0"), 8)], "route", [9])
+
+    ip = IPV4.encode(
+        dict(version=4, ihl=5, diffserv=0, totalLen=20, identification=0,
+             flags=0, fragOffset=0, ttl=64, protocol=6, hdrChecksum=0,
+             srcAddr=ip4("1.1.1.1"), dstAddr=ip4("10.0.0.7"))
+    )
+    for flag in (0, 1):
+        pkt = Packet(bytes([flag]) + ip + b"payload")
+        outs = dp.inject(pkt, in_port=0)
+        which = "test" if flag else "prod"
+        print(f"testHdr.flag={flag}: handled by {which} pipeline "
+              f"-> port {outs[0].port}")
+        # The deparser restored the test header in front.
+        assert outs[0].packet.read(0, 1) == bytes([flag])
+    print("\nA-B testing operator reproduced: one flag byte steers each "
+          "packet\nthrough production or test code, modules unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Composing network functions (paper §7.2).
+
+Two of the CoVisor-style composition operators realized with µP4:
+
+* **sequential** (firewall -> routing): composition P1 runs the ACL
+  module before the routing modules; a denied packet never reaches
+  them.
+* **override** (MPLS label decision overrides plain routing):
+  composition P2 lets the MPLS push module re-steer a routed packet
+  into a label-switched path.
+
+Run:  python examples/nf_composition.py
+"""
+
+from repro.lib.catalog import build_pipeline
+from repro.net.build import PacketBuilder, dissect
+from repro.net.ethernet import mac
+from repro.net.ipv4 import ip4
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+
+
+def tcp_packet(dport):
+    return (
+        PacketBuilder()
+        .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+        .ipv4("192.168.0.1", "10.0.0.5", 6, payload_len=20)
+        .tcp(1234, dport)
+        .build()
+    )
+
+
+def sequential_firewall() -> None:
+    print("— sequential composition: firewall -> routing (P1) —")
+    instance = PipelineInstance(build_pipeline("P1"))
+    api = RuntimeAPI(instance)
+    api.add_entry("ipv4_lpm_tbl", [(ip4("10.0.0.0"), 8)], "process", [7])
+    api.add_entry(
+        "forward_tbl", [7], "forward",
+        [mac("02:00:00:00:00:aa"), mac("02:00:00:00:00:bb"), 2],
+    )
+    # Deny TCP/22 regardless of addresses.
+    api.add_entry("acl_tbl", [None, None, 6, 22], "deny", [])
+
+    for dport in (80, 22):
+        outs = instance.process(tcp_packet(dport), 1)
+        verdict = f"forwarded on port {outs[0].port}" if outs else "DENIED"
+        print(f"  TCP dport {dport:3d}: {verdict}")
+    print()
+
+
+def mpls_override() -> None:
+    print("— override composition: MPLS LER overrides routing (P2) —")
+    instance = PipelineInstance(build_pipeline("P2"))
+    api = RuntimeAPI(instance)
+    api.add_entry("ipv4_lpm_tbl", [(ip4("10.0.0.0"), 8)], "process", [7])
+    api.add_entry("ipv4_lpm_tbl", [(ip4("10.7.0.0"), 16)], "process", [8])
+    for nh, port in ((7, 2), (8, 3)):
+        api.add_entry(
+            "forward_tbl", [nh], "forward",
+            [mac("02:00:00:00:00:aa"), mac("02:00:00:00:00:bb"), port],
+        )
+    # Traffic routed via next hop 8 gets pushed into an MPLS tunnel.
+    api.add_entry("mpls_push_tbl", [8], "push", [777])
+
+    plain = (
+        PacketBuilder()
+        .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+        .ipv4("192.168.0.1", "10.0.0.5", 6)
+        .build()
+    )
+    tunneled = (
+        PacketBuilder()
+        .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+        .ipv4("192.168.0.1", "10.7.0.5", 6)
+        .build()
+    )
+    for name, pkt in (("10.0.0.5 (plain)", plain), ("10.7.0.5 (tunnel)", tunneled)):
+        outs = instance.process(pkt, 1)
+        layers = [layer for layer, _ in dissect(outs[0].packet)]
+        label = ""
+        if "mpls" in layers:
+            fields = dict(dissect(outs[0].packet))["mpls"]
+            label = f", label {fields['label']}"
+        print(f"  dst {name}: port {outs[0].port}, layers {layers}{label}")
+    print()
+
+
+if __name__ == "__main__":
+    sequential_firewall()
+    mpls_override()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables on the modeled Tofino.
+
+Prints Table 1 (composition matrix), Table 2 (PHV overhead of µP4 vs
+monolithic) and Table 3 (MAU stages), using the library compositions
+P1–P7 and the TNA backend's resource model.
+
+Run:  python examples/resource_report.py
+"""
+
+from repro.backend.tna import TnaBackend
+from repro.backend.tna.report import overhead_row
+from repro.errors import ResourceError
+from repro.lib.catalog import (
+    PROGRAMS,
+    build_monolithic,
+    build_pipeline,
+    composition_matrix,
+)
+
+
+def main() -> None:
+    print("Table 1 — composing µP4 modules into dataplane programs")
+    print(composition_matrix())
+    print()
+
+    backend = TnaBackend()
+    rows = []
+    for name in PROGRAMS:
+        micro = backend.compile(build_pipeline(name))
+        try:
+            mono = backend.compile(build_monolithic(name))
+        except ResourceError:
+            mono = None
+        rows.append((name, overhead_row(name, micro, mono), micro, mono))
+
+    print("Table 2 — % PHV overhead of µP4 vs monolithic "
+          "(usage(µP4)-usage(mono))/usage(mono) × 100%")
+    print(f"{'prog':4s} {'8b':>8s} {'16b':>8s} {'32b':>8s} {'bits':>8s}"
+          f"   stages (Table 3)")
+    for name, row, micro, mono in rows:
+        print(row.render())
+    print()
+
+    print("Raw container counts:")
+    for name, row, micro, mono in rows:
+        mono_text = mono.summary() if mono else "NA: failed to compile"
+        print(f"  {name} µP4 : {micro.summary()}")
+        print(f"  {name} mono: {mono_text}")
+
+
+if __name__ == "__main__":
+    main()

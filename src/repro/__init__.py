@@ -1,0 +1,77 @@
+"""repro — a Python reproduction of "Composing Dataplane Programs with µP4"
+(Soni et al., SIGCOMM 2020).
+
+The package rebuilds the paper's full stack:
+
+* a P4₁₆-subset frontend with the µP4 language extensions,
+* µPA, the logical architecture (interfaces + logical externs),
+* the µP4C midend (linking, operational-region analysis,
+  parser/deparser→MAT homogenization, composition by inlining,
+  header-stack/varbit lowering, PDG slicing),
+* V1Model and Tofino (TNA) backends, the latter with a PHV/ALU/stage
+  resource model reproducing the paper's Tables 2 and 3,
+* a behavioral switch target that executes composed programs on real
+  packet bytes, and
+* the paper's module library (Table 1) with composed programs P1–P7
+  plus monolithic baselines.
+
+Quickstart::
+
+    from repro import compile_module, build_dataplane
+    main = compile_module(open("main.up4").read(), "main.up4")
+    lib = compile_module(open("ipv4.up4").read(), "ipv4.up4")
+    dp = build_dataplane(main, [lib])
+    dp.api.add_entry("forward_tbl", [7], "forward", [0xAA, 0xBB, 3])
+    outs = dp.inject(packet_bytes, in_port=1)
+"""
+
+from repro.core.api import (
+    Dataplane,
+    build_dataplane,
+    compile_module,
+    compose_modules,
+    load_ir,
+    save_ir,
+)
+from repro.core.arch import ARCHITECTURE, describe_architecture
+from repro.core.driver import CompilerOptions, Up4Compiler
+from repro.errors import (
+    AnalysisError,
+    BackendError,
+    CompileError,
+    LexError,
+    LinkError,
+    ParseError,
+    ReproError,
+    ResourceError,
+    TargetError,
+    TypeCheckError,
+)
+from repro.net.packet import Packet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataplane",
+    "build_dataplane",
+    "compile_module",
+    "compose_modules",
+    "save_ir",
+    "load_ir",
+    "ARCHITECTURE",
+    "describe_architecture",
+    "CompilerOptions",
+    "Up4Compiler",
+    "Packet",
+    "ReproError",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "LinkError",
+    "AnalysisError",
+    "BackendError",
+    "ResourceError",
+    "TargetError",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""µP4C backends: target-specific translation and allocation (§5.5, §6.3).
+
+* :mod:`~repro.backend.base` — logical-table extraction and dataflow
+  summaries shared by all backends.
+* :mod:`~repro.backend.partition` — ingress/egress partitioning FSM and
+  partition-metadata synthesis (§5.5, V1Model reference flow).
+* :mod:`~repro.backend.v1model` — V1Model code generation.
+* :mod:`~repro.backend.tna` — Tofino Native Architecture backend:
+  field alignment, assignment splitting, PHV allocation and MAU stage
+  scheduling, with the resource reports behind Tables 2 and 3.
+"""
+
+from repro.backend.base import LogicalTable, extract_logical_tables
+from repro.backend.partition import PartitionResult, partition
+from repro.backend.v1model import V1ModelBackend
+from repro.backend.tna import TnaBackend, TnaReport
+
+__all__ = [
+    "LogicalTable",
+    "extract_logical_tables",
+    "PartitionResult",
+    "partition",
+    "V1ModelBackend",
+    "TnaBackend",
+    "TnaReport",
+]

@@ -1,0 +1,90 @@
+"""TNA (Tofino Native Architecture) backend (§6.3).
+
+Models the resource-relevant behaviour of ``bf-p4c`` on an RMT pipeline:
+
+* :mod:`~repro.backend.tna.descriptor` — the chip's resource envelope
+  (PHV container pools, per-ALU source limits, MAU stages, crossbars).
+* :mod:`~repro.backend.tna.phv` — PHV container allocation, including
+  the µP4C field-alignment pass that re-sizes byte-stack and header
+  fields to 16-bit containers (§6.3).
+* :mod:`~repro.backend.tna.split` — detection and costing of "complex
+  assignments" that feed one destination container from more source
+  containers than an action ALU can read, and the series-of-MATs fix.
+* :mod:`~repro.backend.tna.schedule` — MAT dependency analysis and
+  greedy stage assignment (Table 3).
+* :mod:`~repro.backend.tna.report` — the utilization report behind
+  Table 2.
+"""
+
+from repro.backend.tna.descriptor import TofinoDescriptor
+from repro.backend.tna.phv import PhvAllocation, allocate_phv
+from repro.backend.tna.split import SplitResult, analyze_assignments
+from repro.backend.tna.schedule import ScheduleResult, schedule_stages
+from repro.backend.tna.report import TnaReport, overhead_row
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.backend.base import extract_logical_tables
+from repro.midend.inline import ComposedPipeline
+
+
+class TnaBackend:
+    """End-to-end TNA compilation: PHV, ALU legality, stages."""
+
+    name = "tna"
+
+    def __init__(
+        self,
+        descriptor: Optional[TofinoDescriptor] = None,
+        align_fields: bool = True,
+        split_assignments: bool = True,
+        global_parser: bool = False,
+    ) -> None:
+        self.descriptor = descriptor or TofinoDescriptor()
+        self.align_fields = align_fields
+        self.split_assignments = split_assignments
+        self.global_parser = global_parser
+
+    def compile(self, composed: ComposedPipeline) -> TnaReport:
+        """Allocate and schedule ``composed``; raises ResourceError on
+        an infeasible program (the paper's "failed to compile")."""
+        from repro.backend.tna.global_parser import (
+            apply_global_parser,
+            plan_global_parser,
+        )
+
+        tables = extract_logical_tables(composed)
+        gp_plan = None
+        if self.global_parser:
+            gp_plan = plan_global_parser(composed, tables)
+            tables = apply_global_parser(tables, gp_plan)
+        phv = allocate_phv(composed, self.descriptor, align=self.align_fields)
+        split = analyze_assignments(
+            tables, phv, self.descriptor, enabled=self.split_assignments
+        )
+        phv.add_temporaries(split.temp_bits)
+        phv.check_capacity(self.descriptor)
+        schedule = schedule_stages(tables, split, self.descriptor)
+        return TnaReport(
+            name=composed.name,
+            mode=composed.mode,
+            phv=phv,
+            split=split,
+            schedule=schedule,
+            global_parser_plan=gp_plan,
+        )
+
+
+__all__ = [
+    "TnaBackend",
+    "TnaReport",
+    "TofinoDescriptor",
+    "PhvAllocation",
+    "allocate_phv",
+    "SplitResult",
+    "analyze_assignments",
+    "ScheduleResult",
+    "schedule_stages",
+    "overhead_row",
+]

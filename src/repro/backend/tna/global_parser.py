@@ -1,0 +1,87 @@
+"""Global-parser reconstruction (paper §8.1).
+
+The paper's most aggressive optimization: "µP4C can reconstruct a single
+global parser by merging and concatenating all the parsers.  This global
+parser can be executed in the programmable parser unit on the hardware
+… With this, we expect the number of hardware stages needed for µP4
+programs to match those for monolithic programs."
+
+This module models that optimization at the resource-accounting level:
+
+* **eligibility** — merging is possible only when every callee is
+  invoked at a static packet offset (guaranteed post-composition) *and*
+  module dispatch depends only on parsed header bytes, not on values
+  the control plane computes at runtime (the paper's caveat: "may be
+  difficult … when a µP4 program invokes different µP4 programs based
+  on information provided by the control plane at runtime").  We check
+  this on the logical tables: a parser MAT whose guard reads a field
+  written by an earlier *match* table is not parser-expressible.
+* **effect** — eligible parser MATs move into the (free) hardware
+  parser: they vanish from stage scheduling and their match-crossbar
+  demand disappears; their writes are treated like parser outputs.
+  Deparser MATs remain — deparsing is still MAT-based in this scheme
+  ("any metadata in callee µP4 programs can still be initialized by
+  synthesizing MATs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.backend.base import LogicalTable
+from repro.midend.inline import ComposedPipeline
+
+
+@dataclass
+class GlobalParserPlan:
+    """Which parser MATs the hardware parser absorbs."""
+
+    absorbed: List[str] = field(default_factory=list)
+    ineligible: List[str] = field(default_factory=list)
+
+    @property
+    def applied(self) -> bool:
+        return bool(self.absorbed)
+
+
+def _parser_mat_names(composed: ComposedPipeline) -> Set[str]:
+    return {mat.table.name for mat in composed.parser_mats.values()}
+
+
+def plan_global_parser(
+    composed: ComposedPipeline, tables: List[LogicalTable]
+) -> GlobalParserPlan:
+    """Decide which parser MATs can merge into a global parser."""
+    plan = GlobalParserPlan()
+    if composed.mode != "micro":
+        return plan
+    parser_names = _parser_mat_names(composed)
+    # Fields written by match-stage processing (anything that is not a
+    # parser MAT): a parser MAT guarded by such a field cannot be
+    # hoisted into the parser.
+    runtime_written: Set[str] = set()
+    for table in tables:
+        if table.name in parser_names:
+            continue
+        runtime_written |= table.writes
+    for table in tables:
+        if table.name not in parser_names:
+            continue
+        if table.guard_reads & runtime_written:
+            plan.ineligible.append(table.name)
+        else:
+            plan.absorbed.append(table.name)
+    return plan
+
+
+def apply_global_parser(
+    tables: List[LogicalTable], plan: GlobalParserPlan
+) -> List[LogicalTable]:
+    """Drop absorbed parser MATs from the schedulable table list.
+
+    Their writes become parser outputs: no table is stage-ordered after
+    them anymore (the hardware parser runs before stage 0).
+    """
+    absorbed = set(plan.absorbed)
+    return [t for t in tables if t.name not in absorbed]

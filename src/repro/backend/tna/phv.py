@@ -1,0 +1,283 @@
+"""PHV container allocation (§6.3).
+
+Models how ``bf-p4c`` lays dataplane state out in Packet Header Vector
+containers of 8, 16 and 32 bits, for the two program styles the paper
+compares:
+
+* **monolithic** — headers are packed *contiguously*: each header's
+  byte span is covered greedily with the largest containers (this is
+  why monolithic programs dominate 32-bit container usage in Table 2);
+  scalar metadata gets best-fit containers per field.
+* **µP4 (micro)** — the byte stack plus every module's header copies
+  live in the PHV.  With the backend's *field-alignment pass* enabled
+  (the paper's fix for action-ALU pressure), byte-stack slots are
+  merged pairwise into 16-bit containers and every field is re-sized to
+  16-bit chunks — hence the ~3× 16-bit container inflation and the
+  near-zero 32-bit usage that Table 2 reports.
+
+The allocation records, for every field, which containers cover which
+bit ranges; the split pass uses this to count ALU sources per
+destination container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ResourceError
+from repro.frontend import astnodes as ast
+from repro.midend.bytestack import BS_INSTANCE
+from repro.midend.inline import ComposedPipeline
+from repro.backend.tna.descriptor import TofinoDescriptor
+
+# (container_id, hi, lo): the container covers field bits hi..lo (LSB 0).
+Span = Tuple[str, int, int]
+
+
+@dataclass
+class PhvAllocation:
+    """Result of PHV allocation for one program."""
+
+    mode: str
+    align: bool
+    # container id -> size in bits
+    containers: Dict[str, int] = field(default_factory=dict)
+    # field name -> covering spans (MSB-first)
+    layout: Dict[str, List[Span]] = field(default_factory=dict)
+    field_widths: Dict[str, int] = field(default_factory=dict)
+    temp_bits: int = 0
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[int, int]:
+        out = {8: 0, 16: 0, 32: 0}
+        for size in self.containers.values():
+            out[size] += 1
+        return out
+
+    @property
+    def bits_allocated(self) -> int:
+        return sum(self.containers.values())
+
+    @property
+    def bits_used(self) -> int:
+        return sum(self.field_widths.values())
+
+    # ------------------------------------------------------------------
+    def spans_of(self, field_name: str) -> List[Span]:
+        return self.layout.get(field_name, [])
+
+    def sources_for(self, field_name: str, hi: int, lo: int) -> Set[str]:
+        """Containers feeding bits ``hi..lo`` of ``field_name``."""
+        out: Set[str] = set()
+        for cid, span_hi, span_lo in self.spans_of(field_name):
+            if span_lo <= hi and lo <= span_hi:
+                out.add(cid)
+        return out
+
+    def add_temporaries(self, bits: int) -> None:
+        """Account PHV for split-pass temporaries (16-bit each)."""
+        self.temp_bits += bits
+        index = 0
+        while bits > 0:
+            cid = f"tmp{len(self.containers)}_{index}"
+            self.containers[cid] = 16
+            bits -= 16
+            index += 1
+
+    # ------------------------------------------------------------------
+    def check_capacity(self, desc: TofinoDescriptor) -> None:
+        """Fit container demand into the chip pools, spilling smaller
+        demands into larger containers when a pool runs out."""
+        demand = self.counts()
+        avail = dict(desc.containers)
+        for size in (8, 16, 32):
+            need = demand.get(size, 0)
+            take = min(need, avail[size])
+            avail[size] -= take
+            overflow = need - take
+            if overflow:
+                spilled = False
+                for bigger in (16, 32):
+                    if bigger > size and avail.get(bigger, 0) >= overflow:
+                        avail[bigger] -= overflow
+                        overflow = 0
+                        spilled = True
+                        break
+                if not spilled:
+                    raise ResourceError(
+                        f"PHV allocation failed: {demand[size]}x{size}b "
+                        f"containers requested, pools exhausted "
+                        f"(demand {demand}, chip {desc.containers})"
+                    )
+
+
+# ======================================================================
+# Allocation strategies
+# ======================================================================
+
+
+def _chunks_greedy(width: int) -> List[int]:
+    """Cover ``width`` bits contiguously with the largest containers."""
+    out: List[int] = []
+    rem = width
+    while rem >= 32:
+        out.append(32)
+        rem -= 32
+    if rem > 16:
+        out.append(32)
+        rem = 0
+    elif rem > 8:
+        out.append(16)
+        rem = 0
+    elif rem > 0:
+        out.append(8)
+        rem = 0
+    return out
+
+
+def _chunks_bestfit(width: int) -> List[int]:
+    """Best-fit containers for an isolated field."""
+    if width <= 8:
+        return [8]
+    if width <= 16:
+        return [16]
+    if width <= 32:
+        return [32]
+    return _chunks_greedy(width)
+
+
+def _chunks_align16(width: int) -> List[int]:
+    """The alignment pass: re-size fields to 16-bit-aligned containers.
+
+    Fields wider than 32 bits keep 32-bit chunks where possible (each is
+    still fed from two aligned 16-bit stack containers, which satisfies
+    the ALU source limit); everything else lands in 16-bit containers.
+    This mirrors the paper's observation that µP4 programs end up
+    dominated by 16b containers with only residual 32b usage.
+    """
+    if width <= 8:
+        return [8]
+    if width <= 16:
+        return [16]
+    if width <= 32:
+        return [32]
+    count, rem = divmod(width, 16)
+    return [16] * count + ([16] if rem else [])
+
+
+def _flatten_fields(name: str, vtype: ast.Type) -> List[Tuple[str, int]]:
+    """(field name, width) pairs for one pipeline variable."""
+    if isinstance(vtype, ast.BitType):
+        return [(name, vtype.width)]
+    if isinstance(vtype, ast.BoolType):
+        return [(name, 1)]
+    if isinstance(vtype, (ast.HeaderType, ast.StructType)):
+        out: List[Tuple[str, int]] = []
+        for fname, ftype in vtype.fields:
+            out.extend(_flatten_fields(f"{name}.{fname}", ftype))
+        return out
+    return []  # externs carry no PHV state
+
+
+class _Allocator:
+    def __init__(self, alloc: PhvAllocation) -> None:
+        self.alloc = alloc
+        self.counter = 0
+
+    def new_container(self, size: int) -> str:
+        cid = f"c{self.counter}_{size}"
+        self.counter += 1
+        self.alloc.containers[cid] = size
+        return cid
+
+    def place_field(self, name: str, width: int, chunks: List[int]) -> None:
+        """Allocate dedicated containers for one field."""
+        self.alloc.field_widths[name] = width
+        spans: List[Span] = []
+        hi = width - 1
+        for size in chunks:
+            lo = max(hi - size + 1, 0)
+            spans.append((self.new_container(size), hi, lo))
+            hi = lo - 1
+            if hi < 0:
+                break
+        self.alloc.layout[name] = spans
+
+    def place_header_contiguous(
+        self, prefix: str, header: ast.HeaderType
+    ) -> None:
+        """Pack a whole header into a contiguous container run."""
+        total = header.fixed_bit_width
+        chunk_sizes = _chunks_greedy(total)
+        # Container spans over the header, MSB-based offsets.
+        spans: List[Tuple[str, int, int]] = []  # (cid, start, end) MSB-based
+        pos = 0
+        for size in chunk_sizes:
+            cid = self.new_container(size)
+            spans.append((cid, pos, min(pos + size, total)))
+            pos += size
+        offset = 0
+        for fname, ftype in header.fields:
+            assert isinstance(ftype, ast.BitType)
+            width = ftype.width
+            name = f"{prefix}.{fname}"
+            self.alloc.field_widths[name] = width
+            field_spans: List[Span] = []
+            for cid, start, end in spans:
+                a = max(start, offset)
+                b = min(end, offset + width)
+                if a < b:
+                    field_spans.append(
+                        (cid, width - 1 - (a - offset), width - (b - offset))
+                    )
+            self.alloc.layout[name] = field_spans
+            offset += width
+
+
+def allocate_phv(
+    composed: ComposedPipeline,
+    desc: Optional[TofinoDescriptor] = None,
+    align: bool = True,
+) -> PhvAllocation:
+    """Allocate PHV containers for every pipeline variable."""
+    alloc = PhvAllocation(mode=composed.mode, align=align)
+    allocator = _Allocator(alloc)
+
+    for name, vtype in composed.variables.items():
+        if name == BS_INSTANCE and isinstance(vtype, ast.HeaderType):
+            _allocate_byte_stack(allocator, vtype, align)
+            continue
+        if composed.mode == "monolithic" and isinstance(vtype, ast.HeaderType):
+            allocator.place_header_contiguous(name, vtype)
+            continue
+        for fname, width in _flatten_fields(name, vtype):
+            if composed.mode == "micro" and align:
+                chunks = _chunks_align16(width)
+            else:
+                chunks = _chunks_bestfit(width)
+            allocator.place_field(fname, width, chunks)
+    return alloc
+
+
+def _allocate_byte_stack(
+    allocator: _Allocator, bs_type: ast.HeaderType, align: bool
+) -> None:
+    """Byte-stack slots: one 8b container each, or merged 16b pairs."""
+    slots = [fname for fname, _ in bs_type.fields]
+    if not align:
+        for fname in slots:
+            allocator.place_field(f"{BS_INSTANCE}.{fname}", 8, [8])
+        return
+    for pair_start in range(0, len(slots), 2):
+        pair = slots[pair_start : pair_start + 2]
+        if len(pair) == 2:
+            cid = allocator.new_container(16)
+            hi_name = f"{BS_INSTANCE}.{pair[0]}"
+            lo_name = f"{BS_INSTANCE}.{pair[1]}"
+            allocator.alloc.field_widths[hi_name] = 8
+            allocator.alloc.field_widths[lo_name] = 8
+            allocator.alloc.layout[hi_name] = [(cid, 7, 0)]
+            allocator.alloc.layout[lo_name] = [(cid, 7, 0)]
+        else:
+            allocator.place_field(f"{BS_INSTANCE}.{pair[0]}", 8, [8])

@@ -1,0 +1,108 @@
+"""Resource utilization reports (Tables 2 and 3).
+
+:class:`TnaReport` bundles the PHV allocation, the split analysis and
+the stage schedule for one compiled program.  :func:`overhead_row`
+computes the paper's Table 2 metric:
+
+    (usage(µP4) − usage(monolithic)) / usage(monolithic) × 100 %
+
+per container size plus total allocated bits, and the Table 3 stage
+counts come straight from the schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.backend.tna.phv import PhvAllocation
+from repro.backend.tna.schedule import ScheduleResult
+from repro.backend.tna.split import SplitResult
+
+
+@dataclass
+class TnaReport:
+    """Compiled-program resource summary."""
+
+    name: str
+    mode: str
+    phv: PhvAllocation
+    split: SplitResult
+    schedule: ScheduleResult
+    global_parser_plan: Optional[object] = None
+
+    @property
+    def container_counts(self) -> Dict[int, int]:
+        return self.phv.counts()
+
+    @property
+    def bits_allocated(self) -> int:
+        return self.phv.bits_allocated
+
+    @property
+    def num_stages(self) -> int:
+        return self.schedule.num_stages
+
+    def summary(self) -> str:
+        counts = self.container_counts
+        return (
+            f"{self.name} [{self.mode}]: "
+            f"8b={counts[8]} 16b={counts[16]} 32b={counts[32]} "
+            f"bits={self.bits_allocated} stages={self.num_stages} "
+            f"splits={len(self.split.extra_depth)}"
+        )
+
+
+def _pct(micro: int, mono: int) -> Optional[float]:
+    if mono == 0:
+        return None
+    return (micro - mono) / mono * 100.0
+
+
+@dataclass
+class OverheadRow:
+    """One row of Table 2 (plus the Table 3 stage counts)."""
+
+    program: str
+    pct_8b: Optional[float]
+    pct_16b: Optional[float]
+    pct_32b: Optional[float]
+    pct_bits: Optional[float]
+    stages_mono: int
+    stages_micro: int
+
+    def render(self) -> str:
+        def fmt(v: Optional[float]) -> str:
+            return f"{v:8.2f}" if v is not None else "     n/a"
+
+        return (
+            f"{self.program:4s} {fmt(self.pct_8b)} {fmt(self.pct_16b)} "
+            f"{fmt(self.pct_32b)} {fmt(self.pct_bits)}   "
+            f"{self.stages_mono:2d} -> {self.stages_micro:2d}"
+        )
+
+
+def overhead_row(
+    program: str, micro: TnaReport, mono: Optional[TnaReport]
+) -> OverheadRow:
+    """Table 2 percentages for one program (mono may have failed)."""
+    if mono is None:
+        return OverheadRow(
+            program=program,
+            pct_8b=None,
+            pct_16b=None,
+            pct_32b=None,
+            pct_bits=None,
+            stages_mono=0,
+            stages_micro=micro.num_stages,
+        )
+    mc, bc = micro.container_counts, mono.container_counts
+    return OverheadRow(
+        program=program,
+        pct_8b=_pct(mc[8], bc[8]),
+        pct_16b=_pct(mc[16], bc[16]),
+        pct_32b=_pct(mc[32], bc[32]),
+        pct_bits=_pct(micro.bits_allocated, mono.bits_allocated),
+        stages_mono=mono.num_stages,
+        stages_micro=micro.num_stages,
+    )

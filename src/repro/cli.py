@@ -1,0 +1,193 @@
+"""µP4C command-line interface.
+
+Mirrors the paper's Fig. 4 usage of the compiler:
+
+    # Stage 1: compile a module to µP4-IR JSON
+    python -m repro compile l3.up4 -o l3.ir.json
+
+    # Stage 2: link modules and build for a target
+    python -m repro build main.up4 l3.up4 ipv4.up4 --target v1model -o main.p4
+    python -m repro build main.up4 l3.up4 ipv4.up4 --target tna --report
+
+    # Inspect the logical architecture or the library
+    python -m repro arch
+    python -m repro library
+
+    # Regenerate the evaluation tables
+    python -m repro eval
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.api import compile_module, save_ir
+from repro.core.arch import describe_architecture
+from repro.core.driver import CompilerOptions, Up4Compiler
+from repro.errors import ReproError
+from repro.frontend.json_ir import load_module
+
+
+def _read_module(path: Path):
+    text = path.read_text()
+    if path.suffix == ".json":
+        return load_module(text)
+    return compile_module(text, path.name)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = _read_module(Path(args.module))
+    ir = save_ir(module)
+    if args.output:
+        Path(args.output).write_text(ir)
+        print(f"wrote µP4-IR to {args.output}")
+    else:
+        print(ir)
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.modules]
+    main = _read_module(paths[0])
+    libs = [_read_module(p) for p in paths[1:]]
+    options = CompilerOptions(
+        target=args.target,
+        monolithic=args.monolithic,
+        optimize_mats=args.optimize,
+        align_fields=not args.no_align,
+        split_assignments=not args.no_split,
+    )
+    result = Up4Compiler(options).compile_modules(main, libs)
+    region = result.region
+    print(
+        f"composed {result.composed.name!r} [{result.composed.mode}]: "
+        f"El={region.extract_length}B Bs={region.byte_stack_size}B "
+        f"minpkt={region.min_packet_size}B, "
+        f"{len(result.composed.tables)} MATs"
+    )
+    if args.target == "v1model":
+        text = result.target_output.source_text
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote generated V1Model program to {args.output}")
+        else:
+            print(text)
+    else:
+        report = result.target_output
+        print(report.summary())
+        if args.report:
+            print("\nstage placement:")
+            for stage, use in enumerate(report.schedule.stages):
+                print(f"  stage {stage:2d}: {', '.join(use.tables)}")
+            counts = report.container_counts
+            print(
+                f"\nPHV: 8b={counts[8]} 16b={counts[16]} 32b={counts[32]} "
+                f"({report.bits_allocated} bits allocated)"
+            )
+            if report.split.violations:
+                print(f"split-pass fixes: {len(report.split.extra_depth)} tables")
+    return 0
+
+
+def cmd_arch(args: argparse.Namespace) -> int:
+    print(describe_architecture())
+    return 0
+
+
+def cmd_library(args: argparse.Namespace) -> int:
+    from repro.lib.catalog import COMPOSITIONS, composition_matrix
+    from repro.lib.loader import list_sources
+
+    print("library modules (src/repro/lib/modules):")
+    for name in list_sources("modules"):
+        print(f"  {name}")
+    print("\nmonolithic baselines (src/repro/lib/monolithic):")
+    for name in list_sources("monolithic"):
+        print(f"  {name}")
+    print("\ncompositions:")
+    for prog, recipe in COMPOSITIONS.items():
+        print(f"  {prog}: {' + '.join(recipe)}")
+    print()
+    print(composition_matrix())
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.backend.tna import TnaBackend
+    from repro.backend.tna.report import overhead_row
+    from repro.errors import ResourceError
+    from repro.lib.catalog import PROGRAMS, build_monolithic, build_pipeline
+
+    backend = TnaBackend()
+    print("Table 2/3 — µP4 vs monolithic on the modeled Tofino")
+    print(f"{'prog':4s} {'8b%':>8s} {'16b%':>8s} {'32b%':>8s} {'bits%':>8s}   stages")
+    for name in PROGRAMS:
+        micro = backend.compile(build_pipeline(name))
+        try:
+            mono = backend.compile(build_monolithic(name))
+        except ResourceError:
+            mono = None
+        print(overhead_row(name, micro, mono).render())
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="µP4C — the µP4 compiler (SIGCOMM 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile one µP4 module to µP4-IR JSON (Fig. 4a)"
+    )
+    p_compile.add_argument("module", help=".up4 source file")
+    p_compile.add_argument("-o", "--output", help="write IR here")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_build = sub.add_parser(
+        "build", help="link modules and build for a target (Fig. 4b)"
+    )
+    p_build.add_argument(
+        "modules", nargs="+", help="main module first, then libraries "
+        "(.up4 source or .json µP4-IR)"
+    )
+    p_build.add_argument("--target", choices=("v1model", "tna"), default="v1model")
+    p_build.add_argument("--monolithic", action="store_true")
+    p_build.add_argument("--optimize", action="store_true",
+                         help="elide trivial synthesized MATs (§8.1)")
+    p_build.add_argument("--no-align", action="store_true",
+                         help="disable the TNA field-alignment pass (§6.3)")
+    p_build.add_argument("--no-split", action="store_true",
+                         help="disable the assignment-split pass (§6.3)")
+    p_build.add_argument("--report", action="store_true",
+                         help="print the TNA resource report")
+    p_build.add_argument("-o", "--output", help="write generated code here")
+    p_build.set_defaults(func=cmd_build)
+
+    p_arch = sub.add_parser("arch", help="describe the µPA logical architecture")
+    p_arch.set_defaults(func=cmd_arch)
+
+    p_lib = sub.add_parser("library", help="list library modules and compositions")
+    p_lib.set_defaults(func=cmd_library)
+
+    p_eval = sub.add_parser("eval", help="regenerate the evaluation tables")
+    p_eval.set_defaults(func=cmd_eval)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

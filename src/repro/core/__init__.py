@@ -1,0 +1,36 @@
+"""µP4 core: the public compiler driver and the µPA architecture.
+
+This package is the paper's primary contribution surface:
+
+* :mod:`~repro.core.api` — the two-stage compile flow of Fig. 4:
+  ``compile_module`` (µP4 source → µP4-IR) and ``build_dataplane``
+  (compose modules, run the midend, target a backend, and return an
+  executable dataplane with its control API).
+* :mod:`~repro.core.arch` — µPA: interfaces, logical externs and
+  intrinsic metadata (Figs. 5, 6 and 11).
+* :mod:`~repro.core.driver` — the µP4C pass manager.
+"""
+
+from repro.core.api import (
+    Dataplane,
+    build_dataplane,
+    compile_module,
+    compose_modules,
+    load_ir,
+    save_ir,
+)
+from repro.core.arch import ARCHITECTURE, describe_architecture
+from repro.core.driver import CompilerOptions, Up4Compiler
+
+__all__ = [
+    "Dataplane",
+    "build_dataplane",
+    "compile_module",
+    "compose_modules",
+    "load_ir",
+    "save_ir",
+    "ARCHITECTURE",
+    "describe_architecture",
+    "CompilerOptions",
+    "Up4Compiler",
+]

@@ -1,0 +1,101 @@
+"""Public API: write modules, compose them, get an executable dataplane.
+
+The intended usage mirrors the paper's Fig. 4 workflow::
+
+    from repro import compile_module, build_dataplane
+
+    l3 = compile_module(L3_SOURCE, "l3.up4")          # Fig. 4a
+    ipv4 = compile_module(IPV4_SOURCE, "ipv4.up4")
+    main = compile_module(MAIN_SOURCE, "main.up4")
+
+    dp = build_dataplane(main, [l3, ipv4], target="v1model")  # Fig. 4b
+    dp.api.add_entry("forward_tbl", [7], "forward", [dmac, smac, port])
+    outputs = dp.inject(packet, in_port=1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.driver import CompilerOptions, CompileResult, Up4Compiler
+from repro.frontend.json_ir import dump_module, load_module
+from repro.frontend.typecheck import Module
+from repro.midend.inline import ComposedPipeline
+from repro.net.packet import Packet
+from repro.targets.pipeline import PacketOut, PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+from repro.targets.switch import Switch, SwitchConfig
+
+
+def compile_module(source: str, name: str = "<module>") -> Module:
+    """Stage 1 (Fig. 4a): compile one µP4 module to µP4-IR."""
+    return Up4Compiler().frontend(source, name)
+
+
+def save_ir(module: Module) -> str:
+    """Serialize a compiled module to µP4-IR JSON."""
+    return dump_module(module)
+
+
+def load_ir(text: str) -> Module:
+    """Load µP4-IR JSON back into a checked module."""
+    return load_module(text)
+
+
+def compose_modules(
+    main: Module,
+    libraries: Optional[List[Module]] = None,
+    monolithic: bool = False,
+) -> ComposedPipeline:
+    """Link and run the midend, returning the composed pipeline."""
+    compiler = Up4Compiler(CompilerOptions(monolithic=monolithic))
+    linked = compiler.link(main, libraries)
+    return compiler.midend(linked)
+
+
+@dataclass
+class Dataplane:
+    """An executable dataplane: switch + control API + compile artifacts."""
+
+    compile_result: CompileResult
+    instance: PipelineInstance
+    switch: Switch
+    api: RuntimeAPI = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.api = self.switch.api
+
+    @property
+    def composed(self) -> ComposedPipeline:
+        return self.compile_result.composed
+
+    @property
+    def target_output(self):
+        return self.compile_result.target_output
+
+    def inject(self, packet: Union[Packet, bytes], in_port: int = 0) -> List[PacketOut]:
+        """Send one packet through the dataplane."""
+        if isinstance(packet, (bytes, bytearray)):
+            packet = Packet(bytes(packet))
+        return self.switch.inject(packet, in_port)
+
+    def set_multicast_group(self, group_id: int, ports: Sequence[int]) -> None:
+        self.switch.set_multicast_group(group_id, list(ports))
+
+
+def build_dataplane(
+    main: Module,
+    libraries: Optional[List[Module]] = None,
+    target: str = "v1model",
+    monolithic: bool = False,
+    options: Optional[CompilerOptions] = None,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Dataplane:
+    """Stage 2 (Fig. 4b): compose, compile for a target, make it runnable."""
+    opts = options or CompilerOptions(target=target, monolithic=monolithic)
+    compiler = Up4Compiler(opts)
+    result = compiler.compile_modules(main, libraries)
+    instance = PipelineInstance(result.composed)
+    switch = Switch(instance, switch_config)
+    return Dataplane(compile_result=result, instance=instance, switch=switch)

@@ -1,0 +1,111 @@
+"""µPA — the µP4 logical architecture (paper §4).
+
+µPA is *logical*: no device implements it.  It fixes (i) the pipeline
+kinds and interfaces modules are written against, and (ii) the logical
+externs that stand in for target-specific constructs.  This module
+documents that contract programmatically so tools (and tests) can
+enumerate it; the semantic objects themselves live in
+:mod:`repro.frontend.builtins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.frontend import builtins as bi
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """One µPA interface (Fig. 11)."""
+
+    name: str
+    roles: List[str]
+    description: str
+
+
+@dataclass(frozen=True)
+class ExternSpec:
+    """One logical extern (Fig. 6)."""
+
+    name: str
+    methods: List[str]
+    description: str
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    interfaces: Dict[str, InterfaceSpec] = field(default_factory=dict)
+    externs: Dict[str, ExternSpec] = field(default_factory=dict)
+    intrinsic_metadata: List[str] = field(default_factory=list)
+
+
+def _build() -> ArchitectureSpec:
+    interfaces = {
+        "Unicast": InterfaceSpec(
+            "Unicast",
+            ["parser", "control", "deparser"],
+            "Linear pipeline producing one output per input packet; "
+            "invoked with (pkt, im_t, in/out/inout user params).",
+        ),
+        "Multicast": InterfaceSpec(
+            "Multicast",
+            ["parser", "control", "deparser"],
+            "Linear pipeline that may replicate the packet via "
+            "mc_engine into an out_buf of per-replica results.",
+        ),
+        "Orchestration": InterfaceSpec(
+            "Orchestration",
+            ["control"],
+            "Non-linear pipeline consuming an in_buf and producing an "
+            "out_buf; different copies may be processed differently.",
+        ),
+    }
+    externs = {}
+    for name, ext in bi.builtin_types().items():
+        if hasattr(ext, "methods"):
+            externs[name] = ExternSpec(
+                name,
+                sorted(ext.methods),
+                _EXTERN_DOCS.get(name, ""),
+            )
+    return ArchitectureSpec(
+        interfaces=interfaces,
+        externs=externs,
+        intrinsic_metadata=list(bi.META_T_MEMBERS),
+    )
+
+
+_EXTERN_DOCS = {
+    "pkt": "The packet byte-stream: a byte array plus length.",
+    "extractor": "Header extraction from a pkt (parser role).",
+    "emitter": "Header emission into a pkt (deparser role).",
+    "im_t": "Intrinsic metadata: ports, timestamps, drop, multicast.",
+    "in_buf": "Logical input buffer feeding an orchestration pipeline.",
+    "out_buf": "Logical output buffer collecting processed packets.",
+    "mc_buf": "Buffer of replicated headers for multicast processing.",
+    "mc_engine": "Packet replication engine (set_mc_group / apply).",
+}
+
+ARCHITECTURE = _build()
+
+
+def describe_architecture() -> str:
+    """Human-readable µPA summary."""
+    lines = ["µPA — the µP4 logical architecture", ""]
+    lines.append("Interfaces:")
+    for spec in ARCHITECTURE.interfaces.values():
+        lines.append(f"  {spec.name}<{', '.join(spec.roles)}>")
+        lines.append(f"      {spec.description}")
+    lines.append("")
+    lines.append("Logical externs:")
+    for spec in ARCHITECTURE.externs.values():
+        lines.append(f"  {spec.name}: {', '.join(spec.methods)}")
+        if spec.description:
+            lines.append(f"      {spec.description}")
+    lines.append("")
+    lines.append("Intrinsic metadata (meta_t): " + ", ".join(
+        ARCHITECTURE.intrinsic_metadata
+    ))
+    return "\n".join(lines)

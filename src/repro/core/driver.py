@@ -1,0 +1,130 @@
+"""µP4C — the compiler driver (paper Fig. 7).
+
+Runs the pass pipeline:
+
+    frontend  : parse + type-check each module          (µP4-IR)
+    midend    : link, analyze, homogenize, compose      (composed IR)
+    backend   : v1model (partition + codegen) or
+                tna (PHV + ALU legality + stages)       (target output)
+
+``CompilerOptions`` exposes the knobs the paper discusses: target
+choice, monolithic mode (the evaluation baseline), and the TNA
+backend's field-alignment and assignment-splitting passes (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.backend.tna import TnaBackend, TnaReport
+from repro.backend.tna.descriptor import TofinoDescriptor
+from repro.backend.v1model import V1ModelBackend, V1ModelProgram
+from repro.errors import CompileError
+from repro.frontend.typecheck import Module, check_program
+from repro.midend.analysis import OperationalRegion, analyze
+from repro.midend.hdr_stack import lower_header_stacks
+from repro.midend.inline import ComposedPipeline, compose, compose_monolithic
+from repro.midend.linker import LinkedProgram, link_modules
+from repro.midend.varlen import lower_varlen_headers
+
+TARGETS = ("v1model", "tna")
+
+
+@dataclass
+class CompilerOptions:
+    """Compilation knobs."""
+
+    target: str = "v1model"
+    monolithic: bool = False
+    # §8.1 midend optimization: elide trivial synthesized MATs.
+    optimize_mats: bool = False
+    # TNA backend passes (§6.3).
+    align_fields: bool = True
+    split_assignments: bool = True
+    descriptor: Optional[TofinoDescriptor] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise CompileError(
+                f"unknown target {self.target!r}; supported: {TARGETS}"
+            )
+
+
+@dataclass
+class CompileResult:
+    """Everything the driver produces for one build."""
+
+    composed: ComposedPipeline
+    region: OperationalRegion
+    target_output: Union[V1ModelProgram, TnaReport, None] = None
+
+
+class Up4Compiler:
+    """The µP4C pass manager."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options or CompilerOptions()
+
+    # ------------------------------------------------------------------
+    # Frontend
+    # ------------------------------------------------------------------
+    def frontend(self, source: str, name: str = "<module>") -> Module:
+        """Parse and type-check one µP4 module (Fig. 4a)."""
+        module = check_program(source, name)
+        lower_header_stacks(module)
+        lower_varlen_headers(module)
+        return module
+
+    # ------------------------------------------------------------------
+    # Midend
+    # ------------------------------------------------------------------
+    def link(self, main: Module, libraries: Optional[List[Module]] = None) -> LinkedProgram:
+        return link_modules(main, libraries or [])
+
+    def midend(self, linked: LinkedProgram) -> ComposedPipeline:
+        if self.options.monolithic:
+            return compose_monolithic(linked)
+        composed = compose(linked)
+        if self.options.optimize_mats:
+            from repro.midend.optimize import elide_trivial_mats
+
+            elide_trivial_mats(composed)
+        return composed
+
+    # ------------------------------------------------------------------
+    # Backend
+    # ------------------------------------------------------------------
+    def backend(self, composed: ComposedPipeline):
+        if self.options.target == "v1model":
+            return V1ModelBackend().compile(composed)
+        return TnaBackend(
+            descriptor=self.options.descriptor,
+            align_fields=self.options.align_fields,
+            split_assignments=self.options.split_assignments,
+        ).compile(composed)
+
+    # ------------------------------------------------------------------
+    def compile_modules(
+        self, main: Module, libraries: Optional[List[Module]] = None
+    ) -> CompileResult:
+        """Full pipeline: link → analyze → compose → backend."""
+        linked = self.link(main, libraries)
+        composed = self.midend(linked)
+        result = CompileResult(composed=composed, region=composed.region)
+        result.target_output = self.backend(composed)
+        return result
+
+    def compile_sources(
+        self,
+        main_source: str,
+        library_sources: Optional[Dict[str, str]] = None,
+        main_name: str = "main.up4",
+    ) -> CompileResult:
+        """Convenience: compile from source texts."""
+        main = self.frontend(main_source, main_name)
+        libs = [
+            self.frontend(text, name)
+            for name, text in (library_sources or {}).items()
+        ]
+        return self.compile_modules(main, libs)

@@ -1,0 +1,72 @@
+"""Shared exception hierarchy for the µP4 reproduction.
+
+All compiler-facing errors derive from :class:`CompileError` so that tools
+(and tests) can distinguish "the user's program is wrong" from internal
+bugs.  Each stage refines the base class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CompileError(ReproError):
+    """A µP4/P4 source program failed to compile.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    loc:
+        Optional :class:`~repro.frontend.source.SourceLocation`.
+    """
+
+    def __init__(self, message: str, loc: Optional[object] = None) -> None:
+        self.message = message
+        self.loc = loc
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.loc is not None:
+            return f"{self.loc}: {self.message}"
+        return self.message
+
+
+class LexError(CompileError):
+    """Invalid character sequence in source text."""
+
+
+class ParseError(CompileError):
+    """Syntactically invalid source text."""
+
+
+class TypeCheckError(CompileError):
+    """Semantically invalid program (name/type/direction errors)."""
+
+
+class LinkError(CompileError):
+    """Module composition failed (missing modules, cycles, arity)."""
+
+
+class AnalysisError(CompileError):
+    """Static analysis could not bound the operational region."""
+
+
+class BackendError(CompileError):
+    """Target code generation or resource allocation failed."""
+
+
+class ResourceError(BackendError):
+    """The target's hardware resources cannot fit the program.
+
+    This mirrors ``bf-p4c`` rejecting a program (paper §6.3, Table 2's
+    "Monolithic failed to compile" row).
+    """
+
+
+class TargetError(ReproError):
+    """Runtime error inside the behavioral target (bad entry, bad packet)."""

@@ -1,0 +1,22 @@
+"""µP4/P4₁₆ frontend: lexer, parser, AST, type checker, JSON IR.
+
+The frontend accepts the P4₁₆ subset used throughout the paper plus the
+µP4 extensions (``program X : implements Unicast<...> { ... }`` packages,
+module signature declarations, logical externs).  Its output — a
+type-checked :class:`~repro.frontend.typecheck.Module` — is the µP4-IR
+consumed by the midend.
+"""
+
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse_program
+from repro.frontend.typecheck import Module, TypeChecker, check_program
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "Module",
+    "TypeChecker",
+    "check_program",
+]

@@ -1,0 +1,313 @@
+"""µPA builtin environment: logical externs, intrinsic metadata, interfaces.
+
+This module constructs the semantic objects for the paper's Fig. 6
+declarations — ``pkt``, ``extractor``, ``emitter``, ``im_t``, ``meta_t``,
+``in_buf``/``out_buf``/``mc_buf``, ``mc_engine`` and ``recirculate`` — and
+the µPA interface names (Fig. 11).  The type checker installs these in the
+global scope of every µP4 compilation unit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontend.astnodes import (
+    BitType,
+    EnumType,
+    ExternType,
+    MethodSignature,
+    Param,
+    TypeName,
+    VoidType,
+)
+
+# Values of the meta_t enumerator (paper Fig. 6 lists the first four; the
+# rest are the additional intrinsic fields V1Model/TNA targets expose and
+# that the backend constraint FSM needs — §5.5).
+META_T_MEMBERS = [
+    "IN_TIMESTAMP",
+    "OUT_TIMESTAMP",
+    "IN_PORT",
+    "PKT_LEN",
+    "OUT_PORT",
+    "QUEUE_DEPTH",
+    "DEQ_TIMESTAMP",
+    "ENQ_TIMESTAMP",
+    "PKT_INSTANCE_TYPE",
+    "MCAST_GRP",
+]
+
+# Ports are bit<8> in µPA (Fig. 6); DROP is the reserved "discard" port.
+PORT_WIDTH = 8
+DROP_PORT_VALUE = 0xFF
+
+
+def _p(direction: str, ptype, name: str) -> Param:
+    return Param(direction=direction, param_type=ptype, name=name)
+
+
+def _sig(name: str, params: List[Param], ret=None, type_params=None) -> MethodSignature:
+    return MethodSignature(
+        name=name,
+        params=params,
+        return_type=ret if ret is not None else VoidType(),
+        type_params=type_params or [],
+    )
+
+
+def _bit(width: int) -> BitType:
+    return BitType(width=width)
+
+
+def make_meta_t() -> EnumType:
+    return EnumType(name="meta_t", members=list(META_T_MEMBERS))
+
+
+def make_pkt() -> ExternType:
+    pkt = ExternType(name="pkt")
+    pkt.methods = {
+        "copy_from": [_sig("copy_from", [_p("in", TypeName(name="pkt"), "pa")])],
+        "get_length": [_sig("get_length", [], _bit(32))],
+    }
+    return pkt
+
+
+def make_extractor() -> ExternType:
+    ex = ExternType(name="extractor")
+    ex.methods = {
+        "extract": [
+            _sig(
+                "extract",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("out", TypeName(name="H"), "hdr"),
+                ],
+                type_params=["H"],
+            ),
+            _sig(
+                "extract",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("out", TypeName(name="H"), "hdr"),
+                    _p("in", _bit(32), "size"),
+                ],
+                type_params=["H"],
+            ),
+        ],
+        "lookahead": [
+            _sig(
+                "lookahead",
+                [_p("", TypeName(name="pkt"), "p")],
+                TypeName(name="H"),
+                type_params=["H"],
+            )
+        ],
+    }
+    return ex
+
+
+def make_emitter() -> ExternType:
+    em = ExternType(name="emitter")
+    em.methods = {
+        "emit": [
+            _sig(
+                "emit",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("in", TypeName(name="H"), "hdr"),
+                ],
+                type_params=["H"],
+            )
+        ]
+    }
+    return em
+
+
+def make_im_t() -> ExternType:
+    im = ExternType(name="im_t")
+    im.methods = {
+        "set_out_port": [_sig("set_out_port", [_p("in", _bit(PORT_WIDTH), "port")])],
+        "get_out_port": [_sig("get_out_port", [], _bit(PORT_WIDTH))],
+        "get_in_port": [_sig("get_in_port", [], _bit(PORT_WIDTH))],
+        "get_value": [
+            _sig("get_value", [_p("in", TypeName(name="meta_t"), "ft")], _bit(32))
+        ],
+        "copy_from": [_sig("copy_from", [_p("in", TypeName(name="im_t"), "im")])],
+        "drop": [_sig("drop", [])],
+    }
+    return im
+
+
+def make_in_buf() -> ExternType:
+    buf = ExternType(name="in_buf")
+    # dequeue is architecture-internal (not user callable) but declared for
+    # completeness; the checker rejects user calls to it.
+    buf.methods = {
+        "dequeue": [
+            _sig(
+                "dequeue",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("", TypeName(name="im_t"), "im"),
+                    _p("out", TypeName(name="I"), "args"),
+                ],
+                type_params=["I"],
+            )
+        ]
+    }
+    return buf
+
+
+def make_out_buf() -> ExternType:
+    buf = ExternType(name="out_buf")
+    buf.methods = {
+        "enqueue": [
+            _sig(
+                "enqueue",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("", TypeName(name="im_t"), "im"),
+                    _p("in", TypeName(name="O"), "out_args"),
+                ],
+                type_params=["O"],
+            ),
+            # Convenience overload used when O is empty.
+            _sig(
+                "enqueue",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("", TypeName(name="im_t"), "im"),
+                ],
+            ),
+        ],
+        "to_in_buf": [
+            _sig("to_in_buf", [_p("", TypeName(name="in_buf"), "ib")])
+        ],
+        "merge": [_sig("merge", [_p("", TypeName(name="out_buf"), "ob")])],
+    }
+    return buf
+
+
+def make_mc_buf() -> ExternType:
+    buf = ExternType(name="mc_buf")
+    buf.methods = {
+        "enqueue": [
+            _sig(
+                "enqueue",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("in", TypeName(name="H"), "hdr"),
+                    _p("", TypeName(name="im_t"), "im"),
+                    _p("in", TypeName(name="O"), "out_args"),
+                ],
+                type_params=["H", "O"],
+            )
+        ]
+    }
+    return buf
+
+
+def make_mc_engine() -> ExternType:
+    mce = ExternType(name="mc_engine")
+    mce.methods = {
+        "set_mc_group": [
+            _sig("set_mc_group", [_p("in", TypeName(name="GroupId_t"), "gid")])
+        ],
+        "apply": [
+            _sig(
+                "apply",
+                [
+                    _p("", TypeName(name="im_t"), "im"),
+                    _p("out", TypeName(name="PktInstId_t"), "id"),
+                ],
+            ),
+            _sig(
+                "apply",
+                [
+                    _p("", TypeName(name="pkt"), "p"),
+                    _p("", TypeName(name="im_t"), "im"),
+                    _p("out", TypeName(name="O"), "out_args"),
+                ],
+                type_params=["O"],
+            ),
+        ],
+        "set_buf": [_sig("set_buf", [_p("", TypeName(name="out_buf"), "ob")])],
+    }
+    return mce
+
+
+def make_register() -> ExternType:
+    """Stateful register array (the paper's §8.2 extension: static
+    variables mapped to architecture registers)."""
+    reg = ExternType(name="register")
+    reg.methods = {
+        "read": [
+            _sig(
+                "read",
+                [
+                    _p("out", TypeName(name="T"), "value"),
+                    _p("in", _bit(32), "index"),
+                ],
+                type_params=["T"],
+            )
+        ],
+        "write": [
+            _sig(
+                "write",
+                [
+                    _p("in", _bit(32), "index"),
+                    _p("in", TypeName(name="T"), "value"),
+                ],
+                type_params=["T"],
+            )
+        ],
+    }
+    return reg
+
+
+def builtin_types() -> Dict[str, object]:
+    """All builtin named types installed in the global scope."""
+    return {
+        "pkt": make_pkt(),
+        "extractor": make_extractor(),
+        "emitter": make_emitter(),
+        "im_t": make_im_t(),
+        "in_buf": make_in_buf(),
+        "out_buf": make_out_buf(),
+        "mc_buf": make_mc_buf(),
+        "mc_engine": make_mc_engine(),
+        "register": make_register(),
+        "meta_t": make_meta_t(),
+        "GroupId_t": _bit(16),
+        "PktInstId_t": _bit(16),
+    }
+
+
+def builtin_consts() -> Dict[str, tuple]:
+    """Builtin constants: name -> (BitType, value)."""
+    return {
+        "DROP": (_bit(PORT_WIDTH), DROP_PORT_VALUE),
+    }
+
+
+# Free-function externs (callable without an instance).
+def builtin_functions() -> Dict[str, List[MethodSignature]]:
+    return {
+        "recirculate": [
+            _sig(
+                "recirculate",
+                [_p("in", TypeName(name="D"), "data")],
+                type_params=["D"],
+            )
+        ],
+    }
+
+
+# µPA interface names (Fig. 11).  Each maps to the roles a conforming
+# program must contain; role discovery is structural (by parameter types)
+# because the paper's examples elide unused parameters.
+INTERFACES = {
+    "Unicast": {"roles": ("parser", "control", "deparser")},
+    "Multicast": {"roles": ("parser", "control", "deparser")},
+    "Orchestration": {"roles": ("control",)},
+}

@@ -1,0 +1,230 @@
+"""Hand-written lexer for the µP4/P4₁₆ subset.
+
+Handles ``//`` and ``/* */`` comments, width-prefixed integer literals
+(``8w42``, ``16w0x0800``), hex/binary/decimal integers, and the operator
+set used by P4 expressions (including ``++`` concatenation and ``&&&``
+ternary masks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError
+from repro.frontend.source import SourceFile, SourceLocation
+from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+
+_SIMPLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    "?": TokenKind.QUESTION,
+    "@": TokenKind.AT,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "^": TokenKind.BITXOR,
+    "~": TokenKind.BITNOT,
+    "-": TokenKind.MINUS,
+}
+
+
+class Lexer:
+    """Streaming lexer over a :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # ------------------------------------------------------------------
+    def _loc(self) -> SourceLocation:
+        return self.source.location(self.line, self.col)
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self.pos + ahead
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        out = self.text[self.pos : self.pos + count]
+        for ch in out:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return out
+
+    # ------------------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        tok_start = self.pos
+        # Look ahead for a width prefix: decimal digits followed by 'w'.
+        scan = self.pos
+        while scan < len(self.text) and self.text[scan].isdigit():
+            scan += 1
+        width = None
+        if scan > self.pos and scan < len(self.text) and self.text[scan] == "w":
+            width = int(self.text[self.pos : scan])
+            if width <= 0:
+                raise LexError("zero-width literal prefix 0w", loc)
+            self._advance(scan + 1 - self.pos)
+        value = self._lex_radix_digits(loc)
+        text = self.text[tok_start : self.pos]
+        if width is not None and value >= 1 << width:
+            raise LexError(f"literal {value} does not fit in bit<{width}>", loc)
+        return Token(TokenKind.INT, text, loc, (width, value))
+
+    def _lex_radix_digits(self, loc: SourceLocation) -> int:
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            digits_start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            digits = self.text[digits_start : self.pos].replace("_", "")
+            if not digits:
+                raise LexError("hex literal with no digits", loc)
+            try:
+                return int(digits, 16)
+            except ValueError:
+                raise LexError(f"bad hex literal 0x{digits}", loc) from None
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "bB":
+            self._advance(2)
+            digits_start = self.pos
+            while self._peek() and self._peek() in "01_":
+                self._advance()
+            digits = self.text[digits_start : self.pos].replace("_", "")
+            if not digits:
+                raise LexError("binary literal with no digits", loc)
+            return int(digits, 2)
+        start = self.pos
+        while self._peek().isdigit() or self._peek() == "_":
+            self._advance()
+        digits = self.text[start : self.pos].replace("_", "")
+        if not digits:
+            raise LexError("integer literal with no digits", loc)
+        return int(digits, 10)
+
+    def _lex_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[start : self.pos]
+        if text == "_":
+            return Token(TokenKind.UNDERSCORE, text, loc)
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, loc, text if kind is TokenKind.IDENT else None)
+
+    def _lex_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        out: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+            else:
+                out.append(self._advance())
+        return Token(TokenKind.STRING, "".join(out), loc, "".join(out))
+
+    # ------------------------------------------------------------------
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self._loc())
+        loc = self._loc()
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident()
+        if ch == '"':
+            return self._lex_string()
+        two = ch + self._peek(1)
+        three = two + self._peek(2)
+        if three == "&&&":
+            self._advance(3)
+            return Token(TokenKind.MASK, three, loc)
+        multi = {
+            "++": TokenKind.CONCAT,
+            "==": TokenKind.EQ,
+            "!=": TokenKind.NEQ,
+            "<=": TokenKind.LE,
+            ">=": TokenKind.GE,
+            "<<": TokenKind.SHL,
+            ">>": TokenKind.SHR,
+            "&&": TokenKind.AND,
+            "||": TokenKind.OR,
+            "..": TokenKind.RANGE,
+        }
+        if two in multi:
+            self._advance(2)
+            return Token(multi[two], two, loc)
+        single = {
+            "=": TokenKind.ASSIGN,
+            "+": TokenKind.PLUS,
+            "<": TokenKind.LANGLE,
+            ">": TokenKind.RANGLE,
+            "!": TokenKind.NOT,
+            "&": TokenKind.BITAND,
+            "|": TokenKind.BITOR,
+            ".": TokenKind.DOT,
+        }
+        if ch in single:
+            self._advance()
+            return Token(single[ch], ch, loc)
+        if ch in _SIMPLE:
+            self._advance()
+            return Token(_SIMPLE[ch], ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            tok = self.next_token()
+            yield tok
+            if tok.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(text: str, filename: str = "<string>") -> List[Token]:
+    """Lex ``text`` into a token list ending with EOF."""
+    return list(Lexer(SourceFile(text, filename)))

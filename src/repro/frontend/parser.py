@@ -1,0 +1,814 @@
+"""Recursive-descent parser for the µP4/P4₁₆ subset.
+
+Produces the AST defined in :mod:`repro.frontend.astnodes`.  The grammar
+covers everything used by the paper's listings: header/struct/enum/const
+declarations, parsers with select transitions, controls with actions,
+tables (keys, actions, const entries, default_action, size), µP4
+``program ... : implements Interface<...>`` packages, module signature
+declarations, instantiations, and the full expression language including
+``++`` concatenation, bit slices, casts, masks and ranges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import astnodes as ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind as T
+
+# Binary operator precedence (higher binds tighter).  ``++`` follows the
+# P4₁₆ spec: it sits with additive operators.
+_BIN_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "|": 5,
+    "^": 6,
+    "&": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "++": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_TYPE_START = {T.KW_BIT, T.KW_VARBIT, T.KW_BOOL, T.KW_VOID, T.IDENT}
+
+
+class Parser:
+    """Parses one compilation unit from a token list."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<string>") -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def at(self, kind: T, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind is kind
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: T, what: str = "") -> Token:
+        tok = self.peek()
+        if tok.kind is not kind:
+            want = what or kind.value
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.loc)
+        return self.advance()
+
+    def accept(self, kind: T) -> Optional[Token]:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    def expect_close_angle(self) -> None:
+        """Consume ``>``, splitting a ``>>`` token for nested generics."""
+        tok = self.peek()
+        if tok.kind is T.RANGLE:
+            self.advance()
+            return
+        if tok.kind is T.SHR:
+            self.tokens[self.pos] = Token(T.RANGLE, ">", tok.loc)
+            return
+        raise ParseError(f"expected '>', found {tok.text!r}", tok.loc)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> ast.SourceProgram:
+        decls: List[ast.Decl] = []
+        while not self.at(T.EOF):
+            decls.append(self._declaration())
+        return ast.SourceProgram(decls=decls, filename=self.filename)
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _declaration(self) -> ast.Decl:
+        tok = self.peek()
+        if tok.kind is T.KW_HEADER:
+            return self._header_decl()
+        if tok.kind is T.KW_STRUCT:
+            return self._struct_decl()
+        if tok.kind is T.KW_ENUM:
+            return self._enum_decl()
+        if tok.kind is T.KW_TYPEDEF:
+            return self._typedef_decl()
+        if tok.kind is T.KW_CONST:
+            return self._const_decl()
+        if tok.kind is T.KW_PARSER:
+            return self._parser_decl()
+        if tok.kind is T.KW_CONTROL:
+            return self._control_decl()
+        if tok.kind is T.KW_PROGRAM:
+            return self._program_decl()
+        if tok.kind is T.IDENT:
+            return self._ident_led_top_decl()
+        raise ParseError(f"unexpected token {tok.text!r} at top level", tok.loc)
+
+    def _ident_led_top_decl(self) -> ast.Decl:
+        """Module signature ``L3(params);`` or ``Pkg(args) main;``."""
+        name_tok = self.expect(T.IDENT)
+        self.expect(T.LPAREN)
+        # Package instantiation args are bare names; module signatures have
+        # typed params.  Look ahead: a parameter starts with a direction
+        # keyword or a type followed by a name.
+        if self._looks_like_params():
+            params = self._param_list_tail()
+            self.expect(T.SEMI)
+            return ast.ModuleSigDecl(
+                loc=name_tok.loc, name=name_tok.value, params=params
+            )
+        args: List[str] = []
+        if not self.at(T.RPAREN):
+            args.append(self.expect(T.IDENT).value)
+            while self.accept(T.COMMA):
+                args.append(self.expect(T.IDENT).value)
+        self.expect(T.RPAREN)
+        self.expect(T.KW_MAIN, "main")
+        self.expect(T.SEMI)
+        return ast.PackageInstantiation(
+            loc=name_tok.loc, name="main", package=name_tok.value, args=args
+        )
+
+    def _looks_like_params(self) -> bool:
+        """True if the upcoming parenthesised list is a typed param list."""
+        k0, k1 = self.peek(0).kind, self.peek(1).kind
+        if k0 in (T.KW_IN, T.KW_OUT, T.KW_INOUT, T.KW_BIT, T.KW_VARBIT, T.KW_BOOL):
+            return True
+        return k0 is T.IDENT and k1 in (T.IDENT, T.LANGLE)
+
+    def _header_decl(self) -> ast.HeaderDecl:
+        loc = self.expect(T.KW_HEADER).loc
+        name = self.expect(T.IDENT).value
+        fields = self._field_block()
+        return ast.HeaderDecl(loc=loc, name=name, fields=fields)
+
+    def _struct_decl(self) -> ast.StructDecl:
+        loc = self.expect(T.KW_STRUCT).loc
+        name = self.expect(T.IDENT).value
+        fields = self._field_block()
+        return ast.StructDecl(loc=loc, name=name, fields=fields)
+
+    def _field_block(self) -> List[Tuple[str, ast.Type]]:
+        self.expect(T.LBRACE)
+        fields: List[Tuple[str, ast.Type]] = []
+        while not self.at(T.RBRACE):
+            ftype = self._type()
+            fname = self.expect(T.IDENT).value
+            if self.accept(T.LBRACKET):
+                size_tok = self.expect(T.INT)
+                self.expect(T.RBRACKET)
+                ftype = ast.HeaderStackType(
+                    loc=ftype.loc, element=ftype, size=size_tok.value[1]
+                )
+            self.expect(T.SEMI)
+            fields.append((fname, ftype))
+        self.expect(T.RBRACE)
+        return fields
+
+    def _enum_decl(self) -> ast.EnumDecl:
+        loc = self.expect(T.KW_ENUM).loc
+        name = self.expect(T.IDENT).value
+        self.expect(T.LBRACE)
+        members = [self.expect(T.IDENT).value]
+        while self.accept(T.COMMA):
+            if self.at(T.RBRACE):  # tolerate trailing comma
+                break
+            members.append(self.expect(T.IDENT).value)
+        self.expect(T.RBRACE)
+        return ast.EnumDecl(loc=loc, name=name, members=members)
+
+    def _typedef_decl(self) -> ast.TypedefDecl:
+        loc = self.expect(T.KW_TYPEDEF).loc
+        aliased = self._type()
+        name = self.expect(T.IDENT).value
+        self.expect(T.SEMI)
+        return ast.TypedefDecl(loc=loc, name=name, aliased=aliased)
+
+    def _const_decl(self) -> ast.ConstDecl:
+        loc = self.expect(T.KW_CONST).loc
+        ctype = self._type()
+        name = self.expect(T.IDENT).value
+        self.expect(T.ASSIGN)
+        value = self._expression()
+        self.expect(T.SEMI)
+        return ast.ConstDecl(loc=loc, name=name, const_type=ctype, value=value)
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _type(self) -> ast.Type:
+        tok = self.peek()
+        if tok.kind is T.KW_BIT:
+            self.advance()
+            self.expect(T.LANGLE)
+            width = self.expect(T.INT).value[1]
+            self.expect_close_angle()
+            return ast.BitType(loc=tok.loc, width=width)
+        if tok.kind is T.KW_VARBIT:
+            self.advance()
+            self.expect(T.LANGLE)
+            width = self.expect(T.INT).value[1]
+            self.expect_close_angle()
+            return ast.VarBitType(loc=tok.loc, max_width=width)
+        if tok.kind is T.KW_BOOL:
+            self.advance()
+            return ast.BoolType(loc=tok.loc)
+        if tok.kind is T.KW_VOID:
+            self.advance()
+            return ast.VoidType(loc=tok.loc)
+        if tok.kind is T.IDENT:
+            self.advance()
+            args: List[ast.Type] = []
+            if self.at(T.LANGLE) and self._angle_closes_as_type_args():
+                self.advance()
+                if not self.at(T.RANGLE):
+                    args.append(self._type())
+                    while self.accept(T.COMMA):
+                        args.append(self._type())
+                self.expect_close_angle()
+            return ast.TypeName(loc=tok.loc, name=tok.value, args=args)
+        raise ParseError(f"expected a type, found {tok.text!r}", tok.loc)
+
+    def _angle_closes_as_type_args(self) -> bool:
+        """Scan forward from a ``<`` to see if it closes as type arguments."""
+        depth = 0
+        i = self.pos
+        while i < len(self.tokens):
+            k = self.tokens[i].kind
+            if k is T.LANGLE:
+                depth += 1
+            elif k is T.RANGLE:
+                depth -= 1
+                if depth == 0:
+                    return True
+            elif k is T.SHR:
+                depth -= 2
+                if depth <= 0:
+                    return True
+            elif k in (
+                T.SEMI,
+                T.LBRACE,
+                T.RBRACE,
+                T.EOF,
+                T.ASSIGN,
+                T.LPAREN,
+            ):
+                return False
+            i += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def _param_list(self) -> List[ast.Param]:
+        self.expect(T.LPAREN)
+        return self._param_list_tail()
+
+    def _param_list_tail(self) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        if not self.at(T.RPAREN):
+            params.append(self._param())
+            while self.accept(T.COMMA):
+                params.append(self._param())
+        self.expect(T.RPAREN)
+        return params
+
+    def _param(self) -> ast.Param:
+        loc = self.peek().loc
+        direction = ""
+        if self.at(T.KW_IN):
+            self.advance()
+            direction = "in"
+        elif self.at(T.KW_OUT):
+            self.advance()
+            direction = "out"
+        elif self.at(T.KW_INOUT):
+            self.advance()
+            direction = "inout"
+        ptype = self._type()
+        name = self.expect(T.IDENT).value
+        return ast.Param(loc=loc, direction=direction, param_type=ptype, name=name)
+
+    # ------------------------------------------------------------------
+    # Parser declarations
+    # ------------------------------------------------------------------
+    def _parser_decl(self) -> ast.ParserDecl:
+        loc = self.expect(T.KW_PARSER).loc
+        name = self.expect(T.IDENT).value
+        params = self._param_list()
+        self.expect(T.LBRACE)
+        locals_: List[ast.Decl] = []
+        states: List[ast.ParserState] = []
+        while not self.at(T.RBRACE):
+            if self.at(T.KW_STATE):
+                states.append(self._parser_state())
+            elif self.at(T.KW_CONST):
+                locals_.append(self._const_decl())
+            else:
+                locals_.append(self._local_var_or_instance())
+        self.expect(T.RBRACE)
+        return ast.ParserDecl(
+            loc=loc, name=name, params=params, locals=locals_, states=states
+        )
+
+    def _parser_state(self) -> ast.ParserState:
+        loc = self.expect(T.KW_STATE).loc
+        name = self.expect(T.IDENT).value
+        self.expect(T.LBRACE)
+        stmts: List[ast.Stmt] = []
+        state = ast.ParserState(loc=loc, name=name)
+        while not self.at(T.RBRACE):
+            if self.at(T.KW_TRANSITION):
+                self._transition(state)
+                break
+            stmts.append(self._statement())
+        state.stmts = stmts
+        self.expect(T.RBRACE)
+        return state
+
+    def _transition(self, state: ast.ParserState) -> None:
+        self.expect(T.KW_TRANSITION)
+        if self.at(T.KW_SELECT):
+            self.advance()
+            self.expect(T.LPAREN)
+            exprs = [self._expression()]
+            while self.accept(T.COMMA):
+                exprs.append(self._expression())
+            self.expect(T.RPAREN)
+            self.expect(T.LBRACE)
+            cases: List[Tuple[List[ast.Expr], str]] = []
+            while not self.at(T.RBRACE):
+                keysets = self._keyset_list()
+                self.expect(T.COLON)
+                target = self._state_name()
+                self.expect(T.SEMI)
+                cases.append((keysets, target))
+            self.expect(T.RBRACE)
+            state.select_exprs = exprs
+            state.select_cases = cases
+        else:
+            state.direct_next = self._state_name()
+            self.expect(T.SEMI)
+
+    def _state_name(self) -> str:
+        # accept/reject are ordinary identifiers here.
+        tok = self.peek()
+        if tok.kind is T.IDENT:
+            self.advance()
+            return tok.value
+        raise ParseError(f"expected state name, found {tok.text!r}", tok.loc)
+
+    def _keyset_list(self) -> List[ast.Expr]:
+        if self.accept(T.LPAREN):
+            keysets = [self._keyset()]
+            while self.accept(T.COMMA):
+                keysets.append(self._keyset())
+            self.expect(T.RPAREN)
+            return keysets
+        return [self._keyset()]
+
+    def _keyset(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is T.KW_DEFAULT or tok.kind is T.UNDERSCORE:
+            self.advance()
+            return ast.DefaultExpr(loc=tok.loc)
+        expr = self._expression()
+        if self.accept(T.MASK):
+            mask = self._expression()
+            return ast.MaskExpr(loc=tok.loc, value=expr, mask=mask)
+        if self.accept(T.RANGE):
+            hi = self._expression()
+            return ast.RangeExpr(loc=tok.loc, lo=expr, hi=hi)
+        return expr
+
+    # ------------------------------------------------------------------
+    # Control declarations
+    # ------------------------------------------------------------------
+    def _control_decl(self) -> ast.ControlDecl:
+        loc = self.expect(T.KW_CONTROL).loc
+        name = self.expect(T.IDENT).value
+        params = self._param_list()
+        self.expect(T.LBRACE)
+        locals_: List[ast.Decl] = []
+        apply_body: Optional[ast.BlockStmt] = None
+        while not self.at(T.RBRACE):
+            if self.at(T.KW_ACTION):
+                locals_.append(self._action_decl())
+            elif self.at(T.KW_TABLE):
+                locals_.append(self._table_decl())
+            elif self.at(T.KW_CONST):
+                locals_.append(self._const_decl())
+            elif self.at(T.KW_APPLY):
+                self.advance()
+                apply_body = self._block()
+            else:
+                locals_.append(self._local_var_or_instance())
+        self.expect(T.RBRACE)
+        if apply_body is None:
+            raise ParseError(f"control {name!r} has no apply block", loc)
+        return ast.ControlDecl(
+            loc=loc, name=name, params=params, locals=locals_, apply_body=apply_body
+        )
+
+    def _local_var_or_instance(self) -> ast.Decl:
+        """``hdr_t h;`` (var) or ``ipv4() ipv4_i;`` (instantiation)."""
+        loc = self.peek().loc
+        if self.at(T.IDENT) and self.at(T.LPAREN, 1):
+            target = self.advance().value
+            self.expect(T.LPAREN)
+            args: List[ast.Expr] = []
+            if not self.at(T.RPAREN):
+                args.append(self._expression())
+                while self.accept(T.COMMA):
+                    args.append(self._expression())
+            self.expect(T.RPAREN)
+            name = self.expect(T.IDENT).value
+            self.expect(T.SEMI)
+            return ast.InstanceDecl(loc=loc, name=name, target=target, args=args)
+        vtype = self._type()
+        name = self.expect(T.IDENT).value
+        init = None
+        if self.accept(T.ASSIGN):
+            init = self._expression()
+        self.expect(T.SEMI)
+        return ast.VarLocal(loc=loc, name=name, var_type=vtype, init=init)
+
+    def _action_decl(self) -> ast.ActionDecl:
+        loc = self.expect(T.KW_ACTION).loc
+        name = self.expect(T.IDENT).value
+        params = self._param_list()
+        body = self._block()
+        return ast.ActionDecl(loc=loc, name=name, params=params, body=body)
+
+    def _table_decl(self) -> ast.TableDecl:
+        loc = self.expect(T.KW_TABLE).loc
+        name = self.expect(T.IDENT).value
+        self.expect(T.LBRACE)
+        table = ast.TableDecl(loc=loc, name=name)
+        while not self.at(T.RBRACE):
+            self._table_property(table)
+        self.expect(T.RBRACE)
+        return table
+
+    def _table_property(self, table: ast.TableDecl) -> None:
+        tok = self.peek()
+        if tok.kind is T.KW_KEY:
+            self.advance()
+            self.expect(T.ASSIGN)
+            self.expect(T.LBRACE)
+            while not self.at(T.RBRACE):
+                expr = self._expression()
+                self.expect(T.COLON)
+                kind = self.expect(T.IDENT).value
+                self.expect(T.SEMI)
+                table.keys.append(ast.KeyElement(loc=expr.loc, expr=expr, match_kind=kind))
+            self.expect(T.RBRACE)
+        elif tok.kind is T.KW_ACTIONS:
+            self.advance()
+            self.expect(T.ASSIGN)
+            self.expect(T.LBRACE)
+            while not self.at(T.RBRACE):
+                table.actions.append(self.expect(T.IDENT).value)
+                if self.accept(T.LPAREN):
+                    self.expect(T.RPAREN)
+                self.expect(T.SEMI)
+            self.expect(T.RBRACE)
+        elif tok.kind is T.KW_DEFAULT_ACTION:
+            self.advance()
+            if not self.accept(T.ASSIGN):
+                self.expect(T.COLON)
+            table.default_action = self.expect(T.IDENT).value
+            if self.accept(T.LPAREN):
+                if not self.at(T.RPAREN):
+                    table.default_action_args.append(self._expression())
+                    while self.accept(T.COMMA):
+                        table.default_action_args.append(self._expression())
+                self.expect(T.RPAREN)
+            self.expect(T.SEMI)
+        elif tok.kind is T.KW_CONST or tok.kind is T.KW_ENTRIES:
+            self.accept(T.KW_CONST)
+            self.expect(T.KW_ENTRIES)
+            self.expect(T.ASSIGN)
+            self.expect(T.LBRACE)
+            while not self.at(T.RBRACE):
+                entry_loc = self.peek().loc
+                keysets = self._keyset_list()
+                self.expect(T.COLON)
+                act = self.expect(T.IDENT).value
+                args: List[ast.Expr] = []
+                if self.accept(T.LPAREN):
+                    if not self.at(T.RPAREN):
+                        args.append(self._expression())
+                        while self.accept(T.COMMA):
+                            args.append(self._expression())
+                    self.expect(T.RPAREN)
+                self.expect(T.SEMI)
+                table.const_entries.append(
+                    ast.TableEntry(
+                        loc=entry_loc, keysets=keysets, action_name=act, action_args=args
+                    )
+                )
+            self.expect(T.RBRACE)
+        elif tok.kind is T.KW_SIZE:
+            self.advance()
+            self.expect(T.ASSIGN)
+            table.size = self.expect(T.INT).value[1]
+            self.expect(T.SEMI)
+        else:
+            raise ParseError(f"unknown table property {tok.text!r}", tok.loc)
+
+    # ------------------------------------------------------------------
+    # µP4 program packages
+    # ------------------------------------------------------------------
+    def _program_decl(self) -> ast.ProgramDecl:
+        loc = self.expect(T.KW_PROGRAM).loc
+        name = self.expect(T.IDENT).value
+        self.expect(T.COLON)
+        self.expect(T.KW_IMPLEMENTS)
+        iface = self.expect(T.IDENT).value
+        iface_args: List[ast.Type] = []
+        if self.accept(T.LANGLE):
+            if not self.at(T.RANGLE):
+                iface_args.append(self._type())
+                while self.accept(T.COMMA):
+                    iface_args.append(self._type())
+            self.expect_close_angle()
+        self.expect(T.LBRACE)
+        decls: List[ast.Decl] = []
+        while not self.at(T.RBRACE):
+            if self.at(T.KW_PARSER):
+                decls.append(self._parser_decl())
+            elif self.at(T.KW_CONTROL):
+                decls.append(self._control_decl())
+            elif self.at(T.KW_CONST):
+                decls.append(self._const_decl())
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"unexpected {tok.text!r} inside program body", tok.loc
+                )
+        self.expect(T.RBRACE)
+        return ast.ProgramDecl(
+            loc=loc, name=name, interface=iface, interface_args=iface_args, decls=decls
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(self) -> ast.BlockStmt:
+        loc = self.expect(T.LBRACE).loc
+        stmts: List[ast.Stmt] = []
+        while not self.at(T.RBRACE):
+            stmts.append(self._statement())
+        self.expect(T.RBRACE)
+        return ast.BlockStmt(loc=loc, stmts=stmts)
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind is T.LBRACE:
+            return self._block()
+        if tok.kind is T.KW_IF:
+            return self._if_stmt()
+        if tok.kind is T.KW_SWITCH:
+            return self._switch_stmt()
+        if tok.kind is T.KW_RETURN:
+            self.advance()
+            self.expect(T.SEMI)
+            return ast.ReturnStmt(loc=tok.loc)
+        if tok.kind is T.KW_EXIT:
+            self.advance()
+            self.expect(T.SEMI)
+            return ast.ExitStmt(loc=tok.loc)
+        if tok.kind is T.SEMI:
+            self.advance()
+            return ast.EmptyStmt(loc=tok.loc)
+        if tok.kind in (T.KW_BIT, T.KW_VARBIT, T.KW_BOOL):
+            return self._var_decl_stmt()
+        if tok.kind is T.IDENT and self.at(T.IDENT, 1):
+            return self._var_decl_stmt()
+        # Otherwise: expression statement (assignment or call).
+        expr = self._expression()
+        if self.accept(T.ASSIGN):
+            rhs = self._expression()
+            self.expect(T.SEMI)
+            return ast.AssignStmt(loc=tok.loc, lhs=expr, rhs=rhs)
+        self.expect(T.SEMI)
+        if not isinstance(expr, ast.MethodCallExpr):
+            raise ParseError("expression statement must be a call", tok.loc)
+        return ast.MethodCallStmt(loc=tok.loc, call=expr)
+
+    def _var_decl_stmt(self) -> ast.VarDeclStmt:
+        loc = self.peek().loc
+        vtype = self._type()
+        name = self.expect(T.IDENT).value
+        init = None
+        if self.accept(T.ASSIGN):
+            init = self._expression()
+        self.expect(T.SEMI)
+        return ast.VarDeclStmt(loc=loc, var_type=vtype, name=name, init=init)
+
+    def _if_stmt(self) -> ast.IfStmt:
+        loc = self.expect(T.KW_IF).loc
+        self.expect(T.LPAREN)
+        cond = self._expression()
+        self.expect(T.RPAREN)
+        then_body = self._statement()
+        else_body = None
+        if self.accept(T.KW_ELSE):
+            else_body = self._statement()
+        return ast.IfStmt(loc=loc, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _switch_stmt(self) -> ast.SwitchStmt:
+        loc = self.expect(T.KW_SWITCH).loc
+        self.expect(T.LPAREN)
+        subject = self._expression()
+        self.expect(T.RPAREN)
+        self.expect(T.LBRACE)
+        cases: List[ast.SwitchCase] = []
+        while not self.at(T.RBRACE):
+            case_loc = self.peek().loc
+            keysets = [self._keyset()]
+            while self.accept(T.COMMA):
+                keysets.append(self._keyset())
+            self.expect(T.COLON)
+            body: Optional[ast.Stmt]
+            if self.at(T.LBRACE):
+                body = self._block()
+            elif self._case_label_follows():
+                body = None  # fallthrough
+            else:
+                body = self._statement()
+            cases.append(ast.SwitchCase(loc=case_loc, keysets=keysets, body=body))
+        self.expect(T.RBRACE)
+        return ast.SwitchStmt(loc=loc, subject=subject, cases=cases)
+
+    def _case_label_follows(self) -> bool:
+        """Detect an immediately-following case label (fallthrough arm)."""
+        k0, k1 = self.peek(0).kind, self.peek(1).kind
+        if k0 in (T.KW_DEFAULT, T.UNDERSCORE) and k1 is T.COLON:
+            return True
+        return k0 is T.INT and k1 is T.COLON
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _expression(self, min_prec: int = 0) -> ast.Expr:
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            op = self._binop_text(tok)
+            if op is None:
+                return left
+            prec = _BIN_PRECEDENCE[op]
+            if prec < min_prec:
+                return left
+            self.advance()
+            right = self._expression(prec + 1)
+            left = ast.BinaryExpr(loc=tok.loc, op=op, left=left, right=right)
+
+    def _binop_text(self, tok: Token) -> Optional[str]:
+        mapping = {
+            T.OR: "||",
+            T.AND: "&&",
+            T.EQ: "==",
+            T.NEQ: "!=",
+            T.LANGLE: "<",
+            T.RANGLE: ">",
+            T.LE: "<=",
+            T.GE: ">=",
+            T.BITOR: "|",
+            T.BITXOR: "^",
+            T.BITAND: "&",
+            T.SHL: "<<",
+            T.SHR: ">>",
+            T.PLUS: "+",
+            T.MINUS: "-",
+            T.CONCAT: "++",
+            T.STAR: "*",
+            T.SLASH: "/",
+            T.PERCENT: "%",
+        }
+        return mapping.get(tok.kind)
+
+    def _unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is T.NOT:
+            self.advance()
+            return ast.UnaryExpr(loc=tok.loc, op="!", operand=self._unary())
+        if tok.kind is T.BITNOT:
+            self.advance()
+            return ast.UnaryExpr(loc=tok.loc, op="~", operand=self._unary())
+        if tok.kind is T.MINUS:
+            self.advance()
+            return ast.UnaryExpr(loc=tok.loc, op="-", operand=self._unary())
+        if tok.kind is T.LPAREN and self._paren_is_cast():
+            self.advance()
+            target = self._type()
+            self.expect(T.RPAREN)
+            return ast.CastExpr(loc=tok.loc, target=target, operand=self._unary())
+        return self._postfix()
+
+    def _paren_is_cast(self) -> bool:
+        """``(bit<16>) x`` — only type-keyword casts are supported."""
+        return self.peek(1).kind in (T.KW_BIT, T.KW_BOOL, T.KW_VARBIT)
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if tok.kind is T.DOT:
+                self.advance()
+                member_tok = self.peek()
+                if member_tok.kind is T.IDENT:
+                    self.advance()
+                    member = member_tok.value
+                elif member_tok.kind is T.KW_APPLY:
+                    self.advance()
+                    member = "apply"
+                else:
+                    raise ParseError(
+                        f"expected member name, found {member_tok.text!r}",
+                        member_tok.loc,
+                    )
+                expr = ast.MemberExpr(loc=tok.loc, base=expr, member=member)
+            elif tok.kind is T.LPAREN:
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.at(T.RPAREN):
+                    args.append(self._expression())
+                    while self.accept(T.COMMA):
+                        args.append(self._expression())
+                self.expect(T.RPAREN)
+                expr = ast.MethodCallExpr(loc=tok.loc, target=expr, args=args)
+            elif tok.kind is T.LBRACKET:
+                self.advance()
+                first = self._expression()
+                if self.accept(T.COLON):
+                    lo_expr = self._expression()
+                    self.expect(T.RBRACKET)
+                    expr = ast.SliceExpr(
+                        loc=tok.loc,
+                        base=expr,
+                        hi=_const_int(first),
+                        lo=_const_int(lo_expr),
+                    )
+                else:
+                    self.expect(T.RBRACKET)
+                    expr = ast.IndexExpr(loc=tok.loc, base=expr, index=first)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is T.INT:
+            self.advance()
+            width, value = tok.value
+            return ast.IntLit(loc=tok.loc, value=value, width=width)
+        if tok.kind is T.KW_TRUE:
+            self.advance()
+            return ast.BoolLit(loc=tok.loc, value=True)
+        if tok.kind is T.KW_FALSE:
+            self.advance()
+            return ast.BoolLit(loc=tok.loc, value=False)
+        if tok.kind is T.IDENT:
+            self.advance()
+            return ast.PathExpr(loc=tok.loc, name=tok.value)
+        if tok.kind is T.LPAREN:
+            self.advance()
+            inner = self._expression()
+            self.expect(T.RPAREN)
+            return inner
+        raise ParseError(f"expected expression, found {tok.text!r}", tok.loc)
+
+
+def _const_int(expr: ast.Expr) -> int:
+    if not isinstance(expr, ast.IntLit):
+        raise ParseError("slice bounds must be integer literals", expr.loc)
+    return expr.value
+
+
+def parse_program(text: str, filename: str = "<string>") -> ast.SourceProgram:
+    """Lex and parse ``text`` into a :class:`SourceProgram`."""
+    return Parser(tokenize(text, filename), filename).parse()

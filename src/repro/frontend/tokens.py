@@ -1,0 +1,161 @@
+"""Token kinds for the µP4/P4₁₆ lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.source import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical classes.  Keywords get their own kinds for parser clarity."""
+
+    # Literals / identifiers
+    IDENT = "identifier"
+    INT = "integer"
+    STRING = "string"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LANGLE = "<"
+    RANGLE = ">"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOT = "."
+    QUESTION = "?"
+    AT = "@"
+
+    # Operators
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    CONCAT = "++"
+    EQ = "=="
+    NEQ = "!="
+    LE = "<="
+    GE = ">="
+    SHL = "<<"
+    SHR = ">>"
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    BITAND = "&"
+    BITOR = "|"
+    BITXOR = "^"
+    BITNOT = "~"
+    MASK = "&&&"
+    RANGE = ".."
+    UNDERSCORE = "_"
+
+    # Keywords
+    KW_HEADER = "header"
+    KW_STRUCT = "struct"
+    KW_ENUM = "enum"
+    KW_TYPEDEF = "typedef"
+    KW_CONST = "const"
+    KW_PARSER = "parser"
+    KW_CONTROL = "control"
+    KW_STATE = "state"
+    KW_TRANSITION = "transition"
+    KW_SELECT = "select"
+    KW_ACTION = "action"
+    KW_TABLE = "table"
+    KW_KEY = "key"
+    KW_ACTIONS = "actions"
+    KW_ENTRIES = "entries"
+    KW_DEFAULT_ACTION = "default_action"
+    KW_SIZE = "size"
+    KW_APPLY = "apply"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_SWITCH = "switch"
+    KW_RETURN = "return"
+    KW_EXIT = "exit"
+    KW_IN = "in"
+    KW_OUT = "out"
+    KW_INOUT = "inout"
+    KW_BIT = "bit"
+    KW_VARBIT = "varbit"
+    KW_BOOL = "bool"
+    KW_VOID = "void"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_DEFAULT = "default"
+    KW_PROGRAM = "program"
+    KW_IMPLEMENTS = "implements"
+    KW_EXTERN = "extern"
+    KW_PACKAGE = "package"
+    KW_MAIN = "main"
+
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "header": TokenKind.KW_HEADER,
+    "struct": TokenKind.KW_STRUCT,
+    "enum": TokenKind.KW_ENUM,
+    "typedef": TokenKind.KW_TYPEDEF,
+    "const": TokenKind.KW_CONST,
+    "parser": TokenKind.KW_PARSER,
+    "control": TokenKind.KW_CONTROL,
+    "state": TokenKind.KW_STATE,
+    "transition": TokenKind.KW_TRANSITION,
+    "select": TokenKind.KW_SELECT,
+    "action": TokenKind.KW_ACTION,
+    "table": TokenKind.KW_TABLE,
+    "key": TokenKind.KW_KEY,
+    "actions": TokenKind.KW_ACTIONS,
+    "entries": TokenKind.KW_ENTRIES,
+    "default_action": TokenKind.KW_DEFAULT_ACTION,
+    "size": TokenKind.KW_SIZE,
+    "apply": TokenKind.KW_APPLY,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "switch": TokenKind.KW_SWITCH,
+    "return": TokenKind.KW_RETURN,
+    "exit": TokenKind.KW_EXIT,
+    "in": TokenKind.KW_IN,
+    "out": TokenKind.KW_OUT,
+    "inout": TokenKind.KW_INOUT,
+    "bit": TokenKind.KW_BIT,
+    "varbit": TokenKind.KW_VARBIT,
+    "bool": TokenKind.KW_BOOL,
+    "void": TokenKind.KW_VOID,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "default": TokenKind.KW_DEFAULT,
+    "program": TokenKind.KW_PROGRAM,
+    "implements": TokenKind.KW_IMPLEMENTS,
+    "extern": TokenKind.KW_EXTERN,
+    "package": TokenKind.KW_PACKAGE,
+    "main": TokenKind.KW_MAIN,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` carries the decoded payload: the identifier text, or for
+    integers a tuple ``(width_or_None, int_value)`` decoded from P4's
+    ``16w0x0800`` width-prefixed literal syntax.
+    """
+
+    kind: TokenKind
+    text: str
+    loc: SourceLocation
+    value: Optional[object] = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"

@@ -1,0 +1,1107 @@
+"""Type checker for the µP4/P4₁₆ subset.
+
+Performs name resolution, type resolution, expression typing, direction
+(lvalue) checking, and µP4-specific structural checks: interface role
+discovery inside ``program`` packages and derivation of each program's
+user-level apply signature.  The annotated AST plus the symbol
+information collected here constitute the µP4-IR handed to the midend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import TypeCheckError
+from repro.frontend import astnodes as ast
+from repro.frontend import builtins as bi
+from repro.frontend.parser import parse_program
+
+
+# ======================================================================
+# Symbols and scopes
+# ======================================================================
+
+
+@dataclass
+class Symbol:
+    """A named entity visible in some scope."""
+
+    name: str
+    kind: str  # var | param | const | type | action | table | instance |
+    #            program | module_sig | function
+    type: Optional[ast.Type] = None
+    decl: Optional[object] = None
+    value: Optional[int] = None  # for consts
+
+
+class Scope:
+    """Lexical scope chain."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, loc=None) -> None:
+        if sym.name in self.names:
+            raise TypeCheckError(f"duplicate declaration of {sym.name!r}", loc)
+        self.names[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+# ======================================================================
+# Module: the checker's output (µP4-IR)
+# ======================================================================
+
+
+@dataclass
+class ProgramInfo:
+    """Role assignment and derived signature for one µP4 program package."""
+
+    decl: ast.ProgramDecl
+    interface: str = ""
+    parser: Optional[ast.ParserDecl] = None
+    control: Optional[ast.ControlDecl] = None
+    deparser: Optional[ast.ControlDecl] = None
+    header_param: Optional[ast.Param] = None
+    meta_param: Optional[ast.Param] = None
+    user_params: List[ast.Param] = field(default_factory=list)
+    instances: Dict[str, ast.InstanceDecl] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def apply_signature(self) -> List[ast.Param]:
+        """Full apply() parameter list: ``pkt, im_t`` then user params."""
+        return [
+            ast.Param(direction="", param_type=ast.TypeName(name="pkt"), name="p"),
+            ast.Param(direction="", param_type=ast.TypeName(name="im_t"), name="im"),
+            *self.user_params,
+        ]
+
+
+@dataclass
+class Module:
+    """A type-checked compilation unit (the µP4-IR of one source file)."""
+
+    name: str
+    source: ast.SourceProgram
+    types: Dict[str, ast.Type] = field(default_factory=dict)
+    consts: Dict[str, Symbol] = field(default_factory=dict)
+    module_sigs: Dict[str, ast.ModuleSigDecl] = field(default_factory=dict)
+    programs: Dict[str, ProgramInfo] = field(default_factory=dict)
+    main: Optional[str] = None  # program selected by `Pkg(...) main;`
+
+    def main_program(self) -> ProgramInfo:
+        if self.main is not None:
+            return self.programs[self.main]
+        if len(self.programs) == 1:
+            return next(iter(self.programs.values()))
+        raise TypeCheckError(
+            f"module {self.name!r} has no main package instantiation"
+        )
+
+
+# ======================================================================
+# Checker
+# ======================================================================
+
+
+class TypeChecker:
+    """Checks one :class:`~repro.frontend.astnodes.SourceProgram`."""
+
+    def __init__(self, source: ast.SourceProgram, name: str = "") -> None:
+        self.source = source
+        self.module = Module(name=name or source.filename, source=source)
+        self.globals = Scope()
+        self._install_builtins()
+
+    # ------------------------------------------------------------------
+    def _install_builtins(self) -> None:
+        for tname, ttype in bi.builtin_types().items():
+            self.globals.define(Symbol(tname, "type", type=ttype))
+            self.module.types[tname] = ttype
+        for cname, (ctype, cvalue) in bi.builtin_consts().items():
+            sym = Symbol(cname, "const", type=ctype, value=cvalue)
+            self.globals.define(sym)
+            self.module.consts[cname] = sym
+        for fname, sigs in bi.builtin_functions().items():
+            self.globals.define(Symbol(fname, "function", decl=sigs))
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def check(self) -> Module:
+        self._collect_types()
+        self._collect_signatures()
+        for decl in self.source.decls:
+            if isinstance(decl, ast.ProgramDecl):
+                self._check_program(decl)
+            elif isinstance(decl, ast.PackageInstantiation):
+                self._check_package_inst(decl)
+        return self.module
+
+    # ------------------------------------------------------------------
+    # Pass 1: types and constants
+    # ------------------------------------------------------------------
+    def _collect_types(self) -> None:
+        for decl in self.source.decls:
+            if isinstance(decl, ast.HeaderDecl):
+                fields = [(n, self.resolve_type(t)) for n, t in decl.fields]
+                self._check_header_fields(decl, fields)
+                htype = ast.HeaderType(loc=decl.loc, name=decl.name, fields=fields)
+                self._define_type(decl.name, htype, decl.loc)
+            elif isinstance(decl, ast.StructDecl):
+                fields = [(n, self.resolve_type(t)) for n, t in decl.fields]
+                stype = ast.StructType(loc=decl.loc, name=decl.name, fields=fields)
+                self._define_type(decl.name, stype, decl.loc)
+            elif isinstance(decl, ast.EnumDecl):
+                etype = ast.EnumType(loc=decl.loc, name=decl.name, members=decl.members)
+                self._define_type(decl.name, etype, decl.loc)
+            elif isinstance(decl, ast.TypedefDecl):
+                self._define_type(decl.name, self.resolve_type(decl.aliased), decl.loc)
+            elif isinstance(decl, ast.ConstDecl):
+                ctype = self.resolve_type(decl.const_type)
+                value = self.const_eval(decl.value)
+                sym = Symbol(decl.name, "const", type=ctype, value=value)
+                self.globals.define(sym, decl.loc)
+                self.module.consts[decl.name] = sym
+
+    def _check_header_fields(
+        self, decl: ast.HeaderDecl, fields: List[Tuple[str, ast.Type]]
+    ) -> None:
+        for i, (fname, ftype) in enumerate(fields):
+            if isinstance(ftype, ast.VarBitType):
+                if ftype.max_width % 8 != 0:
+                    raise TypeCheckError(
+                        f"varbit field {decl.name}.{fname} max width must be "
+                        f"a multiple of 8",
+                        decl.loc,
+                    )
+            elif not isinstance(ftype, ast.BitType):
+                raise TypeCheckError(
+                    f"header field {decl.name}.{fname} must be bit<N> or varbit",
+                    decl.loc,
+                )
+
+    def _define_type(self, name: str, ttype: ast.Type, loc) -> None:
+        self.globals.define(Symbol(name, "type", type=ttype), loc)
+        self.module.types[name] = ttype
+
+    # ------------------------------------------------------------------
+    # Pass 2: program/module signatures
+    # ------------------------------------------------------------------
+    def _collect_signatures(self) -> None:
+        for decl in self.source.decls:
+            if isinstance(decl, ast.ModuleSigDecl):
+                for p in decl.params:
+                    p.param_type = self.resolve_type(p.param_type)
+                self._validate_module_sig(decl)
+                self.globals.define(Symbol(decl.name, "module_sig", decl=decl), decl.loc)
+                self.module.module_sigs[decl.name] = decl
+            elif isinstance(decl, ast.ProgramDecl):
+                if decl.interface not in bi.INTERFACES:
+                    raise TypeCheckError(
+                        f"program {decl.name!r} implements unknown interface "
+                        f"{decl.interface!r}",
+                        decl.loc,
+                    )
+                existing = self.globals.names.get(decl.name)
+                if existing is not None and existing.kind == "module_sig":
+                    # A module signature may forward-declare a program of
+                    # the same name; the program definition supersedes it.
+                    self.globals.names[decl.name] = Symbol(
+                        decl.name, "program", decl=decl
+                    )
+                else:
+                    self.globals.define(
+                        Symbol(decl.name, "program", decl=decl), decl.loc
+                    )
+
+    def _validate_module_sig(self, decl: ast.ModuleSigDecl) -> None:
+        if len(decl.params) < 2:
+            raise TypeCheckError(
+                f"module signature {decl.name!r} must start with (pkt, im_t)",
+                decl.loc,
+            )
+        t0, t1 = decl.params[0].param_type, decl.params[1].param_type
+        if not (isinstance(t0, ast.ExternType) and t0.name == "pkt"):
+            raise TypeCheckError(
+                f"module signature {decl.name!r}: first parameter must be pkt",
+                decl.loc,
+            )
+        if not (isinstance(t1, ast.ExternType) and t1.name == "im_t"):
+            raise TypeCheckError(
+                f"module signature {decl.name!r}: second parameter must be im_t",
+                decl.loc,
+            )
+
+    # ------------------------------------------------------------------
+    # Type resolution
+    # ------------------------------------------------------------------
+    def resolve_type(self, t: ast.Type) -> ast.Type:
+        """Resolve :class:`TypeName` references to semantic types."""
+        if isinstance(t, ast.TypeName):
+            sym = self.globals.lookup(t.name)
+            if sym is None or sym.kind != "type":
+                raise TypeCheckError(f"unknown type {t.name!r}", t.loc)
+            base = sym.type
+            if t.args:
+                resolved_args = [self.resolve_type(a) for a in t.args]
+                if isinstance(base, ast.ExternType):
+                    inst = ast.ExternType(
+                        loc=t.loc, name=base.name, methods=base.methods
+                    )
+                    inst.type_args = resolved_args  # type: ignore[attr-defined]
+                    return inst
+                raise TypeCheckError(
+                    f"type {t.name!r} does not take type arguments", t.loc
+                )
+            return base  # type: ignore[return-value]
+        if isinstance(t, ast.HeaderStackType):
+            return ast.HeaderStackType(
+                loc=t.loc, element=self.resolve_type(t.element), size=t.size
+            )
+        if isinstance(t, (ast.HeaderType, ast.StructType, ast.EnumType)) and t.name:
+            # A previous check may have resolved this reference in place;
+            # re-resolve by name so midend passes that clone-and-recheck a
+            # module see the *current* declaration, not a stale copy.
+            sym = self.globals.lookup(t.name)
+            if sym is not None and sym.kind == "type" and sym.type is not None:
+                return sym.type
+        return t
+
+    # ------------------------------------------------------------------
+    # Constant evaluation
+    # ------------------------------------------------------------------
+    def const_eval(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return int(expr.value)
+        if isinstance(expr, ast.PathExpr):
+            sym = self.globals.lookup(expr.name)
+            if sym is not None and sym.kind == "const" and sym.value is not None:
+                return sym.value
+            raise TypeCheckError(f"{expr.name!r} is not a constant", expr.loc)
+        if isinstance(expr, ast.BinaryExpr):
+            left = self.const_eval(expr.left)
+            right = self.const_eval(expr.right)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "|": lambda a, b: a | b,
+                "&": lambda a, b: a & b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        raise TypeCheckError("expression is not compile-time constant", expr.loc)
+
+    # ------------------------------------------------------------------
+    # Programs
+    # ------------------------------------------------------------------
+    def _check_program(self, decl: ast.ProgramDecl) -> None:
+        info = ProgramInfo(decl=decl, interface=decl.interface)
+        prog_scope = Scope(self.globals)
+        for d in decl.decls:
+            if isinstance(d, ast.ConstDecl):
+                ctype = self.resolve_type(d.const_type)
+                value = self.const_eval(d.value)
+                prog_scope.define(Symbol(d.name, "const", type=ctype, value=value), d.loc)
+        parsers = [d for d in decl.decls if isinstance(d, ast.ParserDecl)]
+        controls = [d for d in decl.decls if isinstance(d, ast.ControlDecl)]
+        if len(parsers) > 1:
+            raise TypeCheckError(
+                f"program {decl.name!r} has multiple parsers", decl.loc
+            )
+        info.parser = parsers[0] if parsers else None
+        self._assign_roles(info, controls)
+        if info.parser is not None:
+            self._check_parser(info.parser, prog_scope, info)
+        if info.control is not None:
+            self._check_control(info.control, prog_scope, info)
+        if info.deparser is not None:
+            self._check_control(info.deparser, prog_scope, info)
+        self._derive_user_params(info)
+        self.module.programs[decl.name] = info
+
+    def _assign_roles(self, info: ProgramInfo, controls: List[ast.ControlDecl]) -> None:
+        """Split a program's controls into the main control and deparser.
+
+        The deparser is the control with an ``emitter`` parameter; the main
+        control is the remaining one (paper Fig. 11 roles, discovered
+        structurally because examples elide unused parameters).
+        """
+        deparsers, mains = [], []
+        for c in controls:
+            types = [self.resolve_type(p.param_type) for p in c.params]
+            if any(isinstance(t, ast.ExternType) and t.name == "emitter" for t in types):
+                deparsers.append(c)
+            else:
+                mains.append(c)
+        if len(deparsers) > 1 or len(mains) > 1:
+            raise TypeCheckError(
+                f"program {info.name!r}: ambiguous control roles", info.decl.loc
+            )
+        info.deparser = deparsers[0] if deparsers else None
+        info.control = mains[0] if mains else None
+        if info.control is None:
+            raise TypeCheckError(
+                f"program {info.name!r} has no main control block", info.decl.loc
+            )
+        roles = bi.INTERFACES[info.interface]["roles"]
+        if "parser" in roles and info.parser is None and info.interface != "Orchestration":
+            raise TypeCheckError(
+                f"program {info.name!r} implements {info.interface} but has "
+                f"no parser",
+                info.decl.loc,
+            )
+
+    def _derive_user_params(self, info: ProgramInfo) -> None:
+        """Compute the user-level I/O parameters of the program."""
+        control = info.control
+        assert control is not None
+        parser_out_type: Optional[ast.Type] = None
+        parser_meta_type: Optional[ast.Type] = None
+        if info.parser is not None:
+            for p in info.parser.params:
+                rt = self.resolve_type(p.param_type)
+                if p.direction == "out" and isinstance(
+                    rt, (ast.StructType, ast.HeaderType)
+                ):
+                    parser_out_type = rt
+                elif p.direction == "inout" and isinstance(rt, ast.StructType):
+                    parser_meta_type = rt
+        user: List[ast.Param] = []
+        for p in control.params:
+            rt = self.resolve_type(p.param_type)
+            if isinstance(rt, ast.ExternType) and rt.name in (
+                "pkt",
+                "im_t",
+                "mc_buf",
+                "in_buf",
+                "out_buf",
+            ):
+                continue
+            if parser_out_type is not None and rt is parser_out_type:
+                info.header_param = p
+                continue
+            if parser_meta_type is not None and rt is parser_meta_type:
+                info.meta_param = p
+                continue
+            user.append(ast.Param(loc=p.loc, direction=p.direction, param_type=rt, name=p.name))
+        info.user_params = user
+
+    def _check_package_inst(self, decl: ast.PackageInstantiation) -> None:
+        sym = self.globals.lookup(decl.package)
+        if sym is None or sym.kind != "program":
+            raise TypeCheckError(
+                f"main instantiates unknown program {decl.package!r}", decl.loc
+            )
+        if self.module.main is not None:
+            raise TypeCheckError("multiple main instantiations", decl.loc)
+        self.module.main = decl.package
+
+    # ------------------------------------------------------------------
+    # Parsers
+    # ------------------------------------------------------------------
+    def _check_parser(
+        self, decl: ast.ParserDecl, outer: Scope, info: ProgramInfo
+    ) -> None:
+        scope = Scope(outer)
+        for p in decl.params:
+            p.param_type = self.resolve_type(p.param_type)
+            scope.define(Symbol(p.name, "param", type=p.param_type, decl=p), p.loc)
+        self._check_locals(decl.locals, scope, info)
+        state_names = {s.name for s in decl.states}
+        state_names.update({"accept", "reject"})
+        if decl.states and "start" not in {s.name for s in decl.states}:
+            raise TypeCheckError(
+                f"parser {decl.name!r} has no start state", decl.loc
+            )
+        for state in decl.states:
+            st_scope = Scope(scope)
+            for stmt in state.stmts:
+                self._check_stmt(stmt, st_scope, info)
+            if state.direct_next is not None:
+                if state.direct_next not in state_names:
+                    raise TypeCheckError(
+                        f"transition to unknown state {state.direct_next!r}",
+                        state.loc,
+                    )
+            elif state.select_exprs:
+                subject_types = [
+                    self._check_expr(e, st_scope, info) for e in state.select_exprs
+                ]
+                for keysets, target in state.select_cases:
+                    if target not in state_names:
+                        raise TypeCheckError(
+                            f"select case targets unknown state {target!r}", state.loc
+                        )
+                    if len(keysets) != len(subject_types):
+                        raise TypeCheckError(
+                            "select case arity does not match select expression",
+                            state.loc,
+                        )
+                    for ks, st in zip(keysets, subject_types):
+                        self._check_keyset(ks, st, st_scope, info)
+
+    # ------------------------------------------------------------------
+    # Controls
+    # ------------------------------------------------------------------
+    def _check_control(
+        self, decl: ast.ControlDecl, outer: Scope, info: ProgramInfo
+    ) -> None:
+        scope = Scope(outer)
+        for p in decl.params:
+            p.param_type = self.resolve_type(p.param_type)
+            scope.define(Symbol(p.name, "param", type=p.param_type, decl=p), p.loc)
+        self._check_locals(decl.locals, scope, info)
+        self._check_stmt(decl.apply_body, Scope(scope), info)
+
+    def _check_locals(
+        self, locals_: List[ast.Decl], scope: Scope, info: ProgramInfo
+    ) -> None:
+        for d in locals_:
+            if isinstance(d, ast.VarLocal):
+                d.var_type = self.resolve_type(d.var_type)
+                if d.init is not None:
+                    itype = self._check_expr(d.init, scope, info)
+                    self._check_assignable(d.var_type, itype, d.init)
+                scope.define(Symbol(d.name, "var", type=d.var_type, decl=d), d.loc)
+            elif isinstance(d, ast.ConstDecl):
+                ctype = self.resolve_type(d.const_type)
+                value = self.const_eval(d.value)
+                scope.define(Symbol(d.name, "const", type=ctype, value=value), d.loc)
+            elif isinstance(d, ast.InstanceDecl):
+                self._check_instance(d, scope, info)
+            elif isinstance(d, ast.ActionDecl):
+                self._check_action(d, scope, info)
+                scope.define(Symbol(d.name, "action", decl=d), d.loc)
+            elif isinstance(d, ast.TableDecl):
+                self._check_table(d, scope, info)
+                scope.define(Symbol(d.name, "table", decl=d), d.loc)
+            else:
+                raise TypeCheckError(
+                    f"unsupported local declaration {type(d).__name__}", d.loc
+                )
+
+    def _check_instance(
+        self, d: ast.InstanceDecl, scope: Scope, info: ProgramInfo
+    ) -> None:
+        sym = self.globals.lookup(d.target)
+        if sym is None:
+            raise TypeCheckError(
+                f"instantiation of unknown module or extern {d.target!r}", d.loc
+            )
+        if sym.kind in ("module_sig", "program"):
+            d.kind = "module"  # type: ignore[attr-defined]
+            info.instances[d.name] = d
+            scope.define(Symbol(d.name, "instance", type=None, decl=d), d.loc)
+        elif sym.kind == "type" and isinstance(sym.type, ast.ExternType):
+            d.kind = "extern"  # type: ignore[attr-defined]
+            scope.define(Symbol(d.name, "instance", type=sym.type, decl=d), d.loc)
+        else:
+            raise TypeCheckError(
+                f"{d.target!r} cannot be instantiated", d.loc
+            )
+
+    def _check_action(
+        self, d: ast.ActionDecl, scope: Scope, info: ProgramInfo
+    ) -> None:
+        act_scope = Scope(scope)
+        for p in d.params:
+            p.param_type = self.resolve_type(p.param_type)
+            act_scope.define(Symbol(p.name, "param", type=p.param_type, decl=p), p.loc)
+        self._check_stmt(d.body, act_scope, info)
+
+    def _check_table(self, d: ast.TableDecl, scope: Scope, info: ProgramInfo) -> None:
+        key_types: List[ast.Type] = []
+        for key in d.keys:
+            kt = self._check_expr(key.expr, scope, info)
+            if key.match_kind not in ("exact", "lpm", "ternary", "range"):
+                raise TypeCheckError(
+                    f"unknown match kind {key.match_kind!r}", key.loc
+                )
+            key_types.append(kt)
+        action_decls: Dict[str, ast.ActionDecl] = {}
+        for aname in d.actions:
+            asym = scope.lookup(aname)
+            if aname == "NoAction":
+                continue
+            if asym is None or asym.kind != "action":
+                raise TypeCheckError(
+                    f"table {d.name!r} lists unknown action {aname!r}", d.loc
+                )
+            action_decls[aname] = asym.decl  # type: ignore[assignment]
+        if d.default_action is not None and d.default_action != "NoAction":
+            if d.default_action not in d.actions:
+                # P4 allows defaults not in the action list only with care;
+                # we require listing, like p4c does for const entries.
+                raise TypeCheckError(
+                    f"default_action {d.default_action!r} not in actions list",
+                    d.loc,
+                )
+        for entry in d.const_entries:
+            if len(entry.keysets) != len(d.keys):
+                raise TypeCheckError(
+                    f"entry arity {len(entry.keysets)} != key arity {len(d.keys)}",
+                    entry.loc,
+                )
+            for ks, kt in zip(entry.keysets, key_types):
+                self._check_keyset(ks, kt, scope, info)
+            if entry.action_name != "NoAction" and entry.action_name not in d.actions:
+                raise TypeCheckError(
+                    f"entry action {entry.action_name!r} not in actions list",
+                    entry.loc,
+                )
+            adecl = action_decls.get(entry.action_name)
+            if adecl is not None:
+                if len(entry.action_args) != len(adecl.params):
+                    raise TypeCheckError(
+                        f"entry passes {len(entry.action_args)} args to "
+                        f"{entry.action_name!r} which takes {len(adecl.params)}",
+                        entry.loc,
+                    )
+                for arg, p in zip(entry.action_args, adecl.params):
+                    at = self._check_expr(arg, scope, info)
+                    self._check_assignable(p.param_type, at, arg)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope, info: ProgramInfo) -> None:
+        if isinstance(stmt, ast.BlockStmt):
+            inner = Scope(scope)
+            for s in stmt.stmts:
+                self._check_stmt(s, inner, info)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            stmt.var_type = self.resolve_type(stmt.var_type)
+            if stmt.init is not None:
+                itype = self._check_expr(stmt.init, scope, info)
+                self._check_assignable(stmt.var_type, itype, stmt.init)
+            scope.define(Symbol(stmt.name, "var", type=stmt.var_type, decl=stmt), stmt.loc)
+        elif isinstance(stmt, ast.AssignStmt):
+            lt = self._check_expr(stmt.lhs, scope, info)
+            self._require_lvalue(stmt.lhs)
+            rt = self._check_expr(stmt.rhs, scope, info)
+            self._check_assignable(lt, rt, stmt.rhs)
+        elif isinstance(stmt, ast.MethodCallStmt):
+            self._check_expr(stmt.call, scope, info)
+        elif isinstance(stmt, ast.IfStmt):
+            ct = self._check_expr(stmt.cond, scope, info)
+            if not isinstance(ct, ast.BoolType):
+                raise TypeCheckError("if condition must be bool", stmt.cond.loc)
+            self._check_stmt(stmt.then_body, scope, info)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, scope, info)
+        elif isinstance(stmt, ast.SwitchStmt):
+            st = self._check_expr(stmt.subject, scope, info)
+            for case in stmt.cases:
+                for ks in case.keysets:
+                    self._check_keyset(ks, st, scope, info)
+                if case.body is not None:
+                    self._check_stmt(case.body, scope, info)
+        elif isinstance(stmt, (ast.ReturnStmt, ast.ExitStmt, ast.EmptyStmt)):
+            pass
+        else:
+            raise TypeCheckError(
+                f"unsupported statement {type(stmt).__name__}", stmt.loc
+            )
+
+    # ------------------------------------------------------------------
+    # Keysets
+    # ------------------------------------------------------------------
+    def _check_keyset(
+        self, ks: ast.Expr, expected: ast.Type, scope: Scope, info: ProgramInfo
+    ) -> None:
+        if isinstance(ks, ast.DefaultExpr):
+            ks.type = expected
+            return
+        if isinstance(ks, ast.MaskExpr):
+            self._check_keyset(ks.value, expected, scope, info)
+            self._check_keyset(ks.mask, expected, scope, info)
+            ks.type = expected
+            return
+        if isinstance(ks, ast.RangeExpr):
+            self._check_keyset(ks.lo, expected, scope, info)
+            self._check_keyset(ks.hi, expected, scope, info)
+            ks.type = expected
+            return
+        actual = self._check_expr(ks, scope, info)
+        self._check_assignable(expected, actual, ks)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: ast.Expr, scope: Scope, info: ProgramInfo) -> ast.Type:
+        t = self._expr_type(expr, scope, info)
+        expr.type = t
+        return t
+
+    def _expr_type(self, expr: ast.Expr, scope: Scope, info: ProgramInfo) -> ast.Type:
+        if isinstance(expr, ast.IntLit):
+            if expr.width is not None:
+                return ast.BitType(width=expr.width)
+            return ast.InfIntType()
+        if isinstance(expr, ast.BoolLit):
+            return ast.BoolType()
+        if isinstance(expr, ast.PathExpr):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise TypeCheckError(f"unknown name {expr.name!r}", expr.loc)
+            expr.decl = sym
+            if sym.kind in ("var", "param", "instance"):
+                return sym.type if sym.type is not None else ast.Type()
+            if sym.kind == "const":
+                return sym.type or ast.InfIntType()
+            if sym.kind == "type":
+                return sym.type  # enum name in member access position
+            if sym.kind in ("action", "table", "function", "module_sig", "program"):
+                return ast.Type()  # only meaningful as a call target
+            raise TypeCheckError(f"cannot use {expr.name!r} here", expr.loc)
+        if isinstance(expr, ast.MemberExpr):
+            return self._member_type(expr, scope, info)
+        if isinstance(expr, ast.IndexExpr):
+            base_t = self._check_expr(expr.base, scope, info)
+            if not isinstance(base_t, ast.HeaderStackType):
+                raise TypeCheckError("indexing a non-header-stack", expr.loc)
+            self._check_expr(expr.index, scope, info)
+            return base_t.element
+        if isinstance(expr, ast.SliceExpr):
+            base_t = self._check_expr(expr.base, scope, info)
+            if not isinstance(base_t, ast.BitType):
+                raise TypeCheckError("slicing a non-bit value", expr.loc)
+            if not (0 <= expr.lo <= expr.hi < base_t.width):
+                raise TypeCheckError(
+                    f"slice [{expr.hi}:{expr.lo}] out of range for {base_t}",
+                    expr.loc,
+                )
+            return ast.BitType(width=expr.hi - expr.lo + 1)
+        if isinstance(expr, ast.UnaryExpr):
+            ot = self._check_expr(expr.operand, scope, info)
+            if expr.op == "!":
+                if not isinstance(ot, ast.BoolType):
+                    raise TypeCheckError("'!' needs a bool operand", expr.loc)
+                return ast.BoolType()
+            if not isinstance(ot, (ast.BitType, ast.InfIntType)):
+                raise TypeCheckError(f"{expr.op!r} needs a bit operand", expr.loc)
+            return ot
+        if isinstance(expr, ast.CastExpr):
+            expr.target = self.resolve_type(expr.target)
+            self._check_expr(expr.operand, scope, info)
+            return expr.target
+        if isinstance(expr, ast.BinaryExpr):
+            return self._binary_type(expr, scope, info)
+        if isinstance(expr, ast.MethodCallExpr):
+            return self._call_type(expr, scope, info)
+        if isinstance(expr, ast.DefaultExpr):
+            return ast.Type()
+        raise TypeCheckError(
+            f"unsupported expression {type(expr).__name__}", expr.loc
+        )
+
+    def _member_type(
+        self, expr: ast.MemberExpr, scope: Scope, info: ProgramInfo
+    ) -> ast.Type:
+        # Enum member access: meta_t.IN_PORT
+        if isinstance(expr.base, ast.PathExpr):
+            sym = scope.lookup(expr.base.name)
+            if sym is not None and sym.kind == "type" and isinstance(sym.type, ast.EnumType):
+                if expr.member not in sym.type.members:
+                    raise TypeCheckError(
+                        f"enum {sym.name!r} has no member {expr.member!r}", expr.loc
+                    )
+                expr.base.type = sym.type
+                expr.base.decl = sym
+                return sym.type
+        base_t = self._check_expr(expr.base, scope, info)
+        if isinstance(base_t, (ast.StructType, ast.HeaderType)):
+            ft = base_t.field_type(expr.member)
+            if ft is not None:
+                return ft
+            if isinstance(base_t, ast.HeaderType) and expr.member in (
+                "isValid",
+                "setValid",
+                "setInvalid",
+                "minSizeInBytes",
+            ):
+                return ast.Type()  # typed at the call
+            raise TypeCheckError(
+                f"{base_t} has no field {expr.member!r}", expr.loc
+            )
+        if isinstance(base_t, ast.ExternType):
+            if expr.member in base_t.methods:
+                return ast.Type()  # typed at the call
+            raise TypeCheckError(
+                f"extern {base_t.name!r} has no method {expr.member!r}", expr.loc
+            )
+        if isinstance(base_t, ast.HeaderStackType):
+            if expr.member in ("next", "last", "lastIndex"):
+                return (
+                    ast.BitType(width=32)
+                    if expr.member == "lastIndex"
+                    else base_t.element
+                )
+            if expr.member in ("push_front", "pop_front"):
+                return ast.Type()
+            raise TypeCheckError(
+                f"header stack has no member {expr.member!r}", expr.loc
+            )
+        # Instance apply: l3_i.apply — typed at the call site.
+        if isinstance(expr.base, ast.PathExpr) and expr.base.decl is not None:
+            sym = expr.base.decl
+            if isinstance(sym, Symbol) and sym.kind == "instance":
+                if expr.member == "apply":
+                    return ast.Type()
+        raise TypeCheckError(
+            f"cannot access member {expr.member!r} of {base_t}", expr.loc
+        )
+
+    def _binary_type(
+        self, expr: ast.BinaryExpr, scope: Scope, info: ProgramInfo
+    ) -> ast.Type:
+        lt = self._check_expr(expr.left, scope, info)
+        rt = self._check_expr(expr.right, scope, info)
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (isinstance(lt, ast.BoolType) and isinstance(rt, ast.BoolType)):
+                raise TypeCheckError(f"{op!r} needs bool operands", expr.loc)
+            return ast.BoolType()
+        if op in ("==", "!="):
+            self._unify_operands(expr, lt, rt)
+            return ast.BoolType()
+        if op in ("<", ">", "<=", ">="):
+            self._unify_operands(expr, lt, rt)
+            return ast.BoolType()
+        if op == "++":
+            lw = self._bit_width_of(lt, expr.left)
+            rw = self._bit_width_of(rt, expr.right)
+            return ast.BitType(width=lw + rw)
+        if op in ("<<", ">>"):
+            if isinstance(lt, ast.InfIntType):
+                raise TypeCheckError("shift of unsized literal", expr.loc)
+            return lt
+        # Arithmetic / bitwise: unify widths.
+        unified = self._unify_operands(expr, lt, rt)
+        return unified
+
+    def _unify_operands(
+        self, expr: ast.BinaryExpr, lt: ast.Type, rt: ast.Type
+    ) -> ast.Type:
+        if isinstance(lt, ast.InfIntType) and isinstance(rt, ast.InfIntType):
+            return ast.InfIntType()
+        if isinstance(lt, ast.InfIntType) and isinstance(rt, ast.BitType):
+            expr.left.type = rt
+            self._check_literal_fits(expr.left, rt)
+            return rt
+        if isinstance(rt, ast.InfIntType) and isinstance(lt, ast.BitType):
+            expr.right.type = lt
+            self._check_literal_fits(expr.right, lt)
+            return lt
+        if isinstance(lt, ast.BitType) and isinstance(rt, ast.BitType):
+            if lt.width != rt.width:
+                raise TypeCheckError(
+                    f"width mismatch: {lt} vs {rt}", expr.loc
+                )
+            return lt
+        if isinstance(lt, ast.EnumType) and isinstance(rt, ast.EnumType):
+            if lt.name == rt.name:
+                return lt
+        if isinstance(lt, ast.BoolType) and isinstance(rt, ast.BoolType):
+            return lt
+        raise TypeCheckError(f"cannot combine {lt} and {rt}", expr.loc)
+
+    def _bit_width_of(self, t: ast.Type, expr: ast.Expr) -> int:
+        if isinstance(t, ast.BitType):
+            return t.width
+        raise TypeCheckError("operand needs a known bit width", expr.loc)
+
+    def _check_literal_fits(self, expr: ast.Expr, t: ast.BitType) -> None:
+        if isinstance(expr, ast.IntLit) and expr.value >= 1 << t.width:
+            raise TypeCheckError(
+                f"literal {expr.value} does not fit in {t}", expr.loc
+            )
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _call_type(
+        self, call: ast.MethodCallExpr, scope: Scope, info: ProgramInfo
+    ) -> ast.Type:
+        target = call.target
+        # Bare function call: action, or builtin function like recirculate.
+        if isinstance(target, ast.PathExpr):
+            sym = scope.lookup(target.name)
+            if sym is None:
+                raise TypeCheckError(f"unknown callee {target.name!r}", target.loc)
+            target.decl = sym
+            if sym.kind == "action":
+                return self._check_action_call(call, sym.decl, scope, info)
+            if sym.kind == "function":
+                call.resolved = ("builtin", target.name)  # type: ignore[attr-defined]
+                return self._check_overloads(call, sym.decl, scope, info, target.name)
+            raise TypeCheckError(
+                f"{target.name!r} is not callable", target.loc
+            )
+        if not isinstance(target, ast.MemberExpr):
+            raise TypeCheckError("unsupported call target", call.loc)
+        # Header validity ops.
+        base_t = self._check_expr(target.base, scope, info)
+        if isinstance(base_t, ast.HeaderType):
+            return self._check_header_op(call, target, base_t, scope, info)
+        if isinstance(base_t, ast.HeaderStackType):
+            return self._check_stack_op(call, target, base_t, scope, info)
+        if isinstance(base_t, ast.ExternType):
+            overloads = base_t.methods.get(target.member)
+            if overloads is None:
+                raise TypeCheckError(
+                    f"extern {base_t.name!r} has no method {target.member!r}",
+                    target.loc,
+                )
+            call.resolved = ("extern", base_t.name, target.member)  # type: ignore[attr-defined]
+            return self._check_overloads(
+                call, overloads, scope, info, f"{base_t.name}.{target.member}"
+            )
+        # Table apply or module-instance apply.
+        if isinstance(target.base, ast.PathExpr) and isinstance(
+            target.base.decl, Symbol
+        ):
+            sym = target.base.decl
+            if sym.kind == "table" and target.member == "apply":
+                call.resolved = ("table", sym.decl)  # type: ignore[attr-defined]
+                if call.args:
+                    raise TypeCheckError("table.apply() takes no arguments", call.loc)
+                return ast.VoidType()
+            if sym.kind == "instance" and target.member == "apply":
+                return self._check_module_apply(call, sym, scope, info)
+        raise TypeCheckError("cannot resolve method call", call.loc)
+
+    def _check_header_op(
+        self,
+        call: ast.MethodCallExpr,
+        target: ast.MemberExpr,
+        base_t: ast.HeaderType,
+        scope: Scope,
+        info: ProgramInfo,
+    ) -> ast.Type:
+        op = target.member
+        if op == "isValid":
+            if call.args:
+                raise TypeCheckError("isValid() takes no arguments", call.loc)
+            call.resolved = ("header_op", "isValid")  # type: ignore[attr-defined]
+            return ast.BoolType()
+        if op in ("setValid", "setInvalid"):
+            if call.args:
+                raise TypeCheckError(f"{op}() takes no arguments", call.loc)
+            self._require_lvalue(target.base)
+            call.resolved = ("header_op", op)  # type: ignore[attr-defined]
+            return ast.VoidType()
+        if op == "minSizeInBytes":
+            call.resolved = ("header_op", op)  # type: ignore[attr-defined]
+            return ast.BitType(width=32)
+        raise TypeCheckError(f"header has no method {op!r}", call.loc)
+
+    def _check_stack_op(
+        self,
+        call: ast.MethodCallExpr,
+        target: ast.MemberExpr,
+        base_t: ast.HeaderStackType,
+        scope: Scope,
+        info: ProgramInfo,
+    ) -> ast.Type:
+        op = target.member
+        if op in ("push_front", "pop_front"):
+            if len(call.args) != 1:
+                raise TypeCheckError(f"{op}() takes one argument", call.loc)
+            self._check_expr(call.args[0], scope, info)
+            call.resolved = ("stack_op", op)  # type: ignore[attr-defined]
+            return ast.VoidType()
+        raise TypeCheckError(f"header stack has no method {op!r}", call.loc)
+
+    def _check_action_call(
+        self,
+        call: ast.MethodCallExpr,
+        decl: ast.ActionDecl,
+        scope: Scope,
+        info: ProgramInfo,
+    ) -> ast.Type:
+        # Direct action invocations supply all parameters.
+        if len(call.args) != len(decl.params):
+            raise TypeCheckError(
+                f"action {decl.name!r} takes {len(decl.params)} args, got "
+                f"{len(call.args)}",
+                call.loc,
+            )
+        for arg, p in zip(call.args, decl.params):
+            at = self._check_expr(arg, scope, info)
+            self._check_assignable(p.param_type, at, arg)
+        call.resolved = ("action", decl)  # type: ignore[attr-defined]
+        return ast.VoidType()
+
+    def _check_module_apply(
+        self, call: ast.MethodCallExpr, sym: Symbol, scope: Scope, info: ProgramInfo
+    ) -> ast.Type:
+        inst: ast.InstanceDecl = sym.decl  # type: ignore[assignment]
+        target_sym = self.globals.lookup(inst.target)
+        assert target_sym is not None
+        if target_sym.kind == "module_sig":
+            params = target_sym.decl.params  # type: ignore[union-attr]
+        else:  # program declared in this file
+            prog_info = self.module.programs.get(inst.target)
+            if prog_info is not None:
+                params = prog_info.apply_signature()
+            elif inst.target in self.module.module_sigs:
+                # Forward-declared by a module signature (e.g. recursive
+                # composition, rejected later by the linker).
+                params = self.module.module_sigs[inst.target].params
+            else:
+                raise TypeCheckError(
+                    f"program {inst.target!r} must be declared before use",
+                    call.loc,
+                )
+        if len(call.args) != len(params):
+            raise TypeCheckError(
+                f"{inst.target}.apply() takes {len(params)} args, got "
+                f"{len(call.args)}",
+                call.loc,
+            )
+        for arg, p in zip(call.args, params):
+            at = self._check_expr(arg, scope, info)
+            ptype = self.resolve_type(p.param_type)
+            self._check_arg(ptype, p.direction, at, arg)
+        call.resolved = ("module", inst)  # type: ignore[attr-defined]
+        return ast.VoidType()
+
+    def _check_overloads(
+        self,
+        call: ast.MethodCallExpr,
+        overloads: List[ast.MethodSignature],
+        scope: Scope,
+        info: ProgramInfo,
+        what: str,
+    ) -> ast.Type:
+        matching = [s for s in overloads if len(s.params) == len(call.args)]
+        if not matching:
+            raise TypeCheckError(
+                f"no overload of {what} takes {len(call.args)} arguments",
+                call.loc,
+            )
+        errors: List[str] = []
+        for sig in matching:
+            try:
+                return self._check_call_against(call, sig, scope, info)
+            except TypeCheckError as exc:
+                errors.append(str(exc))
+        raise TypeCheckError(
+            f"no overload of {what} matches: " + "; ".join(errors), call.loc
+        )
+
+    def _check_call_against(
+        self,
+        call: ast.MethodCallExpr,
+        sig: ast.MethodSignature,
+        scope: Scope,
+        info: ProgramInfo,
+    ) -> ast.Type:
+        bindings: Dict[str, ast.Type] = {}
+        for arg, p in zip(call.args, sig.params):
+            at = self._check_expr(arg, scope, info)
+            ptype = p.param_type
+            if isinstance(ptype, ast.TypeName) and ptype.name in sig.type_params:
+                bound = bindings.get(ptype.name)
+                if bound is None:
+                    bindings[ptype.name] = at
+                elif not self._types_match(bound, at):
+                    raise TypeCheckError(
+                        f"inconsistent binding for type parameter {ptype.name}",
+                        arg.loc,
+                    )
+                if p.direction in ("out", "inout"):
+                    self._require_lvalue(arg)
+                continue
+            if isinstance(ptype, ast.TypeName):
+                ptype = self.resolve_type(ptype)
+            self._check_arg(ptype, p.direction, at, arg)
+        call.sig = sig  # type: ignore[attr-defined]
+        call.type_bindings = bindings  # type: ignore[attr-defined]
+        ret = sig.return_type
+        if isinstance(ret, ast.TypeName) and ret.name in bindings:
+            return bindings[ret.name]
+        if isinstance(ret, ast.TypeName):
+            return self.resolve_type(ret)
+        return ret
+
+    def _check_arg(
+        self, ptype: ast.Type, direction: str, at: ast.Type, arg: ast.Expr
+    ) -> None:
+        if direction in ("out", "inout"):
+            self._require_lvalue(arg)
+        self._check_assignable(ptype, at, arg)
+
+    # ------------------------------------------------------------------
+    # Compatibility and lvalues
+    # ------------------------------------------------------------------
+    def _types_match(self, a: ast.Type, b: ast.Type) -> bool:
+        if isinstance(a, ast.BitType) and isinstance(b, ast.BitType):
+            return a.width == b.width
+        if isinstance(a, (ast.StructType, ast.HeaderType, ast.EnumType)) and isinstance(
+            b, (ast.StructType, ast.HeaderType, ast.EnumType)
+        ):
+            return type(a) is type(b) and a.name == b.name
+        if isinstance(a, ast.ExternType) and isinstance(b, ast.ExternType):
+            return a.name == b.name
+        return type(a) is type(b)
+
+    def _check_assignable(self, target: ast.Type, source: ast.Type, expr: ast.Expr) -> None:
+        if isinstance(source, ast.InfIntType):
+            if isinstance(target, ast.BitType):
+                expr.type = target
+                self._check_literal_fits(expr, target)
+                return
+            raise TypeCheckError(
+                f"cannot use integer literal where {target} expected", expr.loc
+            )
+        if not self._types_match(target, source):
+            raise TypeCheckError(
+                f"type mismatch: expected {target}, got {source}", expr.loc
+            )
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.PathExpr):
+            sym = expr.decl
+            if isinstance(sym, Symbol) and sym.kind == "const":
+                raise TypeCheckError(
+                    f"constant {expr.name!r} is not assignable", expr.loc
+                )
+            return
+        if isinstance(expr, (ast.MemberExpr, ast.IndexExpr, ast.SliceExpr)):
+            base = expr.base
+            self._require_lvalue(base)
+            return
+        raise TypeCheckError("expression is not an lvalue", expr.loc)
+
+
+# ======================================================================
+# Convenience API
+# ======================================================================
+
+
+def check_program(text: str, name: str = "<string>") -> Module:
+    """Parse and type-check ``text``, returning the µP4-IR Module."""
+    source = parse_program(text, name)
+    return TypeChecker(source, name).check()

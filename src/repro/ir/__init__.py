@@ -1,0 +1,22 @@
+"""IR utilities shared by midend and backend passes.
+
+* :mod:`~repro.ir.visitor` — generic AST walking and rewriting.
+* :mod:`~repro.ir.parse_graph` — parser FSM graph and path enumeration.
+* :mod:`~repro.ir.cfg` — control-path enumeration through apply blocks.
+* :mod:`~repro.ir.printer` — render IR back to P4-ish source text.
+"""
+
+from repro.ir.parse_graph import ParseGraph, ParsePath, build_parse_graph
+from repro.ir.cfg import ControlPath, enumerate_control_paths
+from repro.ir.visitor import walk, walk_expressions, rewrite_expressions
+
+__all__ = [
+    "ParseGraph",
+    "ParsePath",
+    "build_parse_graph",
+    "ControlPath",
+    "enumerate_control_paths",
+    "walk",
+    "walk_expressions",
+    "rewrite_expressions",
+]

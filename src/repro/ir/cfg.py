@@ -1,0 +1,152 @@
+"""Control-path enumeration through control blocks.
+
+The µP4C static analysis (§5.2) explores the branches in the *structure*
+of a control block — conditionals, switch arms, and the actions of each
+match-action table — rather than symbolic table contents, which is what
+keeps it scalable.  A :class:`ControlPath` is one such structural path:
+the ordered list of leaf operations that execute along it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+
+MAX_CONTROL_PATHS = 65536
+
+
+@dataclass
+class ControlPath:
+    """One structural execution path: the leaf statements it runs."""
+
+    items: List[ast.Stmt] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def module_applies(self) -> List[ast.MethodCallExpr]:
+        """Callee invocations on this path, in order."""
+        out = []
+        for stmt in self.items:
+            if isinstance(stmt, ast.MethodCallStmt):
+                resolved = getattr(stmt.call, "resolved", None)
+                if resolved is not None and resolved[0] == "module":
+                    out.append(stmt.call)
+        return out
+
+    def header_ops(self) -> List[tuple]:
+        """``(op, header_type, lvalue)`` for setValid/setInvalid calls."""
+        out = []
+        for stmt in self.items:
+            if isinstance(stmt, ast.MethodCallStmt):
+                resolved = getattr(stmt.call, "resolved", None)
+                if resolved is not None and resolved[0] == "header_op":
+                    op = resolved[1]
+                    if op in ("setValid", "setInvalid"):
+                        target = stmt.call.target
+                        assert isinstance(target, ast.MemberExpr)
+                        out.append((op, target.base.type, target.base))
+        return out
+
+
+def _product(prefixes: List[List[ast.Stmt]], suffixes: List[List[ast.Stmt]]):
+    return [p + s for p in prefixes for s in suffixes]
+
+
+class _PathEnumerator:
+    def __init__(self, actions: Dict[str, ast.ActionDecl]) -> None:
+        self.actions = actions
+        self.count = 0
+
+    def _check_budget(self, paths: List[List[ast.Stmt]]) -> List[List[ast.Stmt]]:
+        if len(paths) > MAX_CONTROL_PATHS:
+            raise AnalysisError(
+                f"control-path enumeration exceeded {MAX_CONTROL_PATHS} paths"
+            )
+        return paths
+
+    def stmt_paths(self, stmt: ast.Stmt) -> List[List[ast.Stmt]]:
+        if isinstance(stmt, ast.BlockStmt):
+            paths: List[List[ast.Stmt]] = [[]]
+            for inner in stmt.stmts:
+                paths = self._check_budget(_product(paths, self.stmt_paths(inner)))
+            return paths
+        if isinstance(stmt, ast.IfStmt):
+            then_paths = self.stmt_paths(stmt.then_body)
+            else_paths = (
+                self.stmt_paths(stmt.else_body)
+                if stmt.else_body is not None
+                else [[]]
+            )
+            return self._check_budget(then_paths + else_paths)
+        if isinstance(stmt, ast.SwitchStmt):
+            paths: List[List[ast.Stmt]] = []
+            has_default = any(
+                any(isinstance(k, ast.DefaultExpr) for k in case.keysets)
+                for case in stmt.cases
+            )
+            for case in stmt.cases:
+                if case.body is None:  # fallthrough arm
+                    continue
+                paths.extend(self.stmt_paths(case.body))
+            if not has_default:
+                paths.append([])  # no case matched
+            return self._check_budget(paths)
+        if isinstance(stmt, ast.MethodCallStmt):
+            return self.call_paths(stmt)
+        if isinstance(stmt, (ast.EmptyStmt, ast.ReturnStmt, ast.ExitStmt)):
+            return [[stmt]] if not isinstance(stmt, ast.EmptyStmt) else [[]]
+        # Leaf statements: assignments, declarations.
+        return [[stmt]]
+
+    def call_paths(self, stmt: ast.MethodCallStmt) -> List[List[ast.Stmt]]:
+        resolved = getattr(stmt.call, "resolved", None)
+        if resolved is None:
+            return [[stmt]]
+        kind = resolved[0]
+        if kind == "table":
+            table: ast.TableDecl = resolved[1]
+            # One branch per action (paper: "number of actions per MAT"),
+            # plus the default action's branch.
+            action_names = list(table.actions)
+            if table.default_action and table.default_action not in action_names:
+                action_names.append(table.default_action)
+            paths: List[List[ast.Stmt]] = []
+            for aname in action_names:
+                body = self.actions.get(aname)
+                if body is None:  # NoAction
+                    paths.append([stmt])
+                    continue
+                for sub in self.stmt_paths(body.body):
+                    paths.append([stmt] + sub)
+            return self._check_budget(paths or [[stmt]])
+        if kind == "action":
+            decl: ast.ActionDecl = resolved[1]
+            return self._check_budget(
+                [[stmt] + sub for sub in self.stmt_paths(decl.body)]
+            )
+        # module apply, header op, extern call: leaf.
+        return [[stmt]]
+
+
+def enumerate_control_paths(
+    control: ast.ControlDecl,
+    actions: Optional[Dict[str, ast.ActionDecl]] = None,
+) -> List[ControlPath]:
+    """Enumerate the structural control paths of a control's apply block.
+
+    ``actions`` maps action names to declarations; defaults to the
+    control's own local actions.
+    """
+    if actions is None:
+        actions = {
+            d.name: d for d in control.locals if isinstance(d, ast.ActionDecl)
+        }
+    enumerator = _PathEnumerator(actions)
+    return [ControlPath(items=p) for p in enumerator.stmt_paths(control.apply_body)]

@@ -1,0 +1,304 @@
+"""Render AST/IR nodes back to P4-ish source text.
+
+Used to emit the backend's generated target programs (the ``main.p4`` of
+the paper's Fig. 4b) and for debugging midend transformations.  Output is
+accepted by this package's own parser, enabling print→parse round-trip
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import astnodes as ast
+
+INDENT = "  "
+
+
+class Printer:
+    """Stateful pretty-printer."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(INDENT * self.depth + text if text else "")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.IntLit):
+            if e.width is not None:
+                return f"{e.width}w0x{e.value:x}"
+            if isinstance(e.type, ast.BitType):
+                return f"{e.type.width}w0x{e.value:x}"
+            return str(e.value)
+        if isinstance(e, ast.BoolLit):
+            return "true" if e.value else "false"
+        if isinstance(e, ast.PathExpr):
+            return e.name
+        if isinstance(e, ast.MemberExpr):
+            return f"{self.expr(e.base)}.{e.member}"
+        if isinstance(e, ast.IndexExpr):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, ast.SliceExpr):
+            return f"{self.expr(e.base)}[{e.hi}:{e.lo}]"
+        if isinstance(e, ast.BinaryExpr):
+            return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+        if isinstance(e, ast.UnaryExpr):
+            return f"{e.op}{self.expr(e.operand)}"
+        if isinstance(e, ast.CastExpr):
+            return f"({self.type(e.target)}) {self.expr(e.operand)}"
+        if isinstance(e, ast.MethodCallExpr):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{self.expr(e.target)}({args})"
+        if isinstance(e, ast.MaskExpr):
+            return f"{self.expr(e.value)} &&& {self.expr(e.mask)}"
+        if isinstance(e, ast.RangeExpr):
+            return f"{self.expr(e.lo)} .. {self.expr(e.hi)}"
+        if isinstance(e, ast.DefaultExpr):
+            return "_"
+        if isinstance(e, ast.TupleExpr):
+            return "(" + ", ".join(self.expr(i) for i in e.items) + ")"
+        raise ValueError(f"cannot print expression {type(e).__name__}")
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def type(self, t: ast.Type) -> str:
+        if isinstance(t, ast.BitType):
+            return f"bit<{t.width}>"
+        if isinstance(t, ast.VarBitType):
+            return f"varbit<{t.max_width}>"
+        if isinstance(t, ast.BoolType):
+            return "bool"
+        if isinstance(t, ast.VoidType):
+            return "void"
+        if isinstance(
+            t, (ast.TypeName, ast.HeaderType, ast.StructType, ast.EnumType, ast.ExternType)
+        ):
+            return t.name
+        if isinstance(t, ast.HeaderStackType):
+            return f"{self.type(t.element)}[{t.size}]"
+        raise ValueError(f"cannot print type {type(t).__name__}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.BlockStmt):
+            self.emit("{")
+            self.depth += 1
+            for inner in s.stmts:
+                self.stmt(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(s, ast.VarDeclStmt):
+            init = f" = {self.expr(s.init)}" if s.init is not None else ""
+            self.emit(f"{self.type(s.var_type)} {s.name}{init};")
+        elif isinstance(s, ast.AssignStmt):
+            self.emit(f"{self.expr(s.lhs)} = {self.expr(s.rhs)};")
+        elif isinstance(s, ast.MethodCallStmt):
+            self.emit(f"{self.expr(s.call)};")
+        elif isinstance(s, ast.IfStmt):
+            self.emit(f"if ({self.expr(s.cond)})")
+            self._stmt_as_block(s.then_body)
+            if s.else_body is not None:
+                self.emit("else")
+                self._stmt_as_block(s.else_body)
+        elif isinstance(s, ast.SwitchStmt):
+            self.emit(f"switch ({self.expr(s.subject)}) {{")
+            self.depth += 1
+            for case in s.cases:
+                labels = ", ".join(
+                    "default" if isinstance(k, ast.DefaultExpr) else self.expr(k)
+                    for k in case.keysets
+                )
+                if case.body is None:
+                    self.emit(f"{labels}:")
+                else:
+                    self.emit(f"{labels}:")
+                    self._stmt_as_block(case.body)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(s, ast.ReturnStmt):
+            self.emit("return;")
+        elif isinstance(s, ast.ExitStmt):
+            self.emit("exit;")
+        elif isinstance(s, ast.EmptyStmt):
+            self.emit(";")
+        else:
+            raise ValueError(f"cannot print statement {type(s).__name__}")
+
+    def _stmt_as_block(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.BlockStmt):
+            self.stmt(s)
+        else:
+            self.emit("{")
+            self.depth += 1
+            self.stmt(s)
+            self.depth -= 1
+            self.emit("}")
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def param(self, p: ast.Param) -> str:
+        direction = f"{p.direction} " if p.direction else ""
+        return f"{direction}{self.type(p.param_type)} {p.name}"
+
+    def decl(self, d: ast.Decl) -> None:
+        if isinstance(d, ast.HeaderDecl):
+            self.emit(f"header {d.name} {{")
+            self.depth += 1
+            for fname, ftype in d.fields:
+                self.emit(f"{self.type(ftype)} {fname};")
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(d, ast.StructDecl):
+            self.emit(f"struct {d.name} {{")
+            self.depth += 1
+            for fname, ftype in d.fields:
+                self.emit(f"{self.type(ftype)} {fname};")
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(d, ast.EnumDecl):
+            self.emit(f"enum {d.name} {{ " + ", ".join(d.members) + " }")
+        elif isinstance(d, ast.ConstDecl):
+            self.emit(
+                f"const {self.type(d.const_type)} {d.name} = {self.expr(d.value)};"
+            )
+        elif isinstance(d, ast.VarLocal):
+            init = f" = {self.expr(d.init)}" if d.init is not None else ""
+            self.emit(f"{self.type(d.var_type)} {d.name}{init};")
+        elif isinstance(d, ast.InstanceDecl):
+            args = ", ".join(self.expr(a) for a in d.args)
+            self.emit(f"{d.target}({args}) {d.name};")
+        elif isinstance(d, ast.ActionDecl):
+            params = ", ".join(self.param(p) for p in d.params)
+            self.emit(f"action {d.name}({params})")
+            self.stmt(d.body)
+        elif isinstance(d, ast.TableDecl):
+            self.table(d)
+        elif isinstance(d, ast.ParserDecl):
+            self.parser(d)
+        elif isinstance(d, ast.ControlDecl):
+            self.control(d)
+        elif isinstance(d, ast.ModuleSigDecl):
+            params = ", ".join(self.param(p) for p in d.params)
+            self.emit(f"{d.name}({params});")
+        elif isinstance(d, ast.ProgramDecl):
+            self.emit(f"program {d.name} : implements {d.interface}<> {{")
+            self.depth += 1
+            for inner in d.decls:
+                self.decl(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(d, ast.PackageInstantiation):
+            self.emit(f"{d.package}({', '.join(d.args)}) main;")
+        else:
+            raise ValueError(f"cannot print declaration {type(d).__name__}")
+
+    def table(self, d: ast.TableDecl) -> None:
+        self.emit(f"table {d.name} {{")
+        self.depth += 1
+        if d.keys:
+            self.emit("key = {")
+            self.depth += 1
+            for k in d.keys:
+                self.emit(f"{self.expr(k.expr)} : {k.match_kind};")
+            self.depth -= 1
+            self.emit("}")
+        self.emit("actions = { " + " ".join(f"{a};" for a in d.actions) + " }")
+        if d.const_entries:
+            self.emit("const entries = {")
+            self.depth += 1
+            for entry in d.const_entries:
+                keys = ", ".join(
+                    "_" if isinstance(k, ast.DefaultExpr) else self.expr(k)
+                    for k in entry.keysets
+                )
+                args = ", ".join(self.expr(a) for a in entry.action_args)
+                self.emit(f"({keys}) : {entry.action_name}({args});")
+            self.depth -= 1
+            self.emit("}")
+        if d.default_action is not None:
+            args = ", ".join(self.expr(a) for a in d.default_action_args)
+            self.emit(f"default_action = {d.default_action}({args});")
+        if d.size is not None:
+            self.emit(f"size = {d.size};")
+        self.depth -= 1
+        self.emit("}")
+
+    def parser(self, d: ast.ParserDecl) -> None:
+        params = ", ".join(self.param(p) for p in d.params)
+        self.emit(f"parser {d.name}({params}) {{")
+        self.depth += 1
+        for local in d.locals:
+            self.decl(local)
+        for state in d.states:
+            self.emit(f"state {state.name} {{")
+            self.depth += 1
+            for stmt in state.stmts:
+                self.stmt(stmt)
+            if state.direct_next is not None:
+                self.emit(f"transition {state.direct_next};")
+            elif state.select_exprs:
+                subjects = ", ".join(self.expr(e) for e in state.select_exprs)
+                self.emit(f"transition select({subjects}) {{")
+                self.depth += 1
+                for keysets, target in state.select_cases:
+                    labels = ", ".join(
+                        "default" if isinstance(k, ast.DefaultExpr) else self.expr(k)
+                        for k in keysets
+                    )
+                    if len(keysets) > 1:
+                        labels = f"({labels})"
+                    self.emit(f"{labels} : {target};")
+                self.depth -= 1
+                self.emit("}")
+            self.depth -= 1
+            self.emit("}")
+        self.depth -= 1
+        self.emit("}")
+
+    def control(self, d: ast.ControlDecl) -> None:
+        params = ", ".join(self.param(p) for p in d.params)
+        self.emit(f"control {d.name}({params}) {{")
+        self.depth += 1
+        for local in d.locals:
+            self.decl(local)
+        self.emit("apply")
+        self.stmt(d.apply_body)
+        self.depth -= 1
+        self.emit("}")
+
+
+def print_program(program: ast.SourceProgram) -> str:
+    """Render a whole compilation unit to source text."""
+    printer = Printer()
+    for decl in program.decls:
+        printer.decl(decl)
+        printer.emit()
+    return printer.text()
+
+
+def print_decl(decl: ast.Decl) -> str:
+    printer = Printer()
+    printer.decl(decl)
+    return printer.text()
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    printer = Printer()
+    printer.stmt(stmt)
+    return printer.text()
+
+
+def expr_text(expr: ast.Expr) -> str:
+    return Printer().expr(expr)

@@ -1,0 +1,31 @@
+"""The µP4 module library and composed programs (paper Table 1).
+
+* ``modules/*.up4`` — the nine packet-processing modules (ACL, Eth,
+  IPv4, IPv6, MPLS, NAT, NPTv6, SRv4, SRv6) plus the L3 dispatch
+  variants that glue them together per composition.
+* ``monolithic/*.p4`` — equivalent monolithic programs, the baselines
+  for the paper's resource comparisons (Tables 2 and 3).
+* :mod:`~repro.lib.loader` — source loading and per-module compilation.
+* :mod:`~repro.lib.catalog` — the P1–P7 composition matrix and builders.
+"""
+
+from repro.lib.catalog import (
+    COMPOSITIONS,
+    MODULE_MATRIX,
+    PROGRAMS,
+    build_monolithic,
+    build_pipeline,
+    composition_matrix,
+)
+from repro.lib.loader import load_module_source, compile_library_module
+
+__all__ = [
+    "COMPOSITIONS",
+    "MODULE_MATRIX",
+    "PROGRAMS",
+    "build_pipeline",
+    "build_monolithic",
+    "composition_matrix",
+    "load_module_source",
+    "compile_library_module",
+]

@@ -1,0 +1,106 @@
+"""The composition catalog: Table 1 of the paper.
+
+Each composed program P1–P7 is built from the Ethernet main module plus
+an L3 dispatch variant and the leaf modules it invokes.  The paper's
+Table 1 marks which of the nine library modules participate in each
+program; :data:`MODULE_MATRIX` reproduces that matrix and
+:func:`composition_matrix` renders it.
+
+``build_pipeline`` compiles and composes the µP4 version;
+``build_monolithic`` compiles the hand-written monolithic equivalent
+from ``monolithic/<name>.p4`` (the baseline of Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CompileError
+from repro.lib.loader import compile_library_module
+from repro.midend.inline import ComposedPipeline, compose, compose_monolithic
+from repro.midend.linker import LinkedProgram, link_modules
+
+# Composition recipes: main module first, then libraries.
+COMPOSITIONS: Dict[str, List[str]] = {
+    "P1": ["eth", "l3_acl", "acl", "ipv4", "ipv6"],
+    "P2": ["eth", "l3_mpls", "mpls", "ipv4", "ipv6"],
+    "P3": ["eth", "l3_nat", "nat", "ipv4", "ipv6"],
+    "P4": ["eth", "l3_v4v6", "ipv4", "ipv6"],
+    "P5": ["eth", "l3_nptv6", "nptv6", "ipv4", "ipv6"],
+    "P6": ["eth", "l3_srv4", "srv4", "ipv4", "ipv6"],
+    "P7": ["eth", "l3_srv6", "srv6", "ipv4", "ipv6"],
+}
+
+PROGRAMS = sorted(COMPOSITIONS)
+
+# Extension compositions beyond the paper's Table 1 (same machinery,
+# not part of the reproduced tables).
+EXTRA_COMPOSITIONS: Dict[str, List[str]] = {
+    "P8": ["eth", "l3_vlan", "vlan", "ipv4", "ipv6"],
+}
+
+# Table 1: which library modules each composed program uses.
+_FEATURES: Dict[str, List[str]] = {
+    "P1": ["ACL", "Eth", "IPv4", "IPv6"],
+    "P2": ["Eth", "IPv4", "IPv6", "MPLS"],
+    "P3": ["Eth", "IPv4", "IPv6", "NAT"],
+    "P4": ["Eth", "IPv4", "IPv6"],
+    "P5": ["Eth", "IPv4", "IPv6", "NPTv6"],
+    "P6": ["Eth", "IPv4", "IPv6", "SRv4"],
+    "P7": ["Eth", "IPv4", "IPv6", "SRv6"],
+}
+
+MODULES = ["ACL", "Eth", "IPv4", "IPv6", "MPLS", "NAT", "NPTv6", "SRv4", "SRv6"]
+
+MODULE_MATRIX: Dict[str, Dict[str, bool]] = {
+    module: {prog: module in _FEATURES[prog] for prog in PROGRAMS}
+    for module in MODULES
+}
+
+
+def link_composition(name: str) -> LinkedProgram:
+    """Link the modules of composition ``name`` (P1–P7, extensions)."""
+    recipe = COMPOSITIONS.get(name) or EXTRA_COMPOSITIONS.get(name)
+    if recipe is None:
+        known = ", ".join([*PROGRAMS, *sorted(EXTRA_COMPOSITIONS)])
+        raise CompileError(f"unknown composition {name!r}; known: {known}")
+    main = compile_library_module(recipe[0])
+    libs = [compile_library_module(m) for m in recipe[1:]]
+    return link_modules(main, libs)
+
+
+def build_pipeline(name: str, optimize: bool = False) -> ComposedPipeline:
+    """Compose the µP4 version of program ``name``.
+
+    ``optimize`` applies the §8.1 trivial-MAT elision pass.
+    """
+    composed = compose(link_composition(name))
+    if optimize:
+        from repro.midend.optimize import elide_trivial_mats
+
+        elide_trivial_mats(composed)
+    return composed
+
+
+def build_monolithic(name: str) -> ComposedPipeline:
+    """Compile the monolithic P4 equivalent of program ``name``."""
+    if name not in COMPOSITIONS and name not in EXTRA_COMPOSITIONS:
+        raise CompileError(
+            f"unknown composition {name!r}; known: {', '.join(PROGRAMS)}"
+        )
+    module = compile_library_module(name.lower(), kind="monolithic")
+    return compose_monolithic(link_modules(module, []))
+
+
+def composition_matrix() -> str:
+    """Render Table 1 as text."""
+    width = max(len(m) for m in MODULES) + 2
+    header = " " * width + "  ".join(PROGRAMS)
+    lines = [header]
+    for module in MODULES:
+        row = module.ljust(width)
+        row += "  ".join(
+            "✓ " if MODULE_MATRIX[module][prog] else ". " for prog in PROGRAMS
+        )
+        lines.append(row)
+    return "\n".join(lines)

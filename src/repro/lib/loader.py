@@ -1,0 +1,52 @@
+"""Loading and compiling library module sources.
+
+Module sources ship as package data (``modules/*.up4`` and
+``monolithic/*.p4``).  Compilation results are cached per (kind, name):
+the frontend is deterministic, and the midend clones every declaration
+it transforms, so sharing checked modules is safe.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from functools import lru_cache
+from typing import List
+
+from repro.errors import CompileError
+from repro.frontend.typecheck import Module, check_program
+
+
+def _resource_dir(kind: str):
+    base = importlib.resources.files("repro.lib")
+    return base / kind
+
+
+def list_sources(kind: str = "modules") -> List[str]:
+    """Names (without extension) of available sources of ``kind``."""
+    suffix = ".up4" if kind == "modules" else ".p4"
+    out = []
+    for entry in _resource_dir(kind).iterdir():
+        if entry.name.endswith(suffix):
+            out.append(entry.name[: -len(suffix)])
+    return sorted(out)
+
+
+def load_module_source(name: str, kind: str = "modules") -> str:
+    """Raw source text of a library module."""
+    suffix = ".up4" if kind == "modules" else ".p4"
+    path = _resource_dir(kind) / f"{name}{suffix}"
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        available = ", ".join(list_sources(kind))
+        raise CompileError(
+            f"no library source {name!r} of kind {kind!r}; "
+            f"available: {available}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def compile_library_module(name: str, kind: str = "modules") -> Module:
+    """Compile (and cache) one library module to µP4-IR."""
+    source = load_module_source(name, kind)
+    return check_program(source, f"{name}.up4" if kind == "modules" else f"{name}.p4")

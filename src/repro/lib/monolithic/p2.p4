@@ -1,0 +1,137 @@
+// Monolithic equivalent of composition P2: Ethernet + IPv4 + IPv6 +
+// MPLS edge routing (label termination and imposition).
+
+header eth_h  { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+header ipv4_h {
+  bit<4>  version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8>  ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+header ipv6_h {
+  bit<4>   version; bit<8> trafficClass; bit<20> flowLabel;
+  bit<16>  payloadLen; bit<8> nextHdr; bit<8> hopLimit;
+  bit<128> srcAddr; bit<128> dstAddr;
+}
+
+struct hdr_t {
+  eth_h  eth;
+  mpls_h mpls;
+  ipv4_h ipv4;
+  ipv6_h ipv6;
+}
+
+program P2Mono : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x8847 : parse_mpls;
+        0x0800 : parse_ipv4;
+        0x86DD : parse_ipv6;
+        default : accept;
+      }
+    }
+    state parse_mpls { ex.extract(p, h.mpls); transition accept; }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+
+  control C(pkt p, inout hdr_t h, im_t im) {
+    bit<16> nh;
+    action drop_pkt() { im.drop(); }
+    action pop_v4(bit<16> next_hop) {
+      h.mpls.setInvalid();
+      h.eth.etherType = 0x0800;
+      nh = next_hop;
+    }
+    action pop_v6(bit<16> next_hop) {
+      h.mpls.setInvalid();
+      h.eth.etherType = 0x86DD;
+      nh = next_hop;
+    }
+    action swap(bit<20> out_label, bit<16> next_hop) {
+      h.mpls.label = out_label;
+      h.mpls.ttl = h.mpls.ttl - 1;
+      nh = next_hop;
+    }
+    action push(bit<20> out_label) {
+      h.mpls.setValid();
+      h.mpls.label = out_label;
+      h.mpls.tc = 0;
+      h.mpls.bos = 1;
+      h.mpls.ttl = 64;
+      h.eth.etherType = 0x8847;
+    }
+    action pass() { }
+    action process_v4(bit<16> next_hop) {
+      h.ipv4.ttl = h.ipv4.ttl - 1;
+      nh = next_hop;
+    }
+    action process_v6(bit<16> next_hop) {
+      h.ipv6.hopLimit = h.ipv6.hopLimit - 1;
+      nh = next_hop;
+    }
+    action forward(bit<48> dmac, bit<48> smac, bit<8> port) {
+      h.eth.dstMac = dmac;
+      h.eth.srcMac = smac;
+      im.set_out_port(port);
+    }
+    table mpls_tbl {
+      key = { h.mpls.label : exact; }
+      actions = { pop_v4; pop_v6; swap; drop_pkt; }
+      default_action = drop_pkt();
+      size = 256;
+    }
+    table mpls_push_tbl {
+      key = { nh : exact; }
+      actions = { push; pass; }
+      default_action = pass();
+      size = 64;
+    }
+    table ipv4_lpm_tbl {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { process_v4; drop_pkt; }
+      default_action = drop_pkt();
+      size = 1024;
+    }
+    table ipv6_lpm_tbl {
+      key = { h.ipv6.dstAddr : lpm; }
+      actions = { process_v6; drop_pkt; }
+      default_action = drop_pkt();
+      size = 1024;
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_pkt; }
+      default_action = drop_pkt();
+      size = 64;
+    }
+    apply {
+      nh = 0;
+      if (h.mpls.isValid()) {
+        mpls_tbl.apply();
+      } else if (h.ipv4.isValid()) {
+        if (h.ipv4.ttl == 0) { drop_pkt(); } else {
+          ipv4_lpm_tbl.apply();
+          mpls_push_tbl.apply();
+        }
+      } else if (h.ipv6.isValid()) {
+        if (h.ipv6.hopLimit == 0) { drop_pkt(); } else { ipv6_lpm_tbl.apply(); }
+      }
+      forward_tbl.apply();
+    }
+  }
+
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.mpls);
+      em.emit(p, h.ipv4);
+      em.emit(p, h.ipv6);
+    }
+  }
+}
+
+P2Mono(P, C, D) main;

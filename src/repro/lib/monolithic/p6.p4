@@ -1,0 +1,154 @@
+// Monolithic equivalent of composition P6: Ethernet + IPv4 + IPv6 +
+// SRv4 (IP-in-IP segment routing).
+//
+// Without the byte-stack re-parse that the modular version gets for
+// free, the monolithic program must shuffle headers explicitly: encap
+// copies the current IPv4 header into the inner slot and overwrites
+// the outer-facing slot; decap copies the inner header up.  This is
+// exactly the entanglement the paper's §2 complains about.
+
+header eth_h  { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header ipv4_h {
+  bit<4>  version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8>  ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+header ipv6_h {
+  bit<4>   version; bit<8> trafficClass; bit<20> flowLabel;
+  bit<16>  payloadLen; bit<8> nextHdr; bit<8> hopLimit;
+  bit<128> srcAddr; bit<128> dstAddr;
+}
+
+struct hdr_t {
+  eth_h  eth;
+  ipv4_h ipv4;
+  ipv4_h inner;
+  ipv6_h ipv6;
+}
+
+program P6Mono : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x0800 : parse_ipv4;
+        0x86DD : parse_ipv6;
+        default : accept;
+      }
+    }
+    state parse_ipv4 {
+      ex.extract(p, h.ipv4);
+      transition select(h.ipv4.protocol) {
+        0x04 : parse_inner;
+        default : accept;
+      }
+    }
+    state parse_inner { ex.extract(p, h.inner); transition accept; }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+
+  control C(pkt p, inout hdr_t h, im_t im) {
+    bit<16> nh;
+    action drop_pkt() { im.drop(); }
+    action encap(bit<32> segment_src, bit<32> segment_dst) {
+      h.inner.setValid();
+      h.inner.version = h.ipv4.version;
+      h.inner.ihl = h.ipv4.ihl;
+      h.inner.diffserv = h.ipv4.diffserv;
+      h.inner.totalLen = h.ipv4.totalLen;
+      h.inner.identification = h.ipv4.identification;
+      h.inner.flags = h.ipv4.flags;
+      h.inner.fragOffset = h.ipv4.fragOffset;
+      h.inner.ttl = h.ipv4.ttl;
+      h.inner.protocol = h.ipv4.protocol;
+      h.inner.hdrChecksum = h.ipv4.hdrChecksum;
+      h.inner.srcAddr = h.ipv4.srcAddr;
+      h.inner.dstAddr = h.ipv4.dstAddr;
+      h.ipv4.totalLen = h.inner.totalLen + 20;
+      h.ipv4.identification = 0;
+      h.ipv4.flags = 0;
+      h.ipv4.fragOffset = 0;
+      h.ipv4.ttl = 64;
+      h.ipv4.protocol = 0x04;
+      h.ipv4.hdrChecksum = 0;
+      h.ipv4.diffserv = h.inner.diffserv;
+      h.ipv4.srcAddr = segment_src;
+      h.ipv4.dstAddr = segment_dst;
+    }
+    action decap() {
+      h.ipv4.version = h.inner.version;
+      h.ipv4.ihl = h.inner.ihl;
+      h.ipv4.diffserv = h.inner.diffserv;
+      h.ipv4.totalLen = h.inner.totalLen;
+      h.ipv4.identification = h.inner.identification;
+      h.ipv4.flags = h.inner.flags;
+      h.ipv4.fragOffset = h.inner.fragOffset;
+      h.ipv4.ttl = h.inner.ttl;
+      h.ipv4.protocol = h.inner.protocol;
+      h.ipv4.hdrChecksum = h.inner.hdrChecksum;
+      h.ipv4.srcAddr = h.inner.srcAddr;
+      h.ipv4.dstAddr = h.inner.dstAddr;
+      h.inner.setInvalid();
+    }
+    action pass() { }
+    action process_v4(bit<16> next_hop) {
+      h.ipv4.ttl = h.ipv4.ttl - 1;
+      nh = next_hop;
+    }
+    action process_v6(bit<16> next_hop) {
+      h.ipv6.hopLimit = h.ipv6.hopLimit - 1;
+      nh = next_hop;
+    }
+    action forward(bit<48> dmac, bit<48> smac, bit<8> port) {
+      h.eth.dstMac = dmac;
+      h.eth.srcMac = smac;
+      im.set_out_port(port);
+    }
+    table srv4_tbl {
+      key = { h.ipv4.dstAddr : exact; }
+      actions = { encap; decap; pass; }
+      default_action = pass();
+      size = 256;
+    }
+    table ipv4_lpm_tbl {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { process_v4; drop_pkt; }
+      default_action = drop_pkt();
+      size = 1024;
+    }
+    table ipv6_lpm_tbl {
+      key = { h.ipv6.dstAddr : lpm; }
+      actions = { process_v6; drop_pkt; }
+      default_action = drop_pkt();
+      size = 1024;
+    }
+    table forward_tbl {
+      key = { nh : exact; }
+      actions = { forward; drop_pkt; }
+      default_action = drop_pkt();
+      size = 64;
+    }
+    apply {
+      nh = 0;
+      if (h.ipv4.isValid()) {
+        srv4_tbl.apply();
+        if (h.ipv4.ttl == 0) { drop_pkt(); } else { ipv4_lpm_tbl.apply(); }
+      } else if (h.ipv6.isValid()) {
+        if (h.ipv6.hopLimit == 0) { drop_pkt(); } else { ipv6_lpm_tbl.apply(); }
+      }
+      forward_tbl.apply();
+    }
+  }
+
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.ipv4);
+      em.emit(p, h.inner);
+      em.emit(p, h.ipv6);
+    }
+  }
+}
+
+P6Mono(P, C, D) main;

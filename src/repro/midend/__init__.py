@@ -1,0 +1,23 @@
+"""µP4C midend: linking, static analysis, homogenization, slicing.
+
+The midend is target-agnostic (paper §5.1).  Its passes, in pipeline
+order:
+
+1. :mod:`~repro.midend.hdr_stack` / :mod:`~repro.midend.varlen` —
+   lower header stacks and variable-length headers (Appendix C).
+2. :mod:`~repro.midend.linker` — resolve module instantiations across
+   compiled modules and reject recursive composition.
+3. :mod:`~repro.midend.analysis` — operational-region static analysis
+   (extract-length, ∆/δ, byte-stack size, min-packet-size; §5.2).
+4. :mod:`~repro.midend.parser_to_mat` / :mod:`~repro.midend.deparser_to_mat`
+   — homogenize (de)parsers into MAT control blocks (§5.3).
+5. :mod:`~repro.midend.inline` — compose: inline callee pipelines into
+   the caller at each ``apply()`` site.
+6. :mod:`~repro.midend.pdg` / :mod:`~repro.midend.slicing` — packet
+   slices and the packet-processing schedule for replication (§5.4).
+"""
+
+from repro.midend.linker import LinkedProgram, link_modules
+from repro.midend.analysis import OperationalRegion, analyze
+
+__all__ = ["LinkedProgram", "link_modules", "OperationalRegion", "analyze"]

@@ -1,0 +1,223 @@
+"""Operational-region static analysis (paper §5.2, Eqs. 1–4).
+
+For each µP4 program ψ in a linked composition this pass computes:
+
+* ``extract_length`` — El(ψ) = Elp(ψ) + Elc(ψ): the maximum number of
+  packet bytes the composed program touches,
+* ``max_increase`` — ∆(ψ): the largest possible growth in packet size
+  (Eq. 1 over control paths),
+* ``max_decrease`` — δ(ψ): the largest possible shrink (Eq. 2, including
+  headers extracted but never emitted),
+* ``byte_stack_size`` — Bs(ψ) = El(ψ) + ∆(ψ) (Eq. 4),
+* ``min_packet_size`` — the smallest packet the program can accept.
+
+Control-path extract lengths follow Eq. 3: a callee parses the packet
+region left by its predecessors, so each predecessor's possible shrink
+widens the region the byte-stack must cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+from repro.frontend.typecheck import ProgramInfo
+from repro.ir.cfg import ControlPath, enumerate_control_paths
+from repro.ir.parse_graph import ParseGraph, build_parse_graph
+from repro.ir.visitor import walk
+from repro.midend.linker import LinkedProgram, LinkedUnit
+
+
+@dataclass(frozen=True)
+class OperationalRegion:
+    """The paper's operational region for one program (all byte units)."""
+
+    extract_length: int  # El(ψ)
+    parser_extract_length: int  # Elp(ψ)
+    control_extract_length: int  # Elc(ψ)
+    max_increase: int  # ∆(ψ)
+    max_decrease: int  # δ(ψ)
+    min_packet_size: int
+
+    @property
+    def byte_stack_size(self) -> int:
+        """Bs(ψ) = El(ψ) + ∆(ψ) (Eq. 4)."""
+        return self.extract_length + self.max_increase
+
+
+class Analyzer:
+    """Recursive operational-region analysis over a linked composition."""
+
+    def __init__(self, linked: LinkedProgram) -> None:
+        self.linked = linked
+        self._cache: Dict[str, OperationalRegion] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(self, unit: Optional[LinkedUnit] = None) -> OperationalRegion:
+        unit = unit or self.linked.main
+        cached = self._cache.get(unit.name)
+        if cached is not None:
+            return cached
+        region = self._analyze_unit(unit)
+        self._cache[unit.name] = region
+        return region
+
+    # ------------------------------------------------------------------
+    def _analyze_unit(self, unit: LinkedUnit) -> OperationalRegion:
+        info = unit.program
+        if info.parser is not None:
+            graph = build_parse_graph(info.parser)
+            elp = graph.extract_length
+            min_parse = graph.min_extract_length
+            unemitted = self._unemitted_extract_size(info, graph)
+        else:
+            elp = 0
+            min_parse = 0
+            unemitted = 0
+
+        assert info.control is not None
+        paths = enumerate_control_paths(info.control)
+        elc = 0
+        delta = 0  # ∆(ψ)
+        shrink = 0  # δ(ψ)
+        min_callee_extra = None  # for min-packet-size
+        for path in paths:
+            callee_regions = self._callee_regions(unit, path)
+            elc = max(elc, self._path_extract_length(callee_regions))
+            inc, dec = self._path_size_change(path, callee_regions)
+            delta = max(delta, inc)
+            shrink = max(shrink, dec + unemitted)
+            extra = sum(r.min_packet_size for r in callee_regions)
+            if min_callee_extra is None or extra < min_callee_extra:
+                min_callee_extra = extra
+        if min_callee_extra is None:
+            min_callee_extra = 0
+        # A path with no callees and no header ops contributes 0 to
+        # ∆/δ, but the unemitted-header shrink applies on every path.
+        if not paths:
+            shrink = unemitted
+
+        return OperationalRegion(
+            extract_length=elp + elc,
+            parser_extract_length=elp,
+            control_extract_length=elc,
+            max_increase=delta,
+            max_decrease=shrink,
+            min_packet_size=min_parse + min_callee_extra,
+        )
+
+    # ------------------------------------------------------------------
+    def _callee_regions(
+        self, unit: LinkedUnit, path: ControlPath
+    ) -> List[OperationalRegion]:
+        regions: List[OperationalRegion] = []
+        for call in path.module_applies():
+            inst: ast.InstanceDecl = call.resolved[1]  # type: ignore[attr-defined]
+            callee = self.linked.resolve(inst.target)
+            regions.append(self.analyze(callee))
+        return regions
+
+    @staticmethod
+    def _path_extract_length(callee_regions: List[OperationalRegion]) -> int:
+        """Eq. 3: max over callees of (Σ predecessors' δ) + El(callee)."""
+        best = 0
+        shrink_before = 0
+        for region in callee_regions:
+            best = max(best, shrink_before + region.extract_length)
+            shrink_before += region.max_decrease
+        return best
+
+    @staticmethod
+    def _path_size_change(
+        path: ControlPath, callee_regions: List[OperationalRegion]
+    ) -> tuple:
+        """Eqs. 1 and 2: (iψ(x), dψ(x)) for one control path."""
+        valid: Set[str] = set()
+        invalid: Set[str] = set()
+        inc = 0
+        dec = 0
+        for op, htype, lvalue in path.header_ops():
+            if not isinstance(htype, ast.HeaderType):
+                raise AnalysisError("setValid on a non-header value", lvalue.loc)
+            key = _lvalue_key(lvalue)
+            if op == "setValid" and key not in valid:
+                valid.add(key)
+                inc += htype.byte_width
+            elif op == "setInvalid" and key not in invalid:
+                invalid.add(key)
+                dec += htype.byte_width
+        inc += sum(r.max_increase for r in callee_regions)
+        dec += sum(r.max_decrease for r in callee_regions)
+        return inc, dec
+
+    # ------------------------------------------------------------------
+    def _unemitted_extract_size(self, info: ProgramInfo, graph: ParseGraph) -> int:
+        """Bytes of headers the parser may extract but the deparser never
+        emits — these shorten the packet on every path (§5.2)."""
+        emitted = self._emitted_headers(info)
+        best = 0
+        for path in graph.paths():
+            total = 0
+            for op in path.extracts:
+                if _normalize_header(op.lvalue, info, role="parser") not in emitted:
+                    total += op.size
+            best = max(best, total)
+        return best
+
+    def _emitted_headers(self, info: ProgramInfo) -> Set[str]:
+        emitted: Set[str] = set()
+        if info.deparser is None:
+            return emitted
+        for node in walk(info.deparser.apply_body):
+            if isinstance(node, ast.MethodCallExpr):
+                resolved = getattr(node, "resolved", None)
+                if resolved is not None and resolved[:2] == ("extern", "emitter"):
+                    emitted.add(
+                        _normalize_header(node.args[1], info, role="deparser")
+                    )
+        return emitted
+
+
+def _lvalue_key(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.PathExpr):
+        return expr.name
+    if isinstance(expr, ast.MemberExpr):
+        return f"{_lvalue_key(expr.base)}.{expr.member}"
+    if isinstance(expr, ast.IndexExpr):
+        idx = expr.index.value if isinstance(expr.index, ast.IntLit) else "?"
+        return f"{_lvalue_key(expr.base)}[{idx}]"
+    return "<expr>"
+
+
+def _normalize_header(expr: ast.Expr, info: ProgramInfo, role: str) -> str:
+    """Key a header lvalue so parser and deparser names line up.
+
+    The parser's ``out hdr_t h`` and the deparser's ``in hdr_t h`` may use
+    different parameter names; both roots are rewritten to ``<hdr>``.
+    """
+    key = _lvalue_key(expr)
+    root = key.split(".", 1)[0]
+    params = (
+        info.parser.params
+        if role == "parser" and info.parser is not None
+        else (info.deparser.params if info.deparser is not None else [])
+    )
+    for p in params:
+        if p.name == root and isinstance(
+            p.param_type, (ast.StructType, ast.HeaderType)
+        ):
+            return key.replace(root, "<hdr>", 1)
+    return key
+
+
+def analyze(linked: LinkedProgram) -> OperationalRegion:
+    """Analyze the main program of a linked composition."""
+    return Analyzer(linked).analyze()
+
+
+def analyze_all(linked: LinkedProgram) -> Dict[str, OperationalRegion]:
+    """Analyze every reachable unit; keys are program names."""
+    analyzer = Analyzer(linked)
+    return {unit.name: analyzer.analyze(unit) for unit in linked.units()}

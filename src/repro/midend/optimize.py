@@ -1,0 +1,167 @@
+"""Composition-overhead optimizations (paper §8.1).
+
+The paper outlines optimizations to reduce the resource cost of
+homogenized (de)parsers.  This pass implements the first practical
+slice of them on a composed pipeline:
+
+* **trivial parser MATs** — a module whose parser extracts nothing
+  (e.g. a dispatch module like ``L3``) still gets a full MAT with a
+  length guard; its only effect is setting the path register.  The MAT
+  is replaced by the straight-line action body, freeing a logical table
+  and its match crossbar share.
+* **empty deparser MATs** — a deparser that emits nothing compiles to a
+  table whose every action is a no-op; it is removed outright.
+* **single-entry parser MATs** — a parser with exactly one path whose
+  only guard is the packet-length check is replaced by a conditional
+  around its action body (the "gateway" form targets implement for
+  free), instead of occupying a match stage.
+
+Returns statistics so ablation benches can report what was removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.frontend import astnodes as ast
+from repro.midend.inline import ComposedPipeline
+
+
+@dataclass
+class OptimizationStats:
+    """What the pass removed or rewrote."""
+
+    elided_parser_mats: List[str] = field(default_factory=list)
+    elided_deparser_mats: List[str] = field(default_factory=list)
+    gatewayed_parser_mats: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            len(self.elided_parser_mats)
+            + len(self.elided_deparser_mats)
+            + len(self.gatewayed_parser_mats)
+        )
+
+
+def _table_of(stmt: ast.Stmt) -> Optional[ast.TableDecl]:
+    if isinstance(stmt, ast.MethodCallStmt):
+        resolved = getattr(stmt.call, "resolved", None)
+        if resolved is not None and resolved[0] == "table":
+            return resolved[1]
+    return None
+
+
+def _is_trivial_parser_mat(composed: ComposedPipeline, decl: ast.TableDecl):
+    """A parser MAT with one path and no extractions: its single entry's
+    action only sets the path register."""
+    for prefix, mat in composed.parser_mats.items():
+        if mat.table is decl:
+            if len(mat.paths) == 1 and not mat.paths[0].extracts:
+                return mat
+            return None
+    return None
+
+
+def _is_single_path_parser_mat(composed: ComposedPipeline, decl: ast.TableDecl):
+    for mat in composed.parser_mats.values():
+        if mat.table is decl and len(mat.paths) == 1 and mat.paths[0].extracts:
+            # Single path, real extraction: entry keys are just the
+            # length guard (no select conditions on a one-path parser
+            # unless defaults were taken).
+            if len(decl.keys) == 1:
+                return mat
+    return None
+
+
+def _is_empty_deparser_mat(composed: ComposedPipeline, decl: ast.TableDecl) -> bool:
+    for mat in composed.deparser_mats.values():
+        if mat.table is decl:
+            return all(
+                not composed.actions[name].body.stmts
+                for name in decl.actions
+                if name in composed.actions
+            )
+    return False
+
+
+def _length_guard_condition(mat, bs) -> ast.Expr:
+    """``upa_bs_len >= <need>`` for a single-path parser gateway."""
+    need = mat.base_offset + mat.paths[0].extract_len
+    lit = ast.IntLit(value=need, width=16)
+    lit.type = ast.BitType(width=16)
+    cond = ast.BinaryExpr(op=">=", left=bs.len_expr(), right=lit)
+    cond.type = ast.BoolType()
+    return cond
+
+
+def _error_action_call(composed: ComposedPipeline, mat) -> List[ast.Stmt]:
+    err = composed.actions.get(mat.table.default_action)
+    return [s.clone() for s in err.body.stmts] if err is not None else []
+
+
+def elide_trivial_mats(composed: ComposedPipeline) -> OptimizationStats:
+    """Apply the §8.1 MAT-elision optimizations in place."""
+    stats = OptimizationStats()
+    if composed.mode != "micro" or composed.byte_stack is None:
+        return stats
+    bs = composed.byte_stack
+
+    def rewrite(stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+        out: List[ast.Stmt] = []
+        for stmt in stmts:
+            decl = _table_of(stmt)
+            if decl is None:
+                out.append(_rewrite_nested(stmt))
+                continue
+            trivial = _is_trivial_parser_mat(composed, decl)
+            if trivial is not None:
+                # Inline the single entry's action body; the length
+                # guard still applies (an empty parser accepts any
+                # suffix, including the empty one, so it is vacuous).
+                action = composed.actions[decl.const_entries[0].action_name]
+                out.extend(s.clone() for s in action.body.stmts)
+                composed.tables.pop(decl.name, None)
+                stats.elided_parser_mats.append(decl.name)
+                continue
+            single = _is_single_path_parser_mat(composed, decl)
+            if single is not None:
+                action = composed.actions[decl.const_entries[0].action_name]
+                guard = _length_guard_condition(single, bs)
+                out.append(
+                    ast.IfStmt(
+                        cond=guard,
+                        then_body=ast.BlockStmt(
+                            stmts=[s.clone() for s in action.body.stmts]
+                        ),
+                        else_body=ast.BlockStmt(
+                            stmts=_error_action_call(composed, single)
+                        ),
+                    )
+                )
+                composed.tables.pop(decl.name, None)
+                stats.gatewayed_parser_mats.append(decl.name)
+                continue
+            if _is_empty_deparser_mat(composed, decl):
+                composed.tables.pop(decl.name, None)
+                stats.elided_deparser_mats.append(decl.name)
+                continue
+            out.append(stmt)
+        return out
+
+    def _rewrite_nested(stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.BlockStmt):
+            stmt.stmts = rewrite(stmt.stmts)
+        elif isinstance(stmt, ast.IfStmt):
+            stmt.then_body = _rewrite_nested(stmt.then_body)
+            if stmt.else_body is not None:
+                stmt.else_body = _rewrite_nested(stmt.else_body)
+        elif isinstance(stmt, ast.SwitchStmt):
+            for case in stmt.cases:
+                if case.body is not None:
+                    case.body = _rewrite_nested(case.body)
+        return stmt
+
+    composed.statements = rewrite(composed.statements)
+    return stats

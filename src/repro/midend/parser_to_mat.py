@@ -1,0 +1,230 @@
+"""Parser → MAT homogenization (paper §5.3, Fig. 10).
+
+Each parser is transformed into one match-action table over the byte
+stack:
+
+* **static analysis** enumerates the start→accept paths (Fig. 10b),
+* each path's select conditions are rewritten so header-field subjects
+  become byte-stack reads at their evaluated offsets (``b[12]++b[13]``),
+* the table key is the union of per-path subjects (ternary) plus a
+  packet-length guard over ``upa_bs_len`` (range match) standing in for
+  the paper's last-byte validity test,
+* one action per path copies the stack bytes into the user's header
+  fields, marks those headers valid, records which path matched in a
+  per-module ``<prefix>_path`` register, and replays the path's forward-
+  substituted assignments,
+* the default action flags a parser error (``set_parser_error``).
+
+Entries are installed in DFS path order, which matches P4's first-match
+select semantics for overlapping keysets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+from repro.ir.parse_graph import ParsePath, build_parse_graph
+from repro.ir.printer import expr_text
+from repro.ir.visitor import rewrite_expressions
+from repro.midend.bytestack import BS_LEN_WIDTH, PARSER_ERR_VAR, ByteStack
+
+PATH_VAR_WIDTH = 8
+PATH_ERROR_ID = 0  # <prefix>_path value when no path matched
+
+
+@dataclass
+class MatParser:
+    """The synthesized parser MAT for one module instance."""
+
+    table: ast.TableDecl
+    actions: Dict[str, ast.ActionDecl]
+    path_var: str
+    paths: List[ParsePath]
+    base_offset: int
+    prefix: str
+
+    @property
+    def const_extract_len(self) -> Optional[int]:
+        """Extract length if identical on every path, else ``None``."""
+        lengths = {p.extract_len for p in self.paths}
+        if len(lengths) == 1:
+            return lengths.pop()
+        return None
+
+    def apply_stmt(self) -> ast.MethodCallStmt:
+        target = ast.MemberExpr(
+            base=ast.PathExpr(name=self.table.name), member="apply"
+        )
+        call = ast.MethodCallExpr(target=target)
+        call.resolved = ("table", self.table)  # type: ignore[attr-defined]
+        return ast.MethodCallStmt(call=call)
+
+
+def _int_lit(value: int, width: int) -> ast.IntLit:
+    lit = ast.IntLit(value=value, width=width)
+    lit.type = ast.BitType(width=width)
+    return lit
+
+
+def _setvalid_stmt(hdr_lvalue: ast.Expr) -> ast.MethodCallStmt:
+    target = ast.MemberExpr(base=hdr_lvalue.clone(), member="setValid")
+    call = ast.MethodCallExpr(target=target)
+    call.resolved = ("header_op", "setValid")  # type: ignore[attr-defined]
+    return ast.MethodCallStmt(call=call)
+
+
+def _map_subject_to_stack(
+    subject: ast.Expr,
+    path: ParsePath,
+    base_offset: int,
+    bs: ByteStack,
+) -> ast.Expr:
+    """Rewrite extracted-header field references to byte-stack reads."""
+    extract_offsets: Dict[str, Tuple[int, ast.HeaderType]] = {}
+    for op in path.extracts:
+        extract_offsets[expr_text(op.lvalue)] = (op.offset, op.header_type)
+
+    def repl(e: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(e, ast.MemberExpr):
+            base_text = expr_text(e.base)
+            hit = extract_offsets.get(base_text)
+            if hit is not None:
+                offset, htype = hit
+                if htype.field_type(e.member) is None:
+                    return None
+                return bs.read_field(base_offset + offset, htype, e.member)
+        return None
+
+    return rewrite_expressions(subject.clone(), repl)  # type: ignore[return-value]
+
+
+def parser_to_mat(
+    parser: ast.ParserDecl,
+    base_offset: int,
+    bs: ByteStack,
+    prefix: str,
+) -> MatParser:
+    """Transform ``parser`` into a MAT reading the byte stack.
+
+    ``base_offset`` is the stack position of the module's packet view
+    (the bytes consumed by its callers); ``prefix`` namespaces the
+    synthesized table, actions and path register.
+    """
+    graph = build_parse_graph(parser)
+    paths = graph.paths()
+    if not paths:
+        raise AnalysisError(
+            f"parser {parser.name!r} has no accepting path", parser.loc
+        )
+    path_var = f"{prefix}_path"
+
+    # ------------------------------------------------------------------
+    # Key synthesis: the bs_len guard plus the union of mapped subjects.
+    # ------------------------------------------------------------------
+    key_order: List[str] = []
+    key_exprs: Dict[str, ast.Expr] = {}
+    per_path_keysets: List[Dict[str, ast.Expr]] = []
+    for path in paths:
+        keysets: Dict[str, ast.Expr] = {}
+        for cond in path.conditions:
+            mapped = _map_subject_to_stack(cond.subject, path, base_offset, bs)
+            text = expr_text(mapped)
+            if text not in key_exprs:
+                key_exprs[text] = mapped
+                key_order.append(text)
+            if text in keysets:
+                # Same subject constrained twice on one path: keep the
+                # later (more specific) constraint.
+                pass
+            keysets[text] = cond.keyset
+        per_path_keysets.append(keysets)
+
+    keys: List[ast.KeyElement] = [
+        ast.KeyElement(expr=bs.len_expr(), match_kind="range")
+    ]
+    for text in key_order:
+        keys.append(ast.KeyElement(expr=key_exprs[text], match_kind="ternary"))
+
+    # ------------------------------------------------------------------
+    # One action + one entry per path.
+    # ------------------------------------------------------------------
+    actions: Dict[str, ast.ActionDecl] = {}
+    entries: List[ast.TableEntry] = []
+    for index, path in enumerate(paths):
+        action_name = f"cp_{prefix}_{path.name()}_{index + 1}"
+        stmts: List[ast.Stmt] = [
+            ast.AssignStmt(
+                lhs=_path_lvalue(path_var),
+                rhs=_int_lit(index + 1, PATH_VAR_WIDTH),
+            )
+        ]
+        for op in path.extracts:
+            stmts.append(_setvalid_stmt(op.lvalue))
+            stmts.extend(
+                bs.extract_assigns(
+                    base_offset + op.offset, op.header_type, op.lvalue
+                )
+            )
+        stmts.extend(a.clone() for a in path.assigns)
+        actions[action_name] = ast.ActionDecl(
+            name=action_name, body=ast.BlockStmt(stmts=stmts)
+        )
+
+        need = base_offset + path.extract_len
+        length_keyset = ast.RangeExpr(
+            lo=_int_lit(need, BS_LEN_WIDTH),
+            hi=_int_lit((1 << BS_LEN_WIDTH) - 1, BS_LEN_WIDTH),
+        )
+        keysets: List[ast.Expr] = [length_keyset]
+        path_map = per_path_keysets[index]
+        for text in key_order:
+            keysets.append(path_map.get(text, ast.DefaultExpr()).clone())
+        entries.append(
+            ast.TableEntry(
+                keysets=keysets, action_name=action_name, action_args=[]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Default action: set_parser_error.
+    # ------------------------------------------------------------------
+    err_name = f"set_parser_error_{prefix}"
+    err_var = ast.PathExpr(name=PARSER_ERR_VAR)
+    err_var.type = ast.BitType(width=8)
+    actions[err_name] = ast.ActionDecl(
+        name=err_name,
+        body=ast.BlockStmt(
+            stmts=[
+                ast.AssignStmt(lhs=err_var, rhs=_int_lit(1, 8)),
+                ast.AssignStmt(
+                    lhs=_path_lvalue(path_var),
+                    rhs=_int_lit(PATH_ERROR_ID, PATH_VAR_WIDTH),
+                ),
+            ]
+        ),
+    )
+
+    table = ast.TableDecl(
+        name=f"{prefix}_parser_tbl",
+        keys=keys,
+        actions=list(actions),
+        default_action=err_name,
+        const_entries=entries,
+    )
+    return MatParser(
+        table=table,
+        actions=actions,
+        path_var=path_var,
+        paths=paths,
+        base_offset=base_offset,
+        prefix=prefix,
+    )
+
+
+def _path_lvalue(path_var: str) -> ast.Expr:
+    expr = ast.PathExpr(name=path_var)
+    expr.type = ast.BitType(width=PATH_VAR_WIDTH)
+    return expr

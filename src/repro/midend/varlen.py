@@ -1,0 +1,252 @@
+"""Variable-length header lowering (paper Appendix C).
+
+µP4 constrains ``varbit`` fields to a whole number of bytes at runtime.
+µP4C splits a header with fixed and variable parts into multiple types
+and converts each two-argument ``extract`` into a sub-parser whose
+select enumerates every possible byte count up to the maximum — "if a
+variable-length field has maximum size of 40 bytes, µP4C creates 40
+states extracting different number of bytes".
+
+Concretely, for ``header opt_h { bit<8> len; varbit<320> options; }``:
+
+* ``opt_h`` is rewritten to hold only the fixed fields,
+* variant headers ``opt_h_var1 .. opt_h_var40`` are synthesized (one
+  per possible byte count, each a single ``bit<8k>`` field),
+* the struct instance ``h.opt`` gains siblings ``h.opt_var1``…,
+* ``ex.extract(p, h.opt, size)`` becomes: extract the fixed part, then
+  ``select (size)`` into one synthesized state per byte count, each
+  extracting its variant and continuing to the original transition,
+* deparser ``emit(p, h.opt)`` additionally emits every variant (only
+  the valid one lands on the wire).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+from repro.frontend.typecheck import Module, TypeChecker
+
+MAX_VARLEN_BYTES = 64
+
+
+def _variant_name(type_name: str, nbytes: int) -> str:
+    return f"{type_name}_var{nbytes}"
+
+
+def _find_varlen_types(source: ast.SourceProgram) -> Dict[str, int]:
+    """header type name -> max varbit bytes, for headers with varbits."""
+    out: Dict[str, int] = {}
+    for decl in source.decls:
+        if isinstance(decl, ast.HeaderDecl):
+            varbits = [
+                (i, f)
+                for i, (_, f) in enumerate(decl.fields)
+                if isinstance(f, ast.VarBitType)
+            ]
+            if not varbits:
+                continue
+            if len(varbits) > 1:
+                raise AnalysisError(
+                    f"header {decl.name!r} has multiple varbit fields", decl.loc
+                )
+            index, vtype = varbits[0]
+            if index != len(decl.fields) - 1:
+                raise AnalysisError(
+                    f"varbit field of {decl.name!r} must be last", decl.loc
+                )
+            nbytes = vtype.max_width // 8
+            if nbytes > MAX_VARLEN_BYTES:
+                raise AnalysisError(
+                    f"varbit of {decl.name!r} enumerates {nbytes} byte counts; "
+                    f"limit is {MAX_VARLEN_BYTES}",
+                    decl.loc,
+                )
+            out[decl.name] = nbytes
+    return out
+
+
+def has_varlen_headers(source: ast.SourceProgram) -> bool:
+    return bool(_find_varlen_types(source))
+
+
+def lower_varlen_headers(module: Module) -> Module:
+    """Lower all varbit headers; returns a freshly checked module."""
+    varlen = _find_varlen_types(module.source)
+    if not varlen:
+        return module
+    source = module.source.clone()
+
+    # 1. Rewrite the header declarations and synthesize variants.
+    new_decls: List[ast.Decl] = []
+    for decl in source.decls:
+        if isinstance(decl, ast.HeaderDecl) and decl.name in varlen:
+            fixed = [
+                (n, t) for n, t in decl.fields if not isinstance(t, ast.VarBitType)
+            ]
+            if fixed:
+                decl.fields = fixed
+                new_decls.append(decl)
+            else:
+                # Pure-varbit header: keep a 0-field marker out of the
+                # program; variants carry everything.
+                decl.fields = []
+                new_decls.append(decl)
+            for k in range(1, varlen[decl.name] + 1):
+                new_decls.append(
+                    ast.HeaderDecl(
+                        name=_variant_name(decl.name, k),
+                        fields=[("data", ast.BitType(width=8 * k))],
+                    )
+                )
+        else:
+            new_decls.append(decl)
+    source.decls = new_decls
+
+    # 2. Add variant fields to structs holding varlen headers.
+    instances: Dict[str, Tuple[str, int]] = {}  # struct field -> (type, n)
+    for decl in source.decls:
+        if isinstance(decl, ast.StructDecl):
+            out_fields: List[Tuple[str, ast.Type]] = []
+            for fname, ftype in decl.fields:
+                out_fields.append((fname, ftype))
+                tname = getattr(ftype, "name", None)
+                if tname in varlen:
+                    instances[fname] = (tname, varlen[tname])
+                    for k in range(1, varlen[tname] + 1):
+                        out_fields.append(
+                            (
+                                f"{fname}_var{k}",
+                                ast.TypeName(name=_variant_name(tname, k)),
+                            )
+                        )
+            decl.fields = out_fields
+
+    # 3. Rewrite parsers and deparsers.
+    for decl in source.decls:
+        _rewrite_decl(decl, instances)
+
+    return TypeChecker(source, module.name).check()
+
+
+def _rewrite_decl(decl: ast.Decl, instances: Dict[str, Tuple[str, int]]) -> None:
+    if isinstance(decl, ast.ProgramDecl):
+        for inner in decl.decls:
+            _rewrite_decl(inner, instances)
+    elif isinstance(decl, ast.ParserDecl):
+        _rewrite_parser(decl, instances)
+    elif isinstance(decl, ast.ControlDecl):
+        _rewrite_emits(decl, instances)
+
+
+def _varlen_extract(stmt: ast.Stmt, instances) -> Optional[Tuple[ast.MethodCallStmt, str, int, ast.Expr]]:
+    if not isinstance(stmt, ast.MethodCallStmt):
+        return None
+    call = stmt.call
+    if not (
+        isinstance(call.target, ast.MemberExpr)
+        and call.target.member == "extract"
+        and len(call.args) == 3
+    ):
+        return None
+    lvalue = call.args[1]
+    if isinstance(lvalue, ast.MemberExpr) and lvalue.member in instances:
+        tname, nbytes = instances[lvalue.member]
+        return stmt, lvalue.member, nbytes, call.args[2]
+    return None
+
+
+def _rewrite_parser(parser: ast.ParserDecl, instances) -> None:
+    new_states: List[ast.ParserState] = []
+    for state in parser.states:
+        hit = None
+        for index, stmt in enumerate(state.stmts):
+            hit = _varlen_extract(stmt, instances)
+            if hit is not None:
+                break
+        if hit is None:
+            new_states.append(state)
+            continue
+        stmt, fname, nbytes, size_expr = hit
+        if index != len(state.stmts) - 1:
+            raise AnalysisError(
+                "variable-length extract must be the state's last statement",
+                stmt.loc,
+            )
+        base = stmt.call.args[1].base  # the struct instance expr
+        extractor = stmt.call.target.base  # the extractor instance
+
+        # Head state: fixed part + select on the size expression.
+        head = ast.ParserState(loc=state.loc, name=state.name)
+        head.stmts = list(state.stmts[:index])
+        head.stmts.append(_extract_stmt(extractor, stmt.call.args[0], base, fname))
+        cont_name = f"{state.name}_varlen_done"
+        cases: List[Tuple[List[ast.Expr], str]] = [
+            ([ast.IntLit(value=0)], cont_name)
+        ]
+        for k in range(1, nbytes + 1):
+            var_state = f"{state.name}_var{k}"
+            cases.append(([ast.IntLit(value=8 * k)], var_state))
+            vs = ast.ParserState(name=var_state)
+            vs.stmts = [
+                _extract_stmt(
+                    extractor, stmt.call.args[0], base, f"{fname}_var{k}"
+                )
+            ]
+            vs.direct_next = cont_name
+            new_states.append(vs)
+        head.select_exprs = [size_expr]
+        head.select_cases = cases
+        new_states.insert(len(new_states) - nbytes, head)
+
+        # Continuation state: the original transition.
+        cont = ast.ParserState(name=cont_name)
+        cont.direct_next = state.direct_next
+        cont.select_exprs = state.select_exprs
+        cont.select_cases = state.select_cases
+        new_states.append(cont)
+    parser.states = new_states
+
+
+def _extract_stmt(extractor: ast.Expr, pkt: ast.Expr, base: ast.Expr, member: str) -> ast.Stmt:
+    call = ast.MethodCallExpr(
+        target=ast.MemberExpr(base=extractor.clone(), member="extract"),
+        args=[pkt.clone(), ast.MemberExpr(base=base.clone(), member=member)],
+    )
+    return ast.MethodCallStmt(call=call)
+
+
+def _rewrite_emits(control: ast.ControlDecl, instances) -> None:
+    """Expand ``emit(p, h.X)`` to emit the fixed part plus variants."""
+    new_stmts: List[ast.Stmt] = []
+    for stmt in control.apply_body.stmts:
+        new_stmts.append(stmt)
+        if not isinstance(stmt, ast.MethodCallStmt):
+            continue
+        call = stmt.call
+        if not (
+            isinstance(call.target, ast.MemberExpr) and call.target.member == "emit"
+        ):
+            continue
+        if len(call.args) != 2:
+            continue
+        lvalue = call.args[1]
+        if isinstance(lvalue, ast.MemberExpr) and lvalue.member in instances:
+            _, nbytes = instances[lvalue.member]
+            for k in range(1, nbytes + 1):
+                new_stmts.append(
+                    ast.MethodCallStmt(
+                        call=ast.MethodCallExpr(
+                            target=call.target.clone(),
+                            args=[
+                                call.args[0].clone(),
+                                ast.MemberExpr(
+                                    base=lvalue.base.clone(),
+                                    member=f"{lvalue.member}_var{k}",
+                                ),
+                            ],
+                        )
+                    )
+                )
+    control.apply_body.stmts = new_stmts

@@ -1,0 +1,29 @@
+"""Packet machinery: byte-level packets and standard protocol header codecs.
+
+This subpackage is the networking substrate for the µP4 reproduction.  It
+provides:
+
+* :class:`~repro.net.packet.Packet` — a mutable byte-array packet with
+  insert/remove primitives matching what a dataplane does when it adds or
+  strips headers.
+* :class:`~repro.net.fields.HeaderCodec` — declarative bit-field header
+  layouts with pack/unpack.
+* One module per protocol (Ethernet, VLAN, MPLS, IPv4, IPv6, SRv6-SRH,
+  TCP, UDP, GRE, ICMP) exposing a codec plus convenience builders.
+* :mod:`~repro.net.build` — layered packet construction and dissection.
+"""
+
+from repro.net.packet import Packet
+from repro.net.fields import Field, HeaderCodec
+from repro.net.checksum import internet_checksum, ipv4_header_checksum
+from repro.net.build import PacketBuilder, dissect
+
+__all__ = [
+    "Packet",
+    "Field",
+    "HeaderCodec",
+    "internet_checksum",
+    "ipv4_header_checksum",
+    "PacketBuilder",
+    "dissect",
+]

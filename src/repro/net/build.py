@@ -1,0 +1,188 @@
+"""Layered packet construction and dissection.
+
+:class:`PacketBuilder` stacks headers in order and produces a
+:class:`~repro.net.packet.Packet`; :func:`dissect` walks a packet back
+into a list of ``(name, field_dict)`` layers by following etherType /
+protocol / nextHdr chaining.  The dissector is what the test-suite uses
+to check packets emitted by the behavioral target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.net import ethernet as eth_mod
+from repro.net import ipv4 as ipv4_mod
+from repro.net import ipv6 as ipv6_mod
+from repro.net.ethernet import ETHERNET
+from repro.net.fields import HeaderCodec
+from repro.net.gre import GRE
+from repro.net.icmp import ICMP
+from repro.net.ipv4 import IPV4
+from repro.net.ipv6 import IPV6
+from repro.net.mpls import MPLS
+from repro.net.packet import Packet
+from repro.net.srv6 import SRH_BASE, SRH_SEGMENT
+from repro.net.tcp import TCP
+from repro.net.udp import UDP
+from repro.net.vlan import VLAN
+
+Layer = Tuple[str, Dict[str, int]]
+
+_CODECS: Dict[str, HeaderCodec] = {
+    "ethernet": ETHERNET,
+    "vlan": VLAN,
+    "mpls": MPLS,
+    "ipv4": IPV4,
+    "ipv6": IPV6,
+    "srh": SRH_BASE,
+    "srh_segment": SRH_SEGMENT,
+    "tcp": TCP,
+    "udp": UDP,
+    "gre": GRE,
+    "icmp": ICMP,
+}
+
+
+def codec_for(layer: str) -> HeaderCodec:
+    """Look up the codec for a layer name."""
+    try:
+        return _CODECS[layer]
+    except KeyError:
+        raise KeyError(f"unknown layer {layer!r}; known: {sorted(_CODECS)}") from None
+
+
+class PacketBuilder:
+    """Fluent builder for layered packets.
+
+    Example::
+
+        pkt = (PacketBuilder()
+               .ethernet("02::01", "02::02", 0x0800)
+               .ipv4("10.0.0.1", "10.0.0.2", 6)
+               .tcp(1234, 80)
+               .payload(b"hello")
+               .build())
+    """
+
+    def __init__(self) -> None:
+        self._layers: List[Layer] = []
+        self._payload = b""
+
+    def layer(self, name: str, fields: Mapping[str, int]) -> "PacketBuilder":
+        codec_for(name)  # validate early
+        self._layers.append((name, dict(fields)))
+        return self
+
+    def ethernet(self, dst: str, src: str, ether_type: int) -> "PacketBuilder":
+        return self.layer("ethernet", eth_mod.ethernet(dst, src, ether_type))
+
+    def ipv4(self, src: str, dst: str, protocol: int, **kw) -> "PacketBuilder":
+        return self.layer("ipv4", ipv4_mod.ipv4(src, dst, protocol, **kw))
+
+    def ipv6(self, src: str, dst: str, next_hdr: int, **kw) -> "PacketBuilder":
+        return self.layer("ipv6", ipv6_mod.ipv6(src, dst, next_hdr, **kw))
+
+    def tcp(self, src_port: int, dst_port: int, **kw) -> "PacketBuilder":
+        from repro.net.tcp import tcp
+
+        return self.layer("tcp", tcp(src_port, dst_port, **kw))
+
+    def udp(self, src_port: int, dst_port: int, **kw) -> "PacketBuilder":
+        from repro.net.udp import udp
+
+        return self.layer("udp", udp(src_port, dst_port, **kw))
+
+    def mpls(self, label: int, **kw) -> "PacketBuilder":
+        from repro.net.mpls import mpls
+
+        return self.layer("mpls", mpls(label, **kw))
+
+    def payload(self, data: bytes) -> "PacketBuilder":
+        self._payload = data
+        return self
+
+    def build(self) -> Packet:
+        out = bytearray()
+        for name, fields in self._layers:
+            out.extend(codec_for(name).encode(fields))
+        out.extend(self._payload)
+        return Packet(bytes(out))
+
+
+def _next_layer_ethertype(ether_type: int) -> Optional[str]:
+    return {
+        eth_mod.ETHERTYPE_IPV4: "ipv4",
+        eth_mod.ETHERTYPE_IPV6: "ipv6",
+        eth_mod.ETHERTYPE_VLAN: "vlan",
+        eth_mod.ETHERTYPE_MPLS: "mpls",
+    }.get(ether_type)
+
+
+def _next_layer_ipproto(proto: int) -> Optional[str]:
+    return {
+        ipv4_mod.PROTO_TCP: "tcp",
+        ipv4_mod.PROTO_UDP: "udp",
+        ipv4_mod.PROTO_GRE: "gre",
+        ipv4_mod.PROTO_ICMP: "icmp",
+        ipv4_mod.PROTO_IPV4: "ipv4",
+        ipv6_mod.NEXT_HDR_ROUTING: "srh",
+    }.get(proto)
+
+
+def dissect(packet: Packet, first_layer: str = "ethernet") -> List[Layer]:
+    """Dissect a packet into ``(layer_name, fields)`` tuples.
+
+    Stops at the first layer it cannot chain past; the remainder, if any,
+    is returned as a final ``("payload", {"data": ...hex int...})`` entry
+    carrying raw bytes under the key ``"raw"``.
+    """
+    layers: List[Layer] = []
+    data = packet.tobytes()
+    offset = 0
+    current: Optional[str] = first_layer
+    while current is not None and offset < len(data):
+        codec = codec_for(current)
+        if offset + codec.byte_width > len(data):
+            break
+        fields = codec.decode(data[offset : offset + codec.byte_width])
+        layers.append((current, fields))
+        offset += codec.byte_width
+        if current == "ethernet" or current == "vlan":
+            current = _next_layer_ethertype(fields["etherType"])
+        elif current == "mpls":
+            current = None if fields["bos"] == 0 else None
+            if fields["bos"] == 0:
+                current = "mpls"
+            else:
+                # Peek at the IP version nibble after bottom-of-stack.
+                if offset < len(data):
+                    version = data[offset] >> 4
+                    current = {4: "ipv4", 6: "ipv6"}.get(version)
+                else:
+                    current = None
+        elif current == "ipv4":
+            current = _next_layer_ipproto(fields["protocol"])
+        elif current == "ipv6":
+            current = _next_layer_ipproto(fields["nextHdr"])
+        elif current == "srh":
+            for _ in range(fields["lastEntry"] + 1):
+                if offset + 16 > len(data):
+                    break
+                seg = SRH_SEGMENT.decode(data[offset : offset + 16])
+                layers.append(("srh_segment", seg))
+                offset += 16
+            current = _next_layer_ipproto(fields["nextHdr"])
+        else:
+            current = None
+    if offset < len(data):
+        layers.append(("payload", {"raw": data[offset:]}))  # type: ignore[dict-item]
+    return layers
+
+
+def layer_fields(layers: List[Layer], name: str, index: int = 0) -> Dict[str, int]:
+    """Fetch the ``index``-th occurrence of layer ``name`` from a dissection."""
+    found = [fields for lname, fields in layers if lname == name]
+    if index >= len(found):
+        raise KeyError(f"layer {name!r}[{index}] not present in dissection")
+    return found[index]

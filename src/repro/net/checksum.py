@@ -1,0 +1,63 @@
+"""Internet checksum (RFC 1071) helpers.
+
+Used by the IPv4 codec, the NAT module's checksum fix-up emulation, and by
+tests that validate packets emerging from the behavioral target.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement 16-bit checksum over ``data``.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ipv4_header_checksum(header: bytes) -> int:
+    """Checksum an IPv4 header with its checksum field zeroed first."""
+    if len(header) < 20:
+        raise ValueError("IPv4 header must be at least 20 bytes")
+    zeroed = header[:10] + b"\x00\x00" + header[12:]
+    return internet_checksum(zeroed)
+
+
+def incremental_update(old_checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 incremental checksum update for a single 16-bit word.
+
+    This mirrors how a NAT dataplane patches L3/L4 checksums after
+    rewriting an address without touching the payload.
+    """
+    csum = (~old_checksum) & 0xFFFF
+    csum += ((~old_word) & 0xFFFF) + (new_word & 0xFFFF)
+    while csum >> 16:
+        csum = (csum & 0xFFFF) + (csum >> 16)
+    return (~csum) & 0xFFFF
+
+
+def pseudo_header_v4(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header bytes for TCP/UDP checksums."""
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + bytes([0, proto])
+        + length.to_bytes(2, "big")
+    )
+
+
+def pseudo_header_v6(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv6 pseudo-header bytes for TCP/UDP checksums."""
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + length.to_bytes(4, "big")
+        + bytes([0, 0, 0, proto])
+    )

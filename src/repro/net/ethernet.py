@@ -1,0 +1,37 @@
+"""Ethernet II header codec and helpers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_MPLS = 0x8847
+ETHERTYPE_MPLS_MC = 0x8848
+
+ETHERNET = HeaderCodec(
+    "ethernet_t",
+    [("dstAddr", 48), ("srcAddr", 48), ("etherType", 16)],
+)
+
+
+def mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC address {text!r}")
+    return int.from_bytes(bytes(int(p, 16) for p in parts), "big")
+
+
+def mac_str(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    return ":".join(f"{b:02x}" for b in value.to_bytes(6, "big"))
+
+
+def ethernet(dst: str, src: str, ether_type: int) -> Dict[str, int]:
+    """Field dict for an Ethernet header (accepts MAC strings)."""
+    return {"dstAddr": mac(dst), "srcAddr": mac(src), "etherType": ether_type}

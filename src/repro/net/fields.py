@@ -1,0 +1,141 @@
+"""Declarative bit-field header layouts.
+
+A :class:`HeaderCodec` describes a protocol header as an ordered list of
+:class:`Field` entries with bit widths.  Headers pack MSB-first (network
+order), so a codec is a faithful model of the wire layout used by P4
+``header`` types.  Total width must be a whole number of bytes, matching
+P4's byte-aligned header constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+class FieldError(Exception):
+    """Raised for malformed layouts or out-of-range field values."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One header field: a name and a width in bits."""
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise FieldError(f"field {self.name!r} has non-positive width")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+
+class HeaderCodec:
+    """Pack/unpack a fixed-layout header to and from bytes.
+
+    Parameters
+    ----------
+    name:
+        Header type name (e.g. ``"ipv4_t"``).
+    fields:
+        Ordered ``(name, bit_width)`` pairs or :class:`Field` objects.
+    """
+
+    def __init__(self, name: str, fields: Iterable) -> None:
+        self.name = name
+        self.fields: List[Field] = [
+            f if isinstance(f, Field) else Field(*f) for f in fields
+        ]
+        if not self.fields:
+            raise FieldError(f"header {name!r} has no fields")
+        seen = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise FieldError(f"duplicate field {f.name!r} in {name!r}")
+            seen.add(f.name)
+        self.bit_width = sum(f.width for f in self.fields)
+        if self.bit_width % 8 != 0:
+            raise FieldError(
+                f"header {name!r} is {self.bit_width} bits; must be byte-aligned"
+            )
+        self.byte_width = self.bit_width // 8
+        # Precompute (field -> (msb_offset, width)) for slicing.
+        self._offsets: Dict[str, Tuple[int, int]] = {}
+        pos = 0
+        for f in self.fields:
+            self._offsets[f.name] = (pos, f.width)
+            pos += f.width
+
+    # ------------------------------------------------------------------
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def width_of(self, field: str) -> int:
+        return self._offsets[field][1]
+
+    def bit_offset_of(self, field: str) -> int:
+        """Offset of the field's MSB from the start of the header."""
+        return self._offsets[field][0]
+
+    def byte_range_of(self, field: str) -> Tuple[int, int]:
+        """``(first_byte, last_byte_exclusive)`` covering the field."""
+        off, width = self._offsets[field]
+        return off // 8, (off + width + 7) // 8
+
+    # ------------------------------------------------------------------
+    def encode(self, values: Mapping[str, int]) -> bytes:
+        """Pack a field-value mapping into header bytes.
+
+        Missing fields default to zero; unknown fields are an error.
+        """
+        unknown = set(values) - set(self._offsets)
+        if unknown:
+            raise FieldError(f"unknown fields for {self.name!r}: {sorted(unknown)}")
+        acc = 0
+        for f in self.fields:
+            v = int(values.get(f.name, 0))
+            if v < 0 or v > f.max_value:
+                raise FieldError(
+                    f"{self.name}.{f.name}={v} out of range for bit<{f.width}>"
+                )
+            acc = (acc << f.width) | v
+        return acc.to_bytes(self.byte_width, "big")
+
+    def decode(self, data: bytes) -> Dict[str, int]:
+        """Unpack header bytes into a field-value dict."""
+        if len(data) < self.byte_width:
+            raise FieldError(
+                f"{self.name!r} needs {self.byte_width} bytes, got {len(data)}"
+            )
+        acc = int.from_bytes(data[: self.byte_width], "big")
+        out: Dict[str, int] = {}
+        pos = self.bit_width
+        for f in self.fields:
+            pos -= f.width
+            out[f.name] = (acc >> pos) & f.max_value
+        return out
+
+    # ------------------------------------------------------------------
+    def get(self, data: bytes, field: str) -> int:
+        """Extract a single field value from header bytes."""
+        off, width = self._offsets[field]
+        acc = int.from_bytes(data[: self.byte_width], "big")
+        shift = self.bit_width - off - width
+        return (acc >> shift) & ((1 << width) - 1)
+
+    def set(self, data: bytes, field: str, value: int) -> bytes:
+        """Return header bytes with one field replaced."""
+        off, width = self._offsets[field]
+        if value < 0 or value >= 1 << width:
+            raise FieldError(f"{self.name}.{field}={value} out of range")
+        acc = int.from_bytes(data[: self.byte_width], "big")
+        shift = self.bit_width - off - width
+        mask = ((1 << width) - 1) << shift
+        acc = (acc & ~mask) | (value << shift)
+        return acc.to_bytes(self.byte_width, "big") + data[self.byte_width :]
+
+    def __repr__(self) -> str:
+        return f"HeaderCodec({self.name!r}, {self.byte_width}B)"

@@ -1,0 +1,22 @@
+"""GRE header codec (RFC 2784 base header, no optional fields)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+GRE = HeaderCodec(
+    "gre_t",
+    [
+        ("checksumPresent", 1),
+        ("reserved0", 12),
+        ("version", 3),
+        ("protocol", 16),
+    ],
+)
+
+
+def gre(protocol: int) -> Dict[str, int]:
+    """Field dict for a base GRE header carrying ``protocol``."""
+    return {"checksumPresent": 0, "reserved0": 0, "version": 0, "protocol": protocol}

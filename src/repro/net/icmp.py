@@ -1,0 +1,34 @@
+"""ICMP header codec (echo-style 8-byte header)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+TYPE_TIME_EXCEEDED = 11
+
+ICMP = HeaderCodec(
+    "icmp_t",
+    [
+        ("type", 8),
+        ("code", 8),
+        ("checksum", 16),
+        ("identifier", 16),
+        ("sequence", 16),
+    ],
+)
+
+
+def icmp_echo(identifier: int, sequence: int, request: bool = True) -> Dict[str, int]:
+    """Field dict for an ICMP echo request/reply header."""
+    return {
+        "type": TYPE_ECHO_REQUEST if request else TYPE_ECHO_REPLY,
+        "code": 0,
+        "checksum": 0,
+        "identifier": identifier,
+        "sequence": sequence,
+    }

@@ -1,0 +1,74 @@
+"""IPv4 header codec (fixed 20-byte header, no options)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.checksum import ipv4_header_checksum
+from repro.net.fields import HeaderCodec
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_GRE = 47
+PROTO_IPV4 = 4  # IP-in-IP, used by SRv4 encapsulation
+PROTO_SRV4_DEMO = 200  # experimental segment-routing-over-IPv4 shim
+
+IPV4 = HeaderCodec(
+    "ipv4_t",
+    [
+        ("version", 4),
+        ("ihl", 4),
+        ("diffserv", 8),
+        ("totalLen", 16),
+        ("identification", 16),
+        ("flags", 3),
+        ("fragOffset", 13),
+        ("ttl", 8),
+        ("protocol", 8),
+        ("hdrChecksum", 16),
+        ("srcAddr", 32),
+        ("dstAddr", 32),
+    ],
+)
+
+
+def ip4(text: str) -> int:
+    """Parse dotted-quad ``a.b.c.d`` into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {text!r}")
+    return int.from_bytes(bytes(int(p) for p in parts), "big")
+
+
+def ip4_str(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad."""
+    return ".".join(str(b) for b in value.to_bytes(4, "big"))
+
+
+def ipv4(
+    src: str,
+    dst: str,
+    protocol: int,
+    payload_len: int = 0,
+    ttl: int = 64,
+    identification: int = 0,
+    diffserv: int = 0,
+) -> Dict[str, int]:
+    """Field dict for an IPv4 header with a correct checksum."""
+    fields = {
+        "version": 4,
+        "ihl": 5,
+        "diffserv": diffserv,
+        "totalLen": 20 + payload_len,
+        "identification": identification,
+        "flags": 0,
+        "fragOffset": 0,
+        "ttl": ttl,
+        "protocol": protocol,
+        "hdrChecksum": 0,
+        "srcAddr": ip4(src),
+        "dstAddr": ip4(dst),
+    }
+    fields["hdrChecksum"] = ipv4_header_checksum(IPV4.encode(fields))
+    return fields

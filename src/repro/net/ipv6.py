@@ -1,0 +1,60 @@
+"""IPv6 header codec (RFC 8200 fixed header)."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+NEXT_HDR_TCP = 6
+NEXT_HDR_UDP = 17
+NEXT_HDR_ROUTING = 43  # SRH lives here
+NEXT_HDR_ICMPV6 = 58
+NEXT_HDR_NONE = 59
+
+IPV6 = HeaderCodec(
+    "ipv6_t",
+    [
+        ("version", 4),
+        ("trafficClass", 8),
+        ("flowLabel", 20),
+        ("payloadLen", 16),
+        ("nextHdr", 8),
+        ("hopLimit", 8),
+        ("srcAddr", 128),
+        ("dstAddr", 128),
+    ],
+)
+
+
+def ip6(text: str) -> int:
+    """Parse an IPv6 address string into a 128-bit integer."""
+    return int(ipaddress.IPv6Address(text))
+
+
+def ip6_str(value: int) -> str:
+    """Format a 128-bit integer as a compressed IPv6 address string."""
+    return str(ipaddress.IPv6Address(value))
+
+
+def ipv6(
+    src: str,
+    dst: str,
+    next_hdr: int,
+    payload_len: int = 0,
+    hop_limit: int = 64,
+    traffic_class: int = 0,
+    flow_label: int = 0,
+) -> Dict[str, int]:
+    """Field dict for an IPv6 header."""
+    return {
+        "version": 6,
+        "trafficClass": traffic_class,
+        "flowLabel": flow_label,
+        "payloadLen": payload_len,
+        "nextHdr": next_hdr,
+        "hopLimit": hop_limit,
+        "srcAddr": ip6(src),
+        "dstAddr": ip6(dst),
+    }

@@ -1,0 +1,25 @@
+"""MPLS label-stack entry codec (RFC 3032)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.fields import HeaderCodec
+
+MPLS = HeaderCodec(
+    "mpls_t",
+    [("label", 20), ("tc", 3), ("bos", 1), ("ttl", 8)],
+)
+
+
+def mpls(label: int, ttl: int = 64, tc: int = 0, bos: int = 0) -> Dict[str, int]:
+    """Field dict for one MPLS label-stack entry."""
+    return {"label": label, "tc": tc, "bos": bos, "ttl": ttl}
+
+
+def label_stack(labels: List[int], ttl: int = 64) -> List[Dict[str, int]]:
+    """Field dicts for a label stack; the last entry gets bottom-of-stack."""
+    out = [mpls(lbl, ttl=ttl) for lbl in labels]
+    if out:
+        out[-1]["bos"] = 1
+    return out

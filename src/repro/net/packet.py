@@ -1,0 +1,190 @@
+"""Mutable byte-array packets.
+
+A :class:`Packet` models the packet byte-stream that flows through a µP4
+pipeline (the ``pkt`` logical extern of the paper's Fig. 6).  It supports
+the operations a dataplane performs:
+
+* reading and writing a contiguous byte range,
+* inserting bytes (``setValid`` on a header grows the packet),
+* removing bytes (``setInvalid`` shrinks it; following bytes shift up),
+* cloning (``copy_from``).
+
+Offsets are byte offsets from the start of the *current view*.  A view is
+a zero-copy-in-spirit window used when a caller passes a *partial* packet
+(e.g. ``ModularRouter`` hands L3 the bytes after the Ethernet header).
+Mutations through a view are reflected in the parent packet.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class PacketError(Exception):
+    """Raised on out-of-range packet access."""
+
+
+class Packet:
+    """A mutable packet byte-stream.
+
+    Parameters
+    ----------
+    data:
+        Initial packet bytes.
+    """
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._buf = bytearray(data)
+        self._parent: Optional[Packet] = None
+        self._parent_offset = 0
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def length(self) -> int:
+        """Packet length in bytes (mirrors the ``pkt.length`` field)."""
+        return len(self._buf)
+
+    def tobytes(self) -> bytes:
+        return bytes(self._buf)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Packet):
+            return self._buf == other._buf
+        if isinstance(other, (bytes, bytearray)):
+            return self._buf == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - packets are mutable
+        raise TypeError("Packet is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        head = self._buf[:16].hex()
+        suffix = "..." if len(self._buf) > 16 else ""
+        return f"Packet({len(self._buf)}B {head}{suffix})"
+
+    # ------------------------------------------------------------------
+    # Reading / writing
+    # ------------------------------------------------------------------
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(self._buf):
+            raise PacketError(
+                f"range [{offset}, {offset + nbytes}) out of bounds for "
+                f"{len(self._buf)}-byte packet"
+            )
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Return ``nbytes`` bytes starting at ``offset``."""
+        self._check_range(offset, nbytes)
+        return bytes(self._buf[offset : offset + nbytes])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Overwrite bytes starting at ``offset`` (no resize)."""
+        self._check_range(offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+        self._propagate()
+
+    def read_int(self, offset: int, nbytes: int) -> int:
+        """Read ``nbytes`` bytes as a big-endian unsigned integer."""
+        return int.from_bytes(self.read(offset, nbytes), "big")
+
+    def write_int(self, offset: int, nbytes: int, value: int) -> None:
+        """Write ``value`` as ``nbytes`` big-endian bytes at ``offset``."""
+        if value < 0 or value >= 1 << (8 * nbytes):
+            raise PacketError(f"value {value} does not fit in {nbytes} bytes")
+        self.write(offset, value.to_bytes(nbytes, "big"))
+
+    # ------------------------------------------------------------------
+    # Resizing: header insertion / removal
+    # ------------------------------------------------------------------
+    def insert(self, offset: int, data: bytes) -> None:
+        """Insert ``data`` at ``offset``, shifting following bytes down."""
+        if offset < 0 or offset > len(self._buf):
+            raise PacketError(f"insert offset {offset} out of bounds")
+        self._buf[offset:offset] = data
+        self._propagate(resize=True)
+
+    def remove(self, offset: int, nbytes: int) -> bytes:
+        """Remove ``nbytes`` at ``offset``; following bytes shift up.
+
+        Returns the removed bytes.
+        """
+        self._check_range(offset, nbytes)
+        removed = bytes(self._buf[offset : offset + nbytes])
+        del self._buf[offset : offset + nbytes]
+        self._propagate(resize=True)
+        return removed
+
+    def append(self, data: bytes) -> None:
+        """Append ``data`` at the end of the packet."""
+        self._buf.extend(data)
+        self._propagate(resize=True)
+
+    def truncate(self, length: int) -> None:
+        """Drop all bytes past ``length``."""
+        if length < 0 or length > len(self._buf):
+            raise PacketError(f"truncate length {length} out of bounds")
+        del self._buf[length:]
+        self._propagate(resize=True)
+
+    # ------------------------------------------------------------------
+    # Cloning and views
+    # ------------------------------------------------------------------
+    def copy(self) -> "Packet":
+        """Deep copy (the ``pkt.copy_from`` logical extern)."""
+        return Packet(bytes(self._buf))
+
+    def copy_from(self, other: "Packet") -> None:
+        """Replace this packet's contents with a copy of ``other``'s."""
+        self._buf = bytearray(other._buf)
+        self._propagate(resize=True)
+
+    def view(self, offset: int, nbytes: Optional[int] = None) -> "Packet":
+        """A sub-packet window; mutations are written back to the parent.
+
+        Used to pass *partial* packets to callee modules: the callee sees a
+        packet starting at ``offset``.  The write-back is performed eagerly
+        on every mutation, which keeps the semantics simple (one writer at
+        a time, matching the paper's sequential invocation model).
+        """
+        if nbytes is None:
+            nbytes = len(self._buf) - offset
+        self._check_range(offset, nbytes)
+        sub = Packet(bytes(self._buf[offset : offset + nbytes]))
+        sub._parent = self
+        sub._parent_offset = offset
+        return sub
+
+    def _propagate(self, resize: bool = False) -> None:
+        """Write this view's bytes back into its parent, if any."""
+        parent = self._parent
+        if parent is None:
+            return
+        start = self._parent_offset
+        if resize:
+            # Replace the old window with the new bytes.  The window always
+            # extends to the end of the parent for partial-packet handoff.
+            del parent._buf[start:]
+            parent._buf.extend(self._buf)
+        else:
+            parent._buf[start : start + len(self._buf)] = self._buf
+        parent._propagate(resize=resize)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def hex(self) -> str:
+        return self._buf.hex()
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Packet":
+        return cls(bytes.fromhex(text.replace(" ", "").replace("\n", "")))
+
+    def split(self, offset: int) -> "List[bytes]":
+        """Split into ``[head, tail]`` byte strings at ``offset``."""
+        self._check_range(offset, 0)
+        return [bytes(self._buf[:offset]), bytes(self._buf[offset:])]

@@ -1,0 +1,70 @@
+"""IPv6 Segment Routing Header (SRH, RFC 8754).
+
+The SRH has a fixed 8-byte base followed by a list of 128-bit segments.
+For the dataplane model we expose the base codec plus helpers that build
+the full variable-length header; the µP4 ``srv6`` library module models a
+bounded segment list (as hardware dataplanes do) with per-segment header
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.fields import HeaderCodec
+from repro.net.ipv6 import ip6
+
+ROUTING_TYPE_SRH = 4
+
+SRH_BASE = HeaderCodec(
+    "srh_t",
+    [
+        ("nextHdr", 8),
+        ("hdrExtLen", 8),
+        ("routingType", 8),
+        ("segmentsLeft", 8),
+        ("lastEntry", 8),
+        ("flags", 8),
+        ("tag", 16),
+    ],
+)
+
+SRH_SEGMENT = HeaderCodec("srh_segment_t", [("sid", 128)])
+
+
+def srh(
+    segments: List[str],
+    next_hdr: int,
+    segments_left: int,
+    tag: int = 0,
+) -> Tuple[Dict[str, int], List[Dict[str, int]]]:
+    """Build ``(base_fields, segment_field_dicts)`` for an SRH.
+
+    ``hdrExtLen`` is in 8-byte units not counting the first 8 bytes, so it
+    equals ``2 * len(segments)``.
+    """
+    if not segments:
+        raise ValueError("SRH needs at least one segment")
+    if segments_left > len(segments) - 1:
+        raise ValueError("segmentsLeft exceeds lastEntry")
+    base = {
+        "nextHdr": next_hdr,
+        "hdrExtLen": 2 * len(segments),
+        "routingType": ROUTING_TYPE_SRH,
+        "segmentsLeft": segments_left,
+        "lastEntry": len(segments) - 1,
+        "flags": 0,
+        "tag": tag,
+    }
+    return base, [{"sid": ip6(s)} for s in segments]
+
+
+def srh_bytes(
+    segments: List[str], next_hdr: int, segments_left: int, tag: int = 0
+) -> bytes:
+    """Encode a complete SRH (base + segment list) to bytes."""
+    base, segs = srh(segments, next_hdr, segments_left, tag)
+    out = SRH_BASE.encode(base)
+    for seg in segs:
+        out += SRH_SEGMENT.encode(seg)
+    return out

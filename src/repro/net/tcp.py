@@ -1,0 +1,52 @@
+"""TCP header codec (fixed 20-byte header, no options)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+TCP = HeaderCodec(
+    "tcp_t",
+    [
+        ("srcPort", 16),
+        ("dstPort", 16),
+        ("seqNo", 32),
+        ("ackNo", 32),
+        ("dataOffset", 4),
+        ("reserved", 4),
+        ("flags", 8),
+        ("window", 16),
+        ("checksum", 16),
+        ("urgentPtr", 16),
+    ],
+)
+
+
+def tcp(
+    src_port: int,
+    dst_port: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = FLAG_SYN,
+    window: int = 65535,
+) -> Dict[str, int]:
+    """Field dict for a TCP header (checksum left zero; see checksum.py)."""
+    return {
+        "srcPort": src_port,
+        "dstPort": dst_port,
+        "seqNo": seq,
+        "ackNo": ack,
+        "dataOffset": 5,
+        "reserved": 0,
+        "flags": flags,
+        "window": window,
+        "checksum": 0,
+        "urgentPtr": 0,
+    }

@@ -1,0 +1,22 @@
+"""UDP header codec."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+UDP = HeaderCodec(
+    "udp_t",
+    [("srcPort", 16), ("dstPort", 16), ("length", 16), ("checksum", 16)],
+)
+
+
+def udp(src_port: int, dst_port: int, payload_len: int = 0) -> Dict[str, int]:
+    """Field dict for a UDP header (checksum left zero)."""
+    return {
+        "srcPort": src_port,
+        "dstPort": dst_port,
+        "length": 8 + payload_len,
+        "checksum": 0,
+    }

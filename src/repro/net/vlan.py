@@ -1,0 +1,17 @@
+"""IEEE 802.1Q VLAN tag codec."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.fields import HeaderCodec
+
+VLAN = HeaderCodec(
+    "vlan_t",
+    [("pcp", 3), ("dei", 1), ("vid", 12), ("etherType", 16)],
+)
+
+
+def vlan(vid: int, ether_type: int, pcp: int = 0, dei: int = 0) -> Dict[str, int]:
+    """Field dict for a VLAN tag."""
+    return {"pcp": pcp, "dei": dei, "vid": vid, "etherType": ether_type}

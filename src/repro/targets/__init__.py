@@ -1,0 +1,32 @@
+"""Behavioral target: executes compiled pipelines over byte packets.
+
+This subpackage is the reproduction's stand-in for BMv2's
+``simple_switch`` (V1Model) and for a Tofino device: it interprets the
+composed IR produced by the midend/backends directly.
+
+* :mod:`~repro.targets.tables` — match-action table runtime (exact,
+  lpm, ternary, range) with const and runtime-installed entries.
+* :mod:`~repro.targets.interpreter` — expression/statement evaluator.
+* :mod:`~repro.targets.pipeline` — packet-in/packet-out execution of a
+  :class:`~repro.midend.inline.ComposedPipeline`.
+* :mod:`~repro.targets.switch` — a V1Model-style switch: ports, packet
+  replication engine (multicast groups), recirculation.
+* :mod:`~repro.targets.runtime_api` — the "control API" of the paper's
+  Fig. 4: table entry installation and multicast group programming.
+"""
+
+from repro.targets.tables import TableRuntime, Entry
+from repro.targets.pipeline import PipelineInstance, PacketOut
+from repro.targets.switch import Switch
+from repro.targets.runtime_api import RuntimeAPI
+from repro.targets.orchestration import OrchestrationRunner
+
+__all__ = [
+    "TableRuntime",
+    "Entry",
+    "PipelineInstance",
+    "PacketOut",
+    "Switch",
+    "RuntimeAPI",
+    "OrchestrationRunner",
+]

@@ -1,0 +1,101 @@
+"""A V1Model-style behavioral switch around a pipeline.
+
+Adds the fixed-function pieces a pipeline alone does not model (Fig. 2):
+ports, the Packet Replication Engine (multicast groups), and
+recirculation.  This is the reproduction's ``simple_switch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TargetError
+from repro.net.packet import Packet
+from repro.targets.pipeline import PacketOut, PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+
+MAX_RECIRCULATIONS = 8
+DROP_PORT = 0xFF
+
+
+@dataclass
+class SwitchConfig:
+    """Fixed-function configuration: ports and multicast groups."""
+
+    num_ports: int = 16
+    # group id -> egress port list
+    multicast_groups: Dict[int, List[int]] = field(default_factory=dict)
+    recirculate_port: Optional[int] = None
+
+
+class Switch:
+    """Ports + PRE + pipeline, processing one packet at a time."""
+
+    def __init__(
+        self, pipeline: PipelineInstance, config: Optional[SwitchConfig] = None
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config or SwitchConfig()
+        self.api = RuntimeAPI(pipeline)
+        self.stats: Dict[str, int] = {"in": 0, "out": 0, "dropped": 0, "replicated": 0}
+
+    # ------------------------------------------------------------------
+    def set_multicast_group(self, group_id: int, ports: List[int]) -> None:
+        if group_id <= 0:
+            raise TargetError("multicast group ids are positive")
+        for port in ports:
+            self._check_port(port)
+        self.config.multicast_groups[group_id] = list(ports)
+
+    def _check_port(self, port: int) -> None:
+        if not (0 <= port < self.config.num_ports):
+            raise TargetError(
+                f"port {port} out of range [0, {self.config.num_ports})"
+            )
+
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, in_port: int = 0) -> List[PacketOut]:
+        """Process a packet, applying PRE replication and recirculation."""
+        self._check_port(in_port)
+        self.stats["in"] += 1
+        outputs: List[PacketOut] = []
+        work = [(packet, in_port, 0)]
+        while work:
+            pkt, port, depth = work.pop(0)
+            if depth > MAX_RECIRCULATIONS:
+                raise TargetError("recirculation limit exceeded")
+            results = self.pipeline.process(pkt, port)
+            if not results:
+                self.stats["dropped"] += 1
+                continue
+            for result in results:
+                if result.mcast_grp:
+                    group = self.config.multicast_groups.get(result.mcast_grp)
+                    if group is None:
+                        self.stats["dropped"] += 1
+                        continue
+                    for egress_port in group:
+                        self.stats["replicated"] += 1
+                        outputs.append(
+                            PacketOut(result.packet.copy(), egress_port)
+                        )
+                elif result.recirculate:
+                    work.append((result.packet, port, depth + 1))
+                elif (
+                    self.config.recirculate_port is not None
+                    and result.port == self.config.recirculate_port
+                ):
+                    work.append((result.packet, result.port, depth + 1))
+                elif result.port == DROP_PORT:
+                    self.stats["dropped"] += 1
+                else:
+                    outputs.append(result)
+        self.stats["out"] += len(outputs)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def inject_many(
+        self, packets: List[Packet], in_port: int = 0
+    ) -> List[List[PacketOut]]:
+        return [self.inject(p, in_port) for p in packets]

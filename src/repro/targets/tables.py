@@ -1,0 +1,259 @@
+"""Match-action table runtime.
+
+Supports the four match kinds µP4 requires of targets (§6.4): ``exact``,
+``lpm``, ``ternary`` and ``range``.  Entries come from two sources:
+
+* const entries compiled into the program (matched in declaration order,
+  i.e. first-match priority — this is what the parser-MAT transformation
+  relies on), and
+* runtime entries installed through the control API, inserted after the
+  const entries in priority order.
+
+A lookup evaluates each key expression, then returns the first matching
+entry; if an ``lpm`` key is present, the longest prefix among matching
+entries wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TargetError
+from repro.frontend import astnodes as ast
+
+# A match spec per key, normalized by kind:
+#   exact   -> ("exact", value)
+#   lpm     -> ("lpm", value, prefix_len)
+#   ternary -> ("ternary", value, mask)
+#   range   -> ("range", lo, hi)
+#   any     -> ("any",)          (don't care, any kind)
+MatchSpec = Tuple
+
+
+@dataclass
+class Entry:
+    """One table entry."""
+
+    matches: List[MatchSpec]
+    action_name: str
+    action_args: List[int] = field(default_factory=list)
+    priority: int = 0
+    is_const: bool = False
+
+    def matches_key(self, key_values: Sequence[int], key_widths: Sequence[int]) -> bool:
+        for spec, value, width in zip(self.matches, key_values, key_widths):
+            kind = spec[0]
+            if kind == "any":
+                continue
+            if kind == "exact":
+                if value != spec[1]:
+                    return False
+            elif kind == "lpm":
+                _, prefix_value, prefix_len = spec
+                if prefix_len == 0:
+                    continue
+                shift = width - prefix_len
+                if (value >> shift) != (prefix_value >> shift):
+                    return False
+            elif kind == "ternary":
+                _, tvalue, mask = spec
+                if (value & mask) != (tvalue & mask):
+                    return False
+            elif kind == "range":
+                _, lo, hi = spec
+                if not (lo <= value <= hi):
+                    return False
+            else:
+                raise TargetError(f"unknown match kind {kind!r}")
+        return True
+
+    def lpm_length(self) -> int:
+        for spec in self.matches:
+            if spec[0] == "lpm":
+                return spec[2]
+        return 0
+
+
+class TableRuntime:
+    """Runtime state of one MAT."""
+
+    def __init__(
+        self,
+        decl: ast.TableDecl,
+        key_widths: Optional[List[int]] = None,
+    ) -> None:
+        self.decl = decl
+        self.name = decl.name
+        self.match_kinds = [k.match_kind for k in decl.keys]
+        self.key_widths = key_widths or [
+            _width_of(k.expr) for k in decl.keys
+        ]
+        self.const_entries: List[Entry] = [
+            self._convert_const_entry(e) for e in decl.const_entries
+        ]
+        self.runtime_entries: List[Entry] = []
+        self.default_action = decl.default_action or "NoAction"
+        self.default_args: List[int] = [
+            _literal_value(a) for a in decl.default_action_args
+        ]
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def _convert_const_entry(self, entry: ast.TableEntry) -> Entry:
+        matches = [
+            _keyset_to_spec(ks, kind, width)
+            for ks, kind, width in zip(
+                entry.keysets, self.match_kinds, self.key_widths
+            )
+        ]
+        return Entry(
+            matches=matches,
+            action_name=entry.action_name,
+            action_args=[_literal_value(a) for a in entry.action_args],
+            is_const=True,
+        )
+
+    def add_entry(
+        self,
+        matches: Sequence,
+        action_name: str,
+        action_args: Optional[Sequence[int]] = None,
+        priority: int = 0,
+    ) -> None:
+        """Install a runtime entry.
+
+        ``matches`` items may be: an int (exact), a ``(value, length)``
+        tuple for lpm keys, a ``(value, mask)`` tuple for ternary keys, a
+        ``(lo, hi)`` tuple for range keys, or ``None`` for don't-care.
+        """
+        if len(matches) != len(self.match_kinds):
+            raise TargetError(
+                f"table {self.name!r}: {len(matches)} matches for "
+                f"{len(self.match_kinds)} keys"
+            )
+        if action_name not in self.decl.actions and action_name != "NoAction":
+            raise TargetError(
+                f"table {self.name!r} has no action {action_name!r}"
+            )
+        specs: List[MatchSpec] = []
+        for m, kind, width in zip(matches, self.match_kinds, self.key_widths):
+            specs.append(_runtime_match_to_spec(m, kind, width))
+        self.runtime_entries.append(
+            Entry(
+                matches=specs,
+                action_name=action_name,
+                action_args=list(action_args or []),
+                priority=priority,
+            )
+        )
+        # Higher priority wins; stable for equal priorities.
+        self.runtime_entries.sort(key=lambda e: -e.priority)
+
+    def set_default(self, action_name: str, args: Optional[Sequence[int]] = None) -> None:
+        if action_name not in self.decl.actions and action_name != "NoAction":
+            raise TargetError(
+                f"table {self.name!r} has no action {action_name!r}"
+            )
+        self.default_action = action_name
+        self.default_args = list(args or [])
+
+    def clear_runtime_entries(self) -> None:
+        self.runtime_entries = []
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key_values: Sequence[int]) -> Tuple[str, List[int], bool]:
+        """Return ``(action, args, hit)`` for the given key values."""
+        candidates = [
+            e
+            for e in [*self.const_entries, *self.runtime_entries]
+            if e.matches_key(key_values, self.key_widths)
+        ]
+        if not candidates:
+            return self.default_action, list(self.default_args), False
+        if "lpm" in self.match_kinds:
+            best = max(candidates, key=lambda e: e.lpm_length())
+            return best.action_name, list(best.action_args), True
+        entry = candidates[0]
+        return entry.action_name, list(entry.action_args), True
+
+    def __repr__(self) -> str:
+        return (
+            f"TableRuntime({self.name!r}, {len(self.const_entries)} const + "
+            f"{len(self.runtime_entries)} runtime entries)"
+        )
+
+
+# ======================================================================
+# Spec conversion helpers
+# ======================================================================
+
+
+def _width_of(expr: ast.Expr) -> int:
+    t = expr.type
+    if isinstance(t, ast.BitType):
+        return t.width
+    if isinstance(t, ast.BoolType):
+        return 1
+    return 32
+
+
+def _literal_value(expr: ast.Expr) -> int:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return int(expr.value)
+    if isinstance(expr, ast.PathExpr):
+        decl = getattr(expr, "decl", None)
+        value = getattr(decl, "value", None)
+        if value is not None:
+            return value
+    raise TargetError("table entry arguments must be compile-time values")
+
+
+def _keyset_to_spec(keyset: ast.Expr, kind: str, width: int) -> MatchSpec:
+    full_mask = (1 << width) - 1
+    if isinstance(keyset, ast.DefaultExpr):
+        return ("any",)
+    if isinstance(keyset, ast.MaskExpr):
+        return ("ternary", _literal_value(keyset.value), _literal_value(keyset.mask))
+    if isinstance(keyset, ast.RangeExpr):
+        return ("range", _literal_value(keyset.lo), _literal_value(keyset.hi))
+    value = _literal_value(keyset)
+    if kind == "exact":
+        return ("exact", value)
+    if kind == "ternary":
+        return ("ternary", value, full_mask)
+    if kind == "lpm":
+        return ("lpm", value, width)
+    if kind == "range":
+        return ("range", value, value)
+    raise TargetError(f"unknown match kind {kind!r}")
+
+
+def _runtime_match_to_spec(match, kind: str, width: int) -> MatchSpec:
+    full_mask = (1 << width) - 1
+    if match is None:
+        return ("any",)
+    if isinstance(match, int):
+        if kind == "exact":
+            return ("exact", match)
+        if kind == "ternary":
+            return ("ternary", match, full_mask)
+        if kind == "lpm":
+            return ("lpm", match, width)
+        if kind == "range":
+            return ("range", match, match)
+    if isinstance(match, tuple) and len(match) == 2:
+        a, b = match
+        if kind == "lpm":
+            return ("lpm", a, b)
+        if kind == "ternary":
+            return ("ternary", a, b)
+        if kind == "range":
+            return ("range", a, b)
+        raise TargetError(f"tuple match not valid for {kind!r} key")
+    raise TargetError(f"cannot interpret match {match!r} for {kind!r} key")

@@ -1,0 +1,87 @@
+"""Unit tests for logical-table extraction and dependency analysis."""
+
+import pytest
+
+from repro.backend.base import LogicalTable, extract_logical_tables
+from repro.lib.catalog import build_monolithic, build_pipeline
+
+
+@pytest.fixture(scope="module")
+def p4_micro_tables():
+    return extract_logical_tables(build_pipeline("P4"))
+
+
+@pytest.fixture(scope="module")
+def p4_mono_tables():
+    return extract_logical_tables(build_monolithic("P4"))
+
+
+class TestExtraction:
+    def test_micro_has_synthesized_mats(self, p4_micro_tables):
+        names = [t.name for t in p4_micro_tables]
+        assert "main_parser_tbl" in names
+        assert "main_deparser_tbl" in names
+        assert any("ipv4_lpm_tbl" in n for n in names)
+
+    def test_mono_has_only_user_tables(self, p4_mono_tables):
+        match_names = [t.name for t in p4_mono_tables if t.kind == "match"]
+        assert sorted(match_names) == [
+            "main_forward_tbl",
+            "main_ipv4_lpm_tbl",
+            "main_ipv6_lpm_tbl",
+        ]
+
+    def test_statement_runs_created(self, p4_mono_tables):
+        assert any(t.kind == "statements" for t in p4_mono_tables)
+
+    def test_order_preserved(self, p4_micro_tables):
+        names = [t.name for t in p4_micro_tables]
+        assert names.index("main_parser_tbl") < names.index("main_forward_tbl")
+        assert names.index("main_forward_tbl") < names.index("main_deparser_tbl")
+
+
+class TestDataflow:
+    def test_forward_tbl_matches_nh(self, p4_mono_tables):
+        fwd = next(t for t in p4_mono_tables if t.name == "main_forward_tbl")
+        assert "main_nh" in fwd.key_reads
+
+    def test_lpm_guarded_by_validity(self, p4_mono_tables):
+        lpm = next(t for t in p4_mono_tables if t.name == "main_ipv4_lpm_tbl")
+        assert "main_hdr.ipv4.$valid" in lpm.guard_reads
+
+    def test_lpm_writes_ttl_and_nh(self, p4_mono_tables):
+        lpm = next(t for t in p4_mono_tables if t.name == "main_ipv4_lpm_tbl")
+        assert "main_hdr.ipv4.ttl" in lpm.writes
+        assert "main_nh" in lpm.writes
+
+    def test_im_write_recorded(self, p4_mono_tables):
+        fwd = next(t for t in p4_mono_tables if t.name == "main_forward_tbl")
+        assert "im.out" in fwd.writes
+
+
+class TestDependencies:
+    def test_match_dependency(self, p4_mono_tables):
+        lpm = next(t for t in p4_mono_tables if t.name == "main_ipv4_lpm_tbl")
+        fwd = next(t for t in p4_mono_tables if t.name == "main_forward_tbl")
+        assert fwd.depends_on(lpm) == "match"
+
+    def test_exclusive_branches_no_dependency(self, p4_mono_tables):
+        v4 = next(t for t in p4_mono_tables if t.name == "main_ipv4_lpm_tbl")
+        v6 = next(t for t in p4_mono_tables if t.name == "main_ipv6_lpm_tbl")
+        assert v4.exclusive_with(v6)
+        assert v6.depends_on(v4) is None
+
+    def test_independent_tables(self):
+        a = LogicalTable(name="a", kind="match", writes={"x"})
+        b = LogicalTable(name="b", kind="match", key_reads={"y"})
+        assert b.depends_on(a) is None
+
+    def test_action_dependency(self):
+        a = LogicalTable(name="a", kind="match", writes={"x"})
+        b = LogicalTable(name="b", kind="match", action_reads={"x"})
+        assert b.depends_on(a) == "action"
+
+    def test_waw_shares_stage(self):
+        a = LogicalTable(name="a", kind="match", writes={"x"})
+        b = LogicalTable(name="b", kind="match", writes={"x"})
+        assert b.depends_on(a) is None

@@ -1,0 +1,118 @@
+"""Unit tests for the §5.5 ingress/egress partitioning FSM."""
+
+import pytest
+
+from repro.backend.base import extract_logical_tables
+from repro.backend.partition import partition
+from repro.errors import BackendError
+from repro.frontend.typecheck import check_program
+from repro.midend.inline import compose
+from repro.midend.linker import link_modules
+
+
+def composed_of(control_body):
+    src = """
+    header eth_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+    struct hdr_t { eth_h eth; }
+    program T : implements Unicast<> {
+      parser P(extractor ex, pkt p, out hdr_t h) {
+        state start { ex.extract(p, h.eth); transition accept; }
+      }
+      control C(pkt p, inout hdr_t h, im_t im) {
+        %s
+        apply { %s }
+      }
+      control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+    }
+    T(P, C, D) main;
+    """
+    locals_, body = control_body
+    module = check_program(src % (locals_, body), "t")
+    return compose(link_modules(module, []))
+
+
+class TestPartition:
+    def test_pure_ingress_program(self):
+        composed = composed_of(("", "im.set_out_port(8w1);"))
+        tables = extract_logical_tables(composed)
+        split = partition(tables, composed.actions)
+        assert split.egress == []
+        assert len(split.ingress) == len(tables)
+
+    def test_egress_only_meta_splits(self):
+        composed = composed_of(
+            (
+                "bit<32> qd;",
+                """
+                im.set_out_port(8w1);
+                qd = im.get_value(meta_t.QUEUE_DEPTH);
+                h.eth.etherType = (bit<16>) qd;
+                """,
+            )
+        )
+        tables = extract_logical_tables(composed)
+        split = partition(tables, composed.actions)
+        assert split.ingress and split.egress
+        # The queue-depth read and the dependent write land in egress.
+        egress_writes = set()
+        for t in split.egress:
+            egress_writes |= t.writes
+        assert "main_hdr.eth.etherType" in egress_writes
+
+    def test_ingress_op_after_egress_meta_rejected(self):
+        composed = composed_of(
+            (
+                "bit<32> qd;",
+                """
+                qd = im.get_value(meta_t.QUEUE_DEPTH);
+                im.set_out_port((bit<8>) qd);
+                """,
+            )
+        )
+        tables = extract_logical_tables(composed)
+        with pytest.raises(BackendError):
+            partition(tables, composed.actions)
+
+    def test_partition_metadata_synthesized(self):
+        composed = composed_of(
+            (
+                "bit<32> qd; bit<16> saved;",
+                """
+                saved = h.eth.etherType + 1;
+                im.set_out_port(8w1);
+                qd = im.get_value(meta_t.QUEUE_DEPTH);
+                h.eth.etherType = saved;
+                """,
+            )
+        )
+        tables = extract_logical_tables(composed)
+        split = partition(tables, composed.actions)
+        assert "main_saved" in split.partition_metadata
+
+
+class TestV1ModelBackend:
+    def test_generates_source(self):
+        from repro.backend.v1model import V1ModelBackend
+        from repro.lib.catalog import build_pipeline
+
+        program = V1ModelBackend().compile(build_pipeline("P4"))
+        text = program.source_text
+        assert "control Ingress()" in text
+        assert "main_forward_tbl" in text
+        assert "upa_bs" in text
+
+    def test_monolithic_renders_native_parser(self):
+        from repro.backend.v1model import V1ModelBackend
+        from repro.lib.catalog import build_monolithic
+
+        program = V1ModelBackend().compile(build_monolithic("P4"))
+        assert "parser" in program.source_text
+        assert "po.emit" in program.source_text
+
+    def test_all_tables_in_ingress_by_default(self):
+        from repro.backend.v1model import V1ModelBackend
+        from repro.lib.catalog import build_pipeline
+
+        program = V1ModelBackend().compile(build_pipeline("P4"))
+        assert program.egress_table_names == []
+        assert len(program.ingress_table_names) > 5

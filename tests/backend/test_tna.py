@@ -1,0 +1,208 @@
+"""Unit tests for the TNA backend: PHV, splitting, stage scheduling."""
+
+import pytest
+
+from repro.backend.base import extract_logical_tables
+from repro.backend.tna import TnaBackend
+from repro.backend.tna.descriptor import TofinoDescriptor
+from repro.backend.tna.phv import (
+    _chunks_align16,
+    _chunks_bestfit,
+    _chunks_greedy,
+    allocate_phv,
+)
+from repro.backend.tna.split import analyze_assignments, rhs_pieces
+from repro.errors import ResourceError
+from repro.lib.catalog import build_monolithic, build_pipeline
+
+
+class TestChunkPolicies:
+    @pytest.mark.parametrize(
+        "width,expected",
+        [(8, [8]), (4, [8]), (16, [16]), (20, [32]), (32, [32]), (48, [32, 16]),
+         (112, [32, 32, 32, 16]), (128, [32, 32, 32, 32])],
+    )
+    def test_greedy(self, width, expected):
+        if width <= 32:
+            assert _chunks_greedy(width) == ([32] if 16 < width <= 32 else
+                                             [16] if 8 < width else [8])
+        else:
+            assert _chunks_greedy(width) == expected
+
+    @pytest.mark.parametrize(
+        "width,expected",
+        [(1, [8]), (8, [8]), (9, [16]), (16, [16]), (17, [32]), (32, [32]),
+         (48, [32, 16])],
+    )
+    def test_bestfit(self, width, expected):
+        assert _chunks_bestfit(width) == expected
+
+    @pytest.mark.parametrize(
+        "width,expected",
+        [(4, [8]), (13, [16]), (20, [32]), (48, [16, 16, 16]),
+         (128, [16] * 8)],
+    )
+    def test_align16(self, width, expected):
+        assert _chunks_align16(width) == expected
+
+
+class TestPhvAllocation:
+    def test_micro_dominated_by_16b(self):
+        phv = allocate_phv(build_pipeline("P4"), align=True)
+        counts = phv.counts()
+        assert counts[16] > counts[32]
+        assert counts[16] > counts[8]
+
+    def test_mono_dominated_by_32b_bits(self):
+        phv = allocate_phv(build_monolithic("P4"), align=True)
+        counts = phv.counts()
+        assert counts[32] * 32 > counts[16] * 16
+
+    def test_micro_allocates_more_bits_than_mono(self):
+        micro = allocate_phv(build_pipeline("P4"))
+        mono = allocate_phv(build_monolithic("P4"))
+        assert micro.bits_allocated > mono.bits_allocated
+
+    def test_byte_stack_pairs_merged_when_aligned(self):
+        aligned = allocate_phv(build_pipeline("P4"), align=True)
+        unaligned = allocate_phv(build_pipeline("P4"), align=False)
+        assert unaligned.counts()[8] > aligned.counts()[8]
+        assert aligned.counts()[16] > 0
+
+    def test_capacity_failure(self):
+        phv = allocate_phv(build_pipeline("P4"))
+        tiny = TofinoDescriptor().scaled(0.05)
+        with pytest.raises(ResourceError):
+            phv.check_capacity(tiny)
+
+    def test_capacity_spill(self):
+        phv = allocate_phv(build_pipeline("P4"))
+        phv.check_capacity(TofinoDescriptor())  # must not raise
+
+    def test_sources_for_lookup(self):
+        phv = allocate_phv(build_pipeline("P4"), align=True)
+        name = "upa_bs.b0"
+        assert len(phv.sources_for(name, 7, 0)) == 1
+
+
+class TestSplitPass:
+    def test_rhs_pieces_concat(self):
+        from repro.frontend import astnodes as ast
+
+        def fld(name, w):
+            e = ast.PathExpr(name=name)
+            e.type = ast.BitType(width=w)
+            return e
+
+        concat = ast.BinaryExpr(op="++", left=fld("a", 8), right=fld("b", 8))
+        concat.type = ast.BitType(width=16)
+        pieces = rhs_pieces(concat)
+        assert [(p.source, p.width) for p in pieces] == [("a", 8), ("b", 8)]
+
+    def test_rhs_pieces_slice_of_concat(self):
+        from repro.frontend import astnodes as ast
+
+        def fld(name, w):
+            e = ast.PathExpr(name=name)
+            e.type = ast.BitType(width=w)
+            return e
+
+        concat = ast.BinaryExpr(op="++", left=fld("a", 8), right=fld("b", 8))
+        concat.type = ast.BitType(width=16)
+        sliced = ast.SliceExpr(base=concat, hi=11, lo=4)
+        pieces = rhs_pieces(sliced)
+        assert [(p.source, p.width, p.bit_hi, p.bit_lo) for p in pieces] == [
+            ("a", 4, 3, 0),
+            ("b", 4, 7, 4),
+        ]
+
+    def test_unaligned_micro_has_violations(self):
+        composed = build_pipeline("P4")
+        tables = extract_logical_tables(composed)
+        phv = allocate_phv(composed, align=False)
+        result = analyze_assignments(tables, phv, TofinoDescriptor(), enabled=True)
+        assert result.violations
+        assert result.total_extra_depth > 0
+
+    def test_unaligned_without_split_fails(self):
+        composed = build_pipeline("P4")
+        tables = extract_logical_tables(composed)
+        phv = allocate_phv(composed, align=False)
+        with pytest.raises(ResourceError):
+            analyze_assignments(tables, phv, TofinoDescriptor(), enabled=False)
+
+    def test_aligned_micro_mostly_clean(self):
+        composed = build_pipeline("P4")
+        tables = extract_logical_tables(composed)
+        phv = allocate_phv(composed, align=True)
+        result = analyze_assignments(tables, phv, TofinoDescriptor(), enabled=True)
+        # The alignment pass is the paper's fix: far fewer split chains.
+        unaligned = analyze_assignments(
+            tables, allocate_phv(composed, align=False), TofinoDescriptor()
+        )
+        assert result.total_extra_depth <= unaligned.total_extra_depth
+
+
+class TestStages:
+    def test_micro_uses_more_stages_than_mono(self):
+        backend = TnaBackend()
+        for name in ("P1", "P4"):
+            micro = backend.compile(build_pipeline(name))
+            mono = backend.compile(build_monolithic(name))
+            assert micro.num_stages > mono.num_stages
+
+    def test_micro_stage_range_matches_paper(self):
+        """Paper Table 3: µP4 programs use 5–9 stages."""
+        backend = TnaBackend()
+        for name in ("P1", "P2", "P3", "P4", "P5", "P6", "P7"):
+            micro = backend.compile(build_pipeline(name))
+            assert 5 <= micro.num_stages <= 9, (name, micro.num_stages)
+
+    def test_mono_stage_range_matches_paper(self):
+        """Paper Table 3: monolithic programs use 3–4 stages (ours 2–4)."""
+        backend = TnaBackend()
+        for name in ("P1", "P2", "P3", "P4", "P5", "P6", "P7"):
+            mono = backend.compile(build_monolithic(name))
+            assert 2 <= mono.num_stages <= 4, (name, mono.num_stages)
+
+    def test_stage_budget_enforced(self):
+        backend = TnaBackend(
+            descriptor=TofinoDescriptor(num_stages=3)
+        )
+        with pytest.raises(ResourceError):
+            backend.compile(build_pipeline("P4"))
+
+    def test_exclusive_tables_share_stage(self):
+        backend = TnaBackend()
+        report = backend.compile(build_monolithic("P4"))
+        placement = report.schedule.placement
+        assert placement["main_ipv4_lpm_tbl"] == placement["main_ipv6_lpm_tbl"]
+
+
+class TestReports:
+    def test_summary_text(self):
+        backend = TnaBackend()
+        report = backend.compile(build_pipeline("P4"))
+        text = report.summary()
+        assert "Eth" in text and "stages=" in text
+
+    def test_overhead_row_signs(self):
+        """Table 2's qualitative shape: more 16b, fewer 32b, more bits."""
+        from repro.backend.tna.report import overhead_row
+
+        backend = TnaBackend()
+        micro = backend.compile(build_pipeline("P4"))
+        mono = backend.compile(build_monolithic("P4"))
+        row = overhead_row("P4", micro, mono)
+        assert row.pct_16b > 100.0
+        assert row.pct_32b < 0.0
+        assert row.pct_bits > 0.0
+
+    def test_row_with_failed_mono(self):
+        from repro.backend.tna.report import overhead_row
+
+        backend = TnaBackend()
+        micro = backend.compile(build_pipeline("P4"))
+        row = overhead_row("P4", micro, None)
+        assert row.pct_16b is None
+        assert "n/a" in row.render()

@@ -1,0 +1,137 @@
+"""Tests of the public API: the Fig. 4 two-stage workflow."""
+
+import pytest
+
+from repro import (
+    CompilerOptions,
+    Packet,
+    ResourceError,
+    Up4Compiler,
+    build_dataplane,
+    compile_module,
+    describe_architecture,
+    load_ir,
+    save_ir,
+)
+from repro.lib.loader import load_module_source
+
+MAIN = load_module_source("eth")
+L3 = load_module_source("l3_v4v6")
+IPV4 = load_module_source("ipv4")
+IPV6 = load_module_source("ipv6")
+
+
+def modules():
+    return (
+        compile_module(MAIN, "eth.up4"),
+        [
+            compile_module(L3, "l3.up4"),
+            compile_module(IPV4, "ipv4.up4"),
+            compile_module(IPV6, "ipv6.up4"),
+        ],
+    )
+
+
+class TestStage1:
+    def test_compile_module(self):
+        module = compile_module(IPV4, "ipv4.up4")
+        assert "IPv4" in module.programs
+
+    def test_ir_roundtrip(self):
+        module = compile_module(IPV4, "ipv4.up4")
+        restored = load_ir(save_ir(module))
+        assert set(restored.programs) == {"IPv4"}
+
+
+class TestStage2:
+    def test_build_v1model_dataplane(self):
+        main, libs = modules()
+        dp = build_dataplane(main, libs, target="v1model")
+        assert dp.composed.mode == "micro"
+        assert "control Ingress()" in dp.target_output.source_text
+
+    def test_build_tna_dataplane(self):
+        main, libs = modules()
+        dp = build_dataplane(main, libs, target="tna")
+        assert dp.target_output.num_stages >= 5
+
+    def test_dataplane_processes_packets(self):
+        from repro.net.build import PacketBuilder
+        from repro.net.ethernet import mac
+        from repro.net.ipv4 import ip4
+
+        main, libs = modules()
+        dp = build_dataplane(main, libs)
+        dp.api.add_entry("ipv4_lpm_tbl", [(ip4("10.0.0.0"), 8)], "process", [7])
+        dp.api.add_entry(
+            "forward_tbl",
+            [7],
+            "forward",
+            [mac("02:00:00:00:00:aa"), mac("02:00:00:00:00:bb"), 3],
+        )
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4("1.1.1.1", "10.9.9.9", 6)
+            .build()
+        )
+        outs = dp.inject(pkt, in_port=1)
+        assert [o.port for o in outs] == [3]
+
+    def test_inject_accepts_bytes(self):
+        main, libs = modules()
+        dp = build_dataplane(main, libs)
+        assert dp.inject(b"\x00" * 64, in_port=0) == []  # unparseable -> drop
+
+
+class TestDriver:
+    def test_bad_target_rejected(self):
+        from repro.errors import CompileError
+
+        with pytest.raises(CompileError):
+            CompilerOptions(target="fpga")
+
+    def test_monolithic_option(self):
+        from repro.lib.loader import load_module_source
+
+        compiler = Up4Compiler(CompilerOptions(monolithic=True, target="tna"))
+        module = compiler.frontend(
+            load_module_source("p4", kind="monolithic"), "p4.p4"
+        )
+        result = compiler.compile_modules(module)
+        assert result.composed.mode == "monolithic"
+        assert result.target_output.num_stages <= 4
+
+    def test_tiny_descriptor_fails(self):
+        from repro.backend.tna.descriptor import TofinoDescriptor
+
+        main, libs = modules()
+        options = CompilerOptions(
+            target="tna", descriptor=TofinoDescriptor().scaled(0.02)
+        )
+        with pytest.raises(ResourceError):
+            Up4Compiler(options).compile_modules(main, libs)
+
+    def test_region_reported(self):
+        main, libs = modules()
+        result = Up4Compiler().compile_modules(main, libs)
+        assert result.region.extract_length == 54  # eth + max(ipv4, ipv6)
+        assert result.region.byte_stack_size == 54
+
+
+class TestArchitecture:
+    def test_description_lists_interfaces(self):
+        text = describe_architecture()
+        assert "Unicast" in text
+        assert "mc_engine" in text
+        assert "IN_TIMESTAMP" in text
+
+    def test_architecture_object(self):
+        from repro import ARCHITECTURE
+
+        assert set(ARCHITECTURE.interfaces) == {
+            "Unicast",
+            "Multicast",
+            "Orchestration",
+        }
+        assert "pkt" in ARCHITECTURE.externs

@@ -1,0 +1,107 @@
+"""Tests of the µP4C command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lib.loader import load_module_source
+
+
+@pytest.fixture()
+def module_files(tmp_path):
+    paths = {}
+    for name in ("eth", "l3_v4v6", "ipv4", "ipv6"):
+        path = tmp_path / f"{name}.up4"
+        path.write_text(load_module_source(name))
+        paths[name] = str(path)
+    return paths
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, module_files, capsys):
+        assert main(["compile", module_files["ipv4"]]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["version"] == 1
+
+    def test_compile_to_file(self, module_files, tmp_path, capsys):
+        out_file = tmp_path / "ipv4.ir.json"
+        assert main(["compile", module_files["ipv4"], "-o", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["version"] == 1
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.up4"
+        bad.write_text("header broken {")
+        assert main(["compile", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuild:
+    def order(self, files):
+        return [files["eth"], files["l3_v4v6"], files["ipv4"], files["ipv6"]]
+
+    def test_build_v1model(self, module_files, tmp_path, capsys):
+        out_file = tmp_path / "main.p4"
+        rc = main(
+            ["build", *self.order(module_files), "--target", "v1model",
+             "-o", str(out_file)]
+        )
+        assert rc == 0
+        text = out_file.read_text()
+        assert "control Ingress()" in text
+        stdout = capsys.readouterr().out
+        assert "El=54B" in stdout
+
+    def test_build_tna_report(self, module_files, capsys):
+        rc = main(
+            ["build", *self.order(module_files), "--target", "tna", "--report"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage placement" in out
+        assert "PHV:" in out
+
+    def test_build_accepts_ir_json(self, module_files, tmp_path, capsys):
+        ir_file = tmp_path / "ipv4.ir.json"
+        main(["compile", module_files["ipv4"], "-o", str(ir_file)])
+        capsys.readouterr()
+        files = self.order(module_files)
+        files[2] = str(ir_file)
+        assert main(["build", *files, "--target", "tna"]) == 0
+
+    def test_build_no_align_no_split_reports_error(self, module_files, capsys):
+        # Disabling both §6.3 passes makes the build fail cleanly.
+        rc = main(
+            ["build", *self.order(module_files), "--target", "tna",
+             "--no-align", "--no-split"]
+        )
+        assert rc == 1
+        assert "ALU" in capsys.readouterr().err
+
+    def test_missing_provider_error(self, module_files, capsys):
+        rc = main(["build", module_files["eth"], "--target", "v1model"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoCommands:
+    def test_arch(self, capsys):
+        assert main(["arch"]) == 0
+        assert "Unicast" in capsys.readouterr().out
+
+    def test_library(self, capsys):
+        assert main(["library"]) == 0
+        out = capsys.readouterr().out
+        assert "P4: eth + l3_v4v6 + ipv4 + ipv6" in out
+
+
+class TestOptimizeFlag:
+    def test_build_with_optimize(self, module_files, capsys):
+        files = [module_files["eth"], module_files["l3_v4v6"],
+                 module_files["ipv4"], module_files["ipv6"]]
+        rc = main(["build", *files, "--target", "tna", "--optimize"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Fewer MATs than the unoptimized build (11 -> 6).
+        assert "6 MATs" in out

@@ -1,0 +1,129 @@
+"""Diagnostics quality: locations, snippets, and error propagation."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CompileError,
+    LexError,
+    LinkError,
+    ParseError,
+    TypeCheckError,
+)
+from repro.frontend.source import SourceFile, SourceLocation, format_snippet
+from repro.frontend.typecheck import check_program
+
+
+class TestSourceLocations:
+    def test_location_str(self):
+        loc = SourceLocation("router.up4", 12, 5)
+        assert str(loc) == "router.up4:12:5"
+
+    def test_snippet_points_at_column(self):
+        source = "line one\nline two here\nline three"
+        loc = SourceLocation("f", 2, 6)
+        text = format_snippet(source, loc, "bad token")
+        lines = text.splitlines()
+        assert lines[0] == "f:2:6: bad token"
+        assert lines[1].strip() == "line two here"
+        assert lines[2].index("^") == lines[1].index("t")
+
+    def test_snippet_out_of_range_degrades(self):
+        text = format_snippet("one line", SourceLocation("f", 99, 1), "m")
+        assert text == "f:99:1: m"
+
+    def test_source_file_diagnostic(self):
+        sf = SourceFile("a\nbb\nccc", "x.up4")
+        assert "x.up4:3:2" in sf.diagnostic(sf.location(3, 2), "oops")
+
+
+class TestErrorLocations:
+    def test_lex_error_location(self):
+        with pytest.raises(LexError) as exc:
+            check_program("header h {\n  bit<8> $bad;\n}", "m.up4")
+        assert "m.up4:2:10" in str(exc.value)
+
+    def test_parse_error_location(self):
+        with pytest.raises(ParseError) as exc:
+            check_program("header h_t {\n  bit<8> f\n}", "m.up4")
+        assert "m.up4:3:1" in str(exc.value)
+
+    def test_typecheck_error_location(self):
+        src = (
+            "header h_t { bit<8> f; }\n"
+            "struct s_t { h_t h; }\n"
+            "program T : implements Unicast<> {\n"
+            "  parser P(extractor ex, pkt p, out s_t h) {\n"
+            "    state start { transition accept; }\n"
+            "  }\n"
+            "  control C(pkt p, inout s_t h, im_t im) {\n"
+            "    apply { h.h.nope = 1; }\n"
+            "  }\n"
+            "  control D(emitter em, pkt p, in s_t h) { apply { } }\n"
+            "}\n"
+        )
+        with pytest.raises(TypeCheckError) as exc:
+            check_program(src, "m.up4")
+        assert "m.up4:8" in str(exc.value)
+        assert "nope" in str(exc.value)
+
+    def test_error_hierarchy(self):
+        assert issubclass(LexError, CompileError)
+        assert issubclass(ParseError, CompileError)
+        assert issubclass(TypeCheckError, CompileError)
+        assert issubclass(LinkError, CompileError)
+        assert issubclass(AnalysisError, CompileError)
+
+
+class TestHelpfulMessages:
+    def expect(self, src, *fragments):
+        with pytest.raises(CompileError) as exc:
+            check_program(src, "m.up4")
+        message = str(exc.value)
+        for fragment in fragments:
+            assert fragment in message, (fragment, message)
+
+    def test_unknown_type_names_the_type(self):
+        self.expect("struct s_t { missing_t x; }", "missing_t")
+
+    def test_unknown_interface_named(self):
+        self.expect(
+            "program X : implements Teleport<> {"
+            " control C(pkt p, im_t im) { apply { } } }",
+            "Teleport",
+        )
+
+    def test_width_mismatch_shows_both(self):
+        self.expect(
+            "header h_t { bit<8> a; bit<16> b; }\n"
+            "struct s_t { h_t h; }\n"
+            "program T : implements Unicast<> {\n"
+            "  parser P(extractor ex, pkt p, out s_t h) {\n"
+            "    state start { transition accept; } }\n"
+            "  control C(pkt p, inout s_t h, im_t im) {\n"
+            "    apply { h.h.a = h.h.b; } }\n"
+            "  control D(emitter em, pkt p, in s_t h) { apply { } }\n"
+            "}",
+            "bit<8>",
+            "bit<16>",
+        )
+
+    def test_link_error_names_missing_module(self):
+        from repro.midend.linker import link_modules
+
+        src = (
+            "header h_t { bit<8> f; }\n"
+            "struct s_t { h_t h; }\n"
+            "Ghost(pkt p, im_t im);\n"
+            "program T : implements Unicast<> {\n"
+            "  parser P(extractor ex, pkt p, out s_t h) {\n"
+            "    state start { transition accept; } }\n"
+            "  control C(pkt p, inout s_t h, im_t im) {\n"
+            "    Ghost() g;\n"
+            "    apply { g.apply(p, im); } }\n"
+            "  control D(emitter em, pkt p, in s_t h) { apply { } }\n"
+            "}\nT(P, C, D) main;"
+        )
+        with pytest.raises(LinkError) as exc:
+            link_modules(check_program(src, "m.up4"), [])
+        assert "Ghost" in str(exc.value)

@@ -1,0 +1,123 @@
+"""Unit tests for the µP4 lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind as T
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is T.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("header foo") == [T.KW_HEADER, T.IDENT]
+        assert kinds("applyx apply") == [T.IDENT, T.KW_APPLY]
+
+    def test_underscore_token(self):
+        assert kinds("_") == [T.UNDERSCORE]
+        assert kinds("_x") == [T.IDENT]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } [ ] , ; : .") == [
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET, T.RBRACKET,
+            T.COMMA, T.SEMI, T.COLON, T.DOT,
+        ]
+
+    def test_operators(self):
+        assert kinds("++ == != <= >= << >> && || &&&") == [
+            T.CONCAT, T.EQ, T.NEQ, T.LE, T.GE, T.SHL, T.SHR, T.AND, T.OR, T.MASK,
+        ]
+
+    def test_dotdot_range(self):
+        assert kinds("1..5") == [T.INT, T.RANGE, T.INT]
+
+    def test_angle_vs_shift(self):
+        assert kinds("a < b") == [T.IDENT, T.LANGLE, T.IDENT]
+        assert kinds("a << b") == [T.IDENT, T.SHL, T.IDENT]
+
+
+class TestNumbers:
+    def test_decimal(self):
+        tok = tokenize("1234")[0]
+        assert tok.kind is T.INT and tok.value == (None, 1234)
+
+    def test_hex(self):
+        assert tokenize("0x0800")[0].value == (None, 0x800)
+        assert tokenize("0XFF")[0].value == (None, 255)
+
+    def test_binary(self):
+        assert tokenize("0b1010")[0].value == (None, 10)
+
+    def test_width_prefixed(self):
+        assert tokenize("16w0x0800")[0].value == (16, 0x800)
+        assert tokenize("8w255")[0].value == (8, 255)
+        assert tokenize("48w0")[0].value == (48, 0)
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("8w256")
+
+    def test_underscore_separators(self):
+        assert tokenize("1_000_000")[0].value == (None, 1000000)
+
+    def test_bad_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    @given(st.integers(0, 2**63))
+    def test_decimal_roundtrip(self, n):
+        assert tokenize(str(n))[0].value == (None, n)
+
+    @given(st.integers(1, 64), st.integers(0, 2**64 - 1))
+    def test_width_prefixed_roundtrip(self, w, v):
+        v = v % (1 << w)
+        assert tokenize(f"{w}w{v}")[0].value == (w, v)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\n b") == [T.IDENT, T.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [T.IDENT, T.IDENT]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_comment_only(self):
+        assert kinds("// nothing") == []
+
+
+class TestLocations:
+    def test_line_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.column == 3
+
+    def test_error_has_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("abc\n  $")
+        assert "2:3" in str(exc.value)
+
+
+class TestStrings:
+    def test_simple(self):
+        tok = tokenize('"hello"')[0]
+        assert tok.kind is T.STRING and tok.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb"')[0].value == "a\nb"
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')

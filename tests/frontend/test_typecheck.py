@@ -1,0 +1,418 @@
+"""Unit tests for the µP4 type checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.frontend import astnodes as ast
+from repro.frontend.typecheck import check_program
+
+ETH = "header eth_h { bit<48> dst; bit<48> src; bit<16> etherType; }\n"
+HDRS = ETH + "struct hdr_t { eth_h eth; }\n"
+
+
+def wrap_control(body, locals_="", params="pkt p, inout hdr_t h, im_t im"):
+    return check_program(
+        HDRS
+        + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(%s) {
+    %s
+    apply { %s }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+"""
+        % (params, locals_, body)
+    )
+
+
+class TestTypeDecls:
+    def test_header_registered(self):
+        mod = check_program(ETH)
+        assert isinstance(mod.types["eth_h"], ast.HeaderType)
+        assert mod.types["eth_h"].byte_width == 14
+
+    def test_struct_of_headers(self):
+        mod = check_program(HDRS)
+        assert isinstance(mod.types["hdr_t"], ast.StructType)
+        assert isinstance(mod.types["hdr_t"].field_type("eth"), ast.HeaderType)
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(ETH + ETH)
+
+    def test_unknown_field_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program("struct s_t { nothere_t x; }")
+
+    def test_header_with_struct_field_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program("struct s_t { bit<8> x; } header h_t { s_t bad; }")
+
+    def test_typedef_resolves(self):
+        mod = check_program("typedef bit<9> port_t; struct m_t { port_t p; }")
+        assert mod.types["m_t"].field_type("p").width == 9
+
+    def test_const_evaluated(self):
+        mod = check_program("const bit<16> A = 0x800; const bit<16> B = A + 1;")
+        assert mod.consts["B"].value == 0x801
+
+    def test_enum(self):
+        mod = check_program("enum c_t { RED, BLUE }")
+        assert mod.types["c_t"].members == ["RED", "BLUE"]
+
+    def test_builtin_meta_t_present(self):
+        mod = check_program("")
+        assert "IN_PORT" in mod.types["meta_t"].members
+
+
+class TestProgramStructure:
+    def test_roles_assigned(self):
+        mod = wrap_control("")
+        info = mod.programs["T"]
+        assert info.parser.name == "P"
+        assert info.control.name == "C"
+        assert info.deparser.name == "D"
+
+    def test_user_params_derived(self):
+        mod = wrap_control(
+            "", params="pkt p, inout hdr_t h, im_t im, out bit<16> nh, in bit<8> sel"
+        )
+        info = mod.programs["T"]
+        assert [(q.direction, q.name) for q in info.user_params] == [
+            ("out", "nh"),
+            ("in", "sel"),
+        ]
+
+    def test_header_param_identified(self):
+        mod = wrap_control("")
+        assert mod.programs["T"].header_param.name == "h"
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                "program X : implements Nope<> { control C(pkt p) { apply {} } }"
+            )
+
+    def test_missing_parser_rejected_for_unicast(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                "program X : implements Unicast<> { control C(pkt p) { apply {} } }"
+            )
+
+    def test_orchestration_needs_no_parser(self):
+        mod = check_program(
+            "struct e_t {}\n"
+            "program O : implements Orchestration<> {"
+            "  control C(pkt p, im_t im) { apply { } } }"
+        )
+        assert mod.programs["O"].parser is None
+
+    def test_main_instantiation(self):
+        mod = wrap_control("")
+        assert mod.main is None
+        mod2 = check_program(
+            HDRS
+            + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+T(P, C, D) main;
+"""
+        )
+        assert mod2.main == "T"
+        assert mod2.main_program().name == "T"
+
+    def test_main_unknown_program_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program("Nothing(P) main;")
+
+    def test_parser_without_start_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + "program T : implements Unicast<> {"
+                "  parser P(extractor ex, pkt p, out hdr_t h) {"
+                "    state begin { transition accept; } }"
+                "  control C(pkt p, inout hdr_t h, im_t im) { apply { } }"
+                "  control D(emitter em, pkt p, in hdr_t h) { apply { } } }"
+            )
+
+
+class TestExpressions:
+    def test_field_width(self):
+        wrap_control("h.eth.etherType = 16w0x800;")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("h.eth.etherType = h.eth.dst;")
+
+    def test_literal_adapts_to_width(self):
+        wrap_control("h.eth.etherType = 2048;")
+
+    def test_literal_overflow_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("h.eth.etherType = 65536;")
+
+    def test_concat_widths(self):
+        wrap_control("bit<64> x = h.eth.etherType ++ h.eth.dst;")
+
+    def test_concat_wrong_target_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("bit<32> x = h.eth.etherType ++ h.eth.dst;")
+
+    def test_slice(self):
+        wrap_control("bit<8> b = h.eth.etherType[15:8];")
+
+    def test_slice_out_of_range_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("bit<8> b = h.eth.etherType[16:9];")
+
+    def test_arith_same_width(self):
+        wrap_control("h.eth.etherType = h.eth.etherType + 1;")
+
+    def test_compare_yields_bool(self):
+        wrap_control("if (h.eth.etherType == 0x800) { h.eth.etherType = 0; }")
+
+    def test_if_needs_bool(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("if (h.eth.etherType) { }")
+
+    def test_isvalid_is_bool(self):
+        wrap_control("if (h.eth.isValid()) { }")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("ghost = 1;")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("h.eth.vlanId = 1;")
+
+    def test_cast(self):
+        wrap_control("bit<8> x = (bit<8>) h.eth.etherType;")
+
+    def test_enum_member_access(self):
+        wrap_control("bit<32> ts = im.get_value(meta_t.IN_TIMESTAMP);")
+
+    def test_bad_enum_member_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("bit<32> ts = im.get_value(meta_t.NOPE);")
+
+
+class TestCallsAndDirections:
+    def test_im_set_out_port(self):
+        wrap_control("im.set_out_port(8w3);")
+
+    def test_extern_arg_width_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("im.set_out_port(16w3);")
+
+    def test_out_arg_must_be_lvalue(self):
+        src = (
+            HDRS
+            + "M(pkt p, im_t im, out bit<16> nh);\n"
+            + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    M() m_i;
+    apply { m_i.apply(p, im, 16w0); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+        )
+        with pytest.raises(TypeCheckError):
+            check_program(src)
+
+    def test_module_apply_checks_arity(self):
+        src = (
+            HDRS
+            + "M(pkt p, im_t im, out bit<16> nh);\n"
+            + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    M() m_i;
+    apply { bit<16> nh; m_i.apply(p, im); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+        )
+        with pytest.raises(TypeCheckError):
+            check_program(src)
+
+    def test_unknown_extern_method_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("im.launch_missiles();")
+
+    def test_action_call_args(self):
+        wrap_control(
+            "a(1);",
+            locals_="action a(bit<8> x) { im.set_out_port(x); }",
+        )
+
+    def test_action_call_arity_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("a();", locals_="action a(bit<8> x) { }")
+
+    def test_recirculate_builtin(self):
+        wrap_control("recirculate(h.eth.etherType);")
+
+    def test_setvalid(self):
+        wrap_control("h.eth.setValid(); h.eth.setInvalid();")
+
+    def test_mc_engine_instance(self):
+        wrap_control(
+            "mce.set_mc_group(16w5);",
+            locals_="mc_engine() mce;",
+        )
+
+
+class TestTables:
+    def test_table_checks(self):
+        wrap_control(
+            "t.apply();",
+            locals_="""
+              action a(bit<8> x) { im.set_out_port(x); }
+              action drop() { }
+              table t {
+                key = { h.eth.etherType : exact; }
+                actions = { a; drop; }
+                default_action = drop();
+                const entries = { 0x0800 : a(1); }
+              }
+            """,
+        )
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control(
+                "t.apply();",
+                locals_="table t { key = { h.eth.etherType : exact; } actions = { ghost; } }",
+            )
+
+    def test_bad_match_kind_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control(
+                "t.apply();",
+                locals_="""
+                  action a() { }
+                  table t { key = { h.eth.etherType : fuzzy; } actions = { a; } }
+                """,
+            )
+
+    def test_entry_arity_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control(
+                "t.apply();",
+                locals_="""
+                  action a() { }
+                  table t {
+                    key = { h.eth.etherType : exact; h.eth.dst : exact; }
+                    actions = { a; }
+                    const entries = { 0x800 : a(); }
+                  }
+                """,
+            )
+
+    def test_default_not_listed_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control(
+                "t.apply();",
+                locals_="""
+                  action a() { }
+                  action b() { }
+                  table t {
+                    key = { h.eth.etherType : exact; }
+                    actions = { a; }
+                    default_action = b();
+                  }
+                """,
+            )
+
+    def test_table_apply_with_args_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control(
+                "t.apply(h);",
+                locals_="""
+                  action a() { }
+                  table t { key = { h.eth.etherType : exact; } actions = { a; } }
+                """,
+            )
+
+
+class TestParsers:
+    def test_select_keyset_widths(self):
+        check_program(
+            HDRS
+            + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x0800 : accept;
+        0x86DD &&& 0xFFFF : accept;
+        default : accept;
+      }
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+        )
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { transition nowhere; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+            )
+
+    def test_select_arity_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType, h.eth.dst) {
+        0x0800 : accept;
+      }
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+            )
+
+
+class TestSwitch:
+    def test_switch_literal_cases(self):
+        wrap_control(
+            "switch (h.eth.etherType) { 0x0800 : { } 0x86DD : { } default : { } }"
+        )
+
+    def test_switch_case_width_overflow_rejected(self):
+        with pytest.raises(TypeCheckError):
+            wrap_control("switch (h.eth.etherType) { 0x10000 : { } }")

@@ -1,0 +1,185 @@
+"""Type checker coverage: generic externs, overloads, directions."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.frontend.typecheck import check_program
+
+HDRS = """
+header eth_h { bit<48> dst; bit<48> src; bit<16> etherType; }
+header ip_h  { bit<8> ttl; bit<24> rest; }
+struct hdr_t { eth_h eth; ip_h ip; }
+"""
+
+
+def wrap(parser_body="ex.extract(p, h.eth); transition accept;",
+         control_body="", locals_=""):
+    return check_program(
+        HDRS
+        + """
+program G : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { %s }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    %s
+    apply { %s }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+"""
+        % (parser_body, locals_, control_body)
+    )
+
+
+class TestGenericBinding:
+    def test_extract_binds_header_type(self):
+        mod = wrap("ex.extract(p, h.eth); ex.extract(p, h.ip); transition accept;")
+        assert "G" in mod.programs
+
+    def test_extract_non_header_rejected(self):
+        # Extracting a whole struct is not allowed by the parse graph;
+        # the checker binds H to the struct, the graph rejects later —
+        # but extracting a scalar is rejected by direction/lvalue rules.
+        with pytest.raises(TypeCheckError):
+            wrap("ex.extract(p, 16w0); transition accept;")
+
+    def test_emit_binds_header_type(self):
+        wrap(control_body="")  # deparser emit checked in wrap itself
+
+    def test_extract_three_arg_overload(self):
+        src = HDRS.replace(
+            "header ip_h  { bit<8> ttl; bit<24> rest; }",
+            "header ip_h  { bit<8> ttl; varbit<32> rest; }",
+        )
+        mod = check_program(
+            src
+            + """
+program G : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      ex.extract(p, h.ip, (bit<32>) 16);
+      transition accept;
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+        )
+        assert "G" in mod.programs
+
+    def test_wrong_arity_overload_rejected(self):
+        with pytest.raises(TypeCheckError) as exc:
+            wrap("ex.extract(p); transition accept;")
+        assert "overload" in str(exc.value)
+
+    def test_register_generic_infers_value_type(self):
+        wrap(
+            control_body="""
+              bit<16> v;
+              r.read(v, 32w0);
+              r.write(32w0, v + 1);
+            """,
+            locals_="register() r;",
+        )
+
+    def test_register_inconsistent_binding_ok_per_call(self):
+        # Each call site binds T independently (like p4c).
+        wrap(
+            control_body="""
+              bit<16> v16;
+              bit<8> v8;
+              r.read(v16, 32w0);
+              r.read(v8, 32w1);
+            """,
+            locals_="register() r;",
+        )
+
+
+class TestDirections:
+    def test_extract_out_arg_must_be_lvalue(self):
+        with pytest.raises(TypeCheckError):
+            wrap("ex.extract(p, 8w0); transition accept;")
+
+    def test_register_read_out_must_be_lvalue(self):
+        with pytest.raises(TypeCheckError):
+            wrap(control_body="r.read(8w0, 32w0);", locals_="register() r;")
+
+    def test_const_not_assignable(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+const bit<8> K = 1;
+program G : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { K = 2; } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+            )
+
+
+class TestConstEval:
+    def test_arith_folding(self):
+        mod = check_program("const bit<16> A = (1 << 8) | 0x0F;")
+        assert mod.consts["A"].value == 0x10F
+
+    def test_reference_chain(self):
+        mod = check_program(
+            "const bit<16> A = 2; const bit<16> B = A * 3; const bit<16> C = B - A;"
+        )
+        assert mod.consts["C"].value == 4
+
+    def test_non_const_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program("const bit<16> A = B;")
+
+
+class TestInterfaceStructure:
+    def test_multiple_parsers_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+program G : implements Unicast<> {
+  parser P1(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  parser P2(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+            )
+
+    def test_two_main_controls_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+program G : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C1(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control C2(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+"""
+            )
+
+    def test_two_mains_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(
+                HDRS
+                + """
+program G : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) { state start { transition accept; } }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) { apply { } }
+}
+G(P, C, D) main;
+G(P, C, D) main;
+"""
+            )

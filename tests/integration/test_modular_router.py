@@ -1,0 +1,148 @@
+"""End-to-end tests of the composed modular router (P4, paper Fig. 8)."""
+
+import pytest
+
+from repro.net.build import dissect, layer_fields
+from repro.net.ethernet import mac
+from repro.net.ipv4 import ip4
+from repro.net.ipv6 import ip6
+
+from tests.integration.helpers import (
+    MAC_A,
+    MAC_B,
+    eth_ipv4,
+    eth_ipv6,
+    make_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def router():
+    return make_instance("P4", "micro")
+
+
+class TestIPv4Routing:
+    def test_forwards_on_lpm_hit(self, router):
+        outs = router.process(eth_ipv4(dst="10.0.0.5"), 1)
+        assert len(outs) == 1
+        assert outs[0].port == 2
+
+    def test_more_specific_prefix_wins(self, router):
+        outs = router.process(eth_ipv4(dst="10.1.2.3"), 1)
+        assert outs[0].port == 3
+
+    def test_mac_rewrite(self, router):
+        outs = router.process(eth_ipv4(), 1)
+        eth = layer_fields(dissect(outs[0].packet), "ethernet")
+        assert eth["dstAddr"] == mac(MAC_A)
+        assert eth["srcAddr"] == mac(MAC_B)
+
+    def test_ttl_decremented(self, router):
+        outs = router.process(eth_ipv4(ttl=64), 1)
+        assert layer_fields(dissect(outs[0].packet), "ipv4")["ttl"] == 63
+
+    def test_payload_preserved(self, router):
+        outs = router.process(eth_ipv4(payload=b"PRESERVE-ME"), 1)
+        assert outs[0].packet.tobytes().endswith(b"PRESERVE-ME")
+
+    def test_no_route_drops(self, router):
+        assert router.process(eth_ipv4(dst="172.16.0.1"), 1) == []
+
+    def test_ttl_zero_drops(self, router):
+        assert router.process(eth_ipv4(ttl=0), 1) == []
+
+    def test_ttl_one_still_forwarded(self, router):
+        outs = router.process(eth_ipv4(ttl=1), 1)
+        assert len(outs) == 1
+        assert layer_fields(dissect(outs[0].packet), "ipv4")["ttl"] == 0
+
+    def test_other_ipv4_fields_untouched(self, router):
+        outs = router.process(eth_ipv4(src="1.2.3.4"), 1)
+        v4 = layer_fields(dissect(outs[0].packet), "ipv4")
+        assert v4["srcAddr"] == ip4("1.2.3.4")
+        assert v4["dstAddr"] == ip4("10.0.0.5")
+        assert v4["version"] == 4 and v4["ihl"] == 5
+
+
+class TestIPv6Routing:
+    def test_forwards(self, router):
+        outs = router.process(eth_ipv6(dst="2001:db8::5"), 1)
+        assert outs[0].port == 4
+
+    def test_hop_limit_decremented(self, router):
+        outs = router.process(eth_ipv6(hop=10), 1)
+        assert layer_fields(dissect(outs[0].packet), "ipv6")["hopLimit"] == 9
+
+    def test_address_preserved(self, router):
+        outs = router.process(eth_ipv6(), 1)
+        v6 = layer_fields(dissect(outs[0].packet), "ipv6")
+        assert v6["dstAddr"] == ip6("2001:db8::5")
+
+    def test_no_route_drops(self, router):
+        assert router.process(eth_ipv6(dst="fe80::1"), 1) == []
+
+
+class TestEdgeCases:
+    def test_unknown_ethertype_drops(self, router):
+        from repro.net.build import PacketBuilder
+
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x9999)
+            .payload(b"x")
+            .build()
+        )
+        assert router.process(pkt, 1) == []
+
+    def test_truncated_ipv4_drops(self, router):
+        from repro.net.build import PacketBuilder
+        from repro.net.packet import Packet
+
+        full = eth_ipv4()
+        truncated = Packet(full.tobytes()[:20])  # eth + 6 bytes of ipv4
+        assert router.process(truncated, 1) == []
+
+    def test_packet_length_unchanged(self, router):
+        pkt = eth_ipv4()
+        original = len(pkt)
+        outs = router.process(pkt, 1)
+        assert len(outs[0].packet) == original
+
+    def test_consecutive_packets_isolated(self, router):
+        """Pipeline state must not leak between packets."""
+        first = router.process(eth_ipv4(dst="10.0.0.5"), 1)
+        dropped = router.process(eth_ipv4(dst="172.16.0.1"), 1)
+        second = router.process(eth_ipv4(dst="10.0.0.5"), 1)
+        assert first[0].port == second[0].port == 2
+        assert dropped == []
+
+
+class TestRuntimeApi:
+    def test_tables_listed(self, router):
+        from repro.targets.runtime_api import RuntimeAPI
+
+        api = RuntimeAPI(router)
+        names = api.tables()
+        assert any(n.endswith("forward_tbl") for n in names)
+        assert any(n.endswith("parser_tbl") for n in names)
+
+    def test_user_tables_exclude_synthesized(self, router):
+        from repro.targets.runtime_api import RuntimeAPI
+
+        api = RuntimeAPI(router)
+        for name in api.user_tables():
+            assert "parser_tbl" not in name and "deparser_tbl" not in name
+
+    def test_unknown_table_rejected(self, router):
+        from repro.errors import TargetError
+        from repro.targets.runtime_api import RuntimeAPI
+
+        with pytest.raises(TargetError):
+            RuntimeAPI(router).add_entry("nope_tbl", [1], "forward", [])
+
+    def test_unknown_action_rejected(self, router):
+        from repro.errors import TargetError
+        from repro.targets.runtime_api import RuntimeAPI
+
+        with pytest.raises(TargetError):
+            RuntimeAPI(router).add_entry("forward_tbl", [1], "teleport", [])

@@ -1,0 +1,101 @@
+"""Behavioral tests of the VLAN extension composition (P8)."""
+
+import pytest
+
+from repro.lib.catalog import build_monolithic, build_pipeline
+from repro.net.build import PacketBuilder, dissect, layer_fields
+from repro.net.ethernet import mac
+from repro.net.ipv4 import ip4
+from repro.net.vlan import vlan
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+
+
+def program(instance):
+    api = RuntimeAPI(instance)
+    api.add_entry("vlan_admit_tbl", [100], "admit", [])
+    api.add_entry("ipv4_lpm_tbl", [(ip4("10.0.0.0"), 8)],
+                  "process" if instance.composed.mode == "micro" else "process_v4",
+                  [7])
+    api.add_entry(
+        "forward_tbl", [7], "forward",
+        [mac("02:00:00:00:00:aa"), mac("02:00:00:00:00:bb"), 2],
+    )
+    return instance
+
+
+@pytest.fixture(scope="module")
+def p8():
+    return program(PipelineInstance(build_pipeline("P8")))
+
+
+@pytest.fixture(scope="module")
+def p8_mono():
+    return program(PipelineInstance(build_monolithic("P8")))
+
+
+def tagged(vid=100, dst="10.0.0.5"):
+    return (
+        PacketBuilder()
+        .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x8100)
+        .layer("vlan", vlan(vid, 0x0800))
+        .ipv4("192.168.0.1", dst, 6)
+        .payload(b"tagged")
+        .build()
+    )
+
+
+def untagged(dst="10.0.0.5"):
+    return (
+        PacketBuilder()
+        .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+        .ipv4("192.168.0.1", dst, 6)
+        .payload(b"plain")
+        .build()
+    )
+
+
+class TestVlanTermination:
+    def test_tag_popped_and_routed(self, p8):
+        outs = p8.process(tagged(), 1)
+        assert outs and outs[0].port == 2
+        layers = dissect(outs[0].packet)
+        assert [n for n, _ in layers] == ["ethernet", "ipv4", "payload"]
+        assert layer_fields(layers, "ethernet")["etherType"] == 0x0800
+
+    def test_packet_shrinks_by_tag(self, p8):
+        pkt = tagged()
+        outs = p8.process(pkt.copy(), 1)
+        assert len(outs[0].packet) == len(pkt) - 4
+
+    def test_unknown_vlan_denied(self, p8):
+        assert p8.process(tagged(vid=999), 1) == []
+
+    def test_untagged_routed_directly(self, p8):
+        outs = p8.process(untagged(), 1)
+        assert outs and outs[0].port == 2
+
+    def test_ttl_decremented_after_pop(self, p8):
+        outs = p8.process(tagged(), 1)
+        assert layer_fields(dissect(outs[0].packet), "ipv4")["ttl"] == 63
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "pkt_fn",
+        [
+            lambda: tagged(),
+            lambda: tagged(vid=999),
+            lambda: tagged(dst="172.16.0.1"),
+            lambda: untagged(),
+            lambda: untagged(dst="172.16.0.1"),
+        ],
+    )
+    def test_micro_equals_mono(self, p8, p8_mono, pkt_fn):
+        pkt = pkt_fn()
+        a = p8.process(pkt.copy(), 1)
+        b = p8_mono.process(pkt.copy(), 1)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.port == y.port
+            assert x.packet.tobytes() == y.packet.tobytes()

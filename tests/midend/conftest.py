@@ -1,0 +1,33 @@
+"""Shared µP4 source snippets for midend tests.
+
+The header set mirrors the paper's running examples (Figs. 9 and 10):
+Ethernet (14 B), MPLS (4 B), IPv4 (20 B), IPv6 (40 B), TCP (20 B).
+"""
+
+import pytest
+
+from repro.frontend.typecheck import check_program
+
+HEADER_DEFS = """
+header eth_h  { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+header ipv4_h { bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+                bit<16> identification; bit<3> flags; bit<13> fragOffset;
+                bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+                bit<32> srcAddr; bit<32> dstAddr; }
+header ipv6_h { bit<4> version; bit<8> trafficClass; bit<20> flowLabel;
+                bit<16> payloadLen; bit<8> nextHdr; bit<8> hopLimit;
+                bit<128> srcAddr; bit<128> dstAddr; }
+header tcp_h  { bit<16> srcPort; bit<16> dstPort; bit<32> seqNo; bit<32> ackNo;
+                bit<4> dataOffset; bit<4> reserved; bit<8> flags;
+                bit<16> window; bit<16> checksum; bit<16> urgentPtr; }
+"""
+
+
+def check(src, name="<test>"):
+    return check_program(HEADER_DEFS + src, name)
+
+
+@pytest.fixture
+def headers():
+    return HEADER_DEFS

@@ -1,0 +1,204 @@
+"""Operational-region analysis tests, including the paper's Fig. 9 numbers.
+
+Fig. 9: a caller invokes callee1 then callee2 on one control path.
+callee1 parses eth(14)+mpls(4)+ipv6(40), removes mpls (δ=4) and adds
+ipv4 (∆=20).  callee2 may parse eth+ipv6+ipv4 = 74 bytes.  The paper
+computes El(caller) = 78 (= δ(callee1) + El(callee2)) and byte-stack
+size Bs = 98 (= El + ∆ with ∆(caller) = 20 from callee1).
+"""
+
+import pytest
+
+from repro.midend.analysis import analyze, analyze_all
+from repro.midend.linker import link_modules
+
+from tests.midend.conftest import check
+
+CALLEE1 = """
+struct h1_t { eth_h eth; mpls_h mpls; ipv6_h ipv6; ipv4_h ipv4; }
+program callee1 : implements Unicast<> {
+  parser P(extractor ex, pkt p, out h1_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) { 0x8847 : parse_mpls; }
+    }
+    state parse_mpls {
+      ex.extract(p, h.mpls);
+      transition parse_ipv6;
+    }
+    state parse_ipv6 { ex.extract(p, h.ipv6); transition accept; }
+  }
+  control C(pkt p, inout h1_t h, im_t im) {
+    apply {
+      h.mpls.setInvalid();
+      h.ipv4.setValid();
+    }
+  }
+  control D(emitter em, pkt p, in h1_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.mpls);
+      em.emit(p, h.ipv4);
+      em.emit(p, h.ipv6);
+    }
+  }
+}
+"""
+
+CALLEE2 = """
+struct h2_t { eth_h eth; ipv6_h ipv6; ipv4_h ipv4; }
+program callee2 : implements Unicast<> {
+  parser P(extractor ex, pkt p, out h2_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x86DD : parse_ipv6;
+        0x0800 : parse_ipv4;
+      }
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      transition select(h.ipv6.nextHdr) { 0x4 : parse_ipv4; default : accept; }
+    }
+    state parse_ipv4 { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout h2_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in h2_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); }
+  }
+}
+"""
+
+CALLER = """
+struct hc_t { eth_h dummy; }
+callee1(pkt p, im_t im);
+callee2(pkt p, im_t im);
+
+program Caller : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hc_t h) {
+    state start { transition accept; }
+  }
+  control C(pkt p, inout hc_t h, im_t im) {
+    callee1() c1;
+    callee2() c2;
+    apply { c1.apply(p, im); c2.apply(p, im); }
+  }
+  control D(emitter em, pkt p, in hc_t h) { apply { } }
+}
+Caller(P, C, D) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    linked = link_modules(
+        check(CALLER, "caller"), [check(CALLEE1, "c1"), check(CALLEE2, "c2")]
+    )
+    return linked, analyze_all(linked)
+
+
+class TestFig9:
+    def test_callee1_region(self, fig9):
+        _, regions = fig9
+        r = regions["callee1"]
+        assert r.parser_extract_length == 58  # eth+mpls+ipv6
+        assert r.extract_length == 58
+        assert r.max_increase == 20  # ipv4.setValid
+        assert r.max_decrease == 4  # mpls.setInvalid
+
+    def test_callee2_region(self, fig9):
+        _, regions = fig9
+        r = regions["callee2"]
+        assert r.extract_length == 74  # eth+ipv6+ipv4
+        assert r.max_increase == 0
+        assert r.max_decrease == 0
+
+    def test_caller_extract_length_eq3(self, fig9):
+        """El(caller) = max(El(c1), δ(c1) + El(c2)) = max(58, 4+74) = 78."""
+        _, regions = fig9
+        assert regions["Caller"].extract_length == 78
+
+    def test_caller_byte_stack_eq4(self, fig9):
+        """Bs = El + ∆ = 78 + 20 = 98 (the paper's headline number)."""
+        _, regions = fig9
+        r = regions["Caller"]
+        assert r.max_increase == 20
+        assert r.byte_stack_size == 98
+
+    def test_analyze_returns_main(self, fig9):
+        linked, regions = fig9
+        assert analyze(linked) == regions["Caller"]
+
+
+class TestLocalRegions:
+    def make(self, control_body, deparser_body="em.emit(p, h.eth);"):
+        src = """
+        struct hdr_t { eth_h eth; ipv4_h ipv4; mpls_h mpls; }
+        program T : implements Unicast<> {
+          parser P(extractor ex, pkt p, out hdr_t h) {
+            state start { ex.extract(p, h.eth); transition accept; }
+          }
+          control C(pkt p, inout hdr_t h, im_t im) { apply { %s } }
+          control D(emitter em, pkt p, in hdr_t h) { apply { %s } }
+        }
+        T(P, C, D) main;
+        """ % (control_body, deparser_body)
+        linked = link_modules(check(src, "t"), [])
+        return analyze(linked)
+
+    def test_plain_forwarding(self):
+        r = self.make("h.eth.srcMac = 1;")
+        assert r.extract_length == 14
+        assert r.byte_stack_size == 14
+        assert r.min_packet_size == 14
+
+    def test_push_header_increases(self):
+        r = self.make("h.mpls.setValid();")
+        assert r.max_increase == 4
+        assert r.byte_stack_size == 18
+
+    def test_pop_header_decreases(self):
+        r = self.make("h.mpls.setInvalid();")
+        assert r.max_decrease == 4
+        assert r.byte_stack_size == 14
+
+    def test_same_header_setvalid_twice_counts_once(self):
+        r = self.make("h.mpls.setValid(); h.mpls.setValid();")
+        assert r.max_increase == 4
+
+    def test_branches_take_max(self):
+        r = self.make(
+            "if (h.eth.etherType == 1) { h.mpls.setValid(); } else { h.ipv4.setValid(); }"
+        )
+        assert r.max_increase == 20
+
+    def test_unemitted_header_counts_as_decrease(self):
+        # Parser extracts eth but the deparser never emits it.
+        r = self.make("h.eth.srcMac = 1;", deparser_body="")
+        assert r.max_decrease == 14
+
+    def test_min_packet_size_takes_min_path(self):
+        src = """
+        struct hdr_t { eth_h eth; ipv4_h ipv4; }
+        program T : implements Unicast<> {
+          parser P(extractor ex, pkt p, out hdr_t h) {
+            state start {
+              ex.extract(p, h.eth);
+              transition select(h.eth.etherType) {
+                0x0800 : v4;
+                default : accept;
+              }
+            }
+            state v4 { ex.extract(p, h.ipv4); transition accept; }
+          }
+          control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+          control D(emitter em, pkt p, in hdr_t h) {
+            apply { em.emit(p, h.eth); em.emit(p, h.ipv4); }
+          }
+        }
+        T(P, C, D) main;
+        """
+        linked = link_modules(check(src, "t"), [])
+        r = analyze(linked)
+        assert r.min_packet_size == 14
+        assert r.extract_length == 34

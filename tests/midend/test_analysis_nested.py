@@ -1,0 +1,204 @@
+"""Operational-region analysis through deep composition chains."""
+
+import pytest
+
+from repro.midend.analysis import Analyzer, analyze, analyze_all
+from repro.midend.linker import link_modules
+
+from tests.midend.conftest import check
+
+
+def leaf(name, extract_header, grow=None, shrink=None):
+    """A Unicast module extracting one header, optionally resizing."""
+    body = ""
+    if grow:
+        body += f"h.{grow}.setValid();\n"
+    if shrink:
+        body += f"h.{shrink}.setInvalid();\n"
+    return f"""
+    struct {name}_t {{ eth_h eth; mpls_h mpls; ipv4_h ipv4; ipv6_h ipv6; }}
+    program {name} : implements Unicast<> {{
+      parser P(extractor ex, pkt p, out {name}_t h) {{
+        state start {{ ex.extract(p, h.{extract_header}); transition accept; }}
+      }}
+      control C(pkt p, inout {name}_t h, im_t im) {{
+        apply {{ {body} }}
+      }}
+      control D(emitter em, pkt p, in {name}_t h) {{
+        apply {{
+          em.emit(p, h.eth);
+          em.emit(p, h.mpls);
+          em.emit(p, h.ipv4);
+          em.emit(p, h.ipv6);
+        }}
+      }}
+    }}
+    """
+
+
+def middle(name, callee):
+    return f"""
+    struct {name}_t {{ eth_h eth; }}
+    {callee}(pkt p, im_t im);
+    program {name} : implements Unicast<> {{
+      parser P(extractor ex, pkt p, out {name}_t h) {{
+        state start {{ ex.extract(p, h.eth); transition accept; }}
+      }}
+      control C(pkt p, inout {name}_t h, im_t im) {{
+        {callee}() inner;
+        apply {{ inner.apply(p, im); }}
+      }}
+      control D(emitter em, pkt p, in {name}_t h) {{
+        apply {{ em.emit(p, h.eth); }}
+      }}
+    }}
+    """
+
+
+def top(callee):
+    return f"""
+    struct top_t {{ eth_h eth; }}
+    {callee}(pkt p, im_t im);
+    program Top : implements Unicast<> {{
+      parser P(extractor ex, pkt p, out top_t h) {{
+        state start {{ ex.extract(p, h.eth); transition accept; }}
+      }}
+      control C(pkt p, inout top_t h, im_t im) {{
+        {callee}() mid;
+        apply {{ mid.apply(p, im); }}
+      }}
+      control D(emitter em, pkt p, in top_t h) {{
+        apply {{ em.emit(p, h.eth); }}
+      }}
+    }}
+    Top(P, C, D) main;
+    """
+
+
+class TestThreeLevels:
+    def test_extract_lengths_accumulate(self):
+        linked = link_modules(
+            check(top("Mid"), "t"),
+            [
+                check(middle("Mid", "Leaf"), "m"),
+                check(leaf("Leaf", "ipv6"), "l"),
+            ],
+        )
+        regions = analyze_all(linked)
+        assert regions["Leaf"].extract_length == 40
+        assert regions["Mid"].extract_length == 14 + 40
+        assert regions["Top"].extract_length == 14 + 14 + 40
+
+    def test_growth_propagates_up(self):
+        linked = link_modules(
+            check(top("Mid"), "t"),
+            [
+                check(middle("Mid", "Leaf"), "m"),
+                check(leaf("Leaf", "ipv4", grow="mpls"), "l"),
+            ],
+        )
+        regions = analyze_all(linked)
+        assert regions["Leaf"].max_increase == 4
+        assert regions["Mid"].max_increase == 4
+        assert regions["Top"].max_increase == 4
+        assert regions["Top"].byte_stack_size == 14 + 14 + 20 + 4
+
+    def test_shrink_propagates_up(self):
+        linked = link_modules(
+            check(top("Mid"), "t"),
+            [
+                check(middle("Mid", "Leaf"), "m"),
+                check(leaf("Leaf", "mpls", shrink="mpls"), "l"),
+            ],
+        )
+        regions = analyze_all(linked)
+        assert regions["Leaf"].max_decrease == 4
+        assert regions["Top"].max_decrease == 4
+
+    def test_min_packet_accumulates(self):
+        linked = link_modules(
+            check(top("Mid"), "t"),
+            [
+                check(middle("Mid", "Leaf"), "m"),
+                check(leaf("Leaf", "ipv6"), "l"),
+            ],
+        )
+        assert analyze(linked).min_packet_size == 14 + 14 + 40
+
+
+class TestMemoization:
+    def test_shared_callee_analyzed_once(self):
+        """A diamond (Top -> MidA/MidB -> Leaf) hits the analyzer cache."""
+        diamond_top = """
+        struct dt_t { eth_h eth; }
+        MidA(pkt p, im_t im);
+        MidB(pkt p, im_t im);
+        program Top : implements Unicast<> {
+          parser P(extractor ex, pkt p, out dt_t h) {
+            state start { ex.extract(p, h.eth); transition accept; }
+          }
+          control C(pkt p, inout dt_t h, im_t im) {
+            MidA() a;
+            MidB() b;
+            apply {
+              if (h.eth.etherType == 1) { a.apply(p, im); }
+              else { b.apply(p, im); }
+            }
+          }
+          control D(emitter em, pkt p, in dt_t h) { apply { em.emit(p, h.eth); } }
+        }
+        Top(P, C, D) main;
+        """
+        linked = link_modules(
+            check(diamond_top, "t"),
+            [
+                check(middle("MidA", "Leaf"), "ma"),
+                check(middle("MidB", "Leaf"), "mb"),
+                check(leaf("Leaf", "ipv4"), "l"),
+            ],
+        )
+        analyzer = Analyzer(linked)
+        calls = []
+        original = analyzer._analyze_unit
+
+        def counting(unit):
+            calls.append(unit.name)
+            return original(unit)
+
+        analyzer._analyze_unit = counting
+        analyzer.analyze()
+        assert calls.count("Leaf") == 1
+
+    def test_branch_max_not_sum(self):
+        """Exclusive branches take the max extract length, not the sum."""
+        linked = link_modules(
+            check(
+                """
+                struct bm_t { eth_h eth; }
+                A(pkt p, im_t im);
+                B(pkt p, im_t im);
+                program Top : implements Unicast<> {
+                  parser P(extractor ex, pkt p, out bm_t h) {
+                    state start { ex.extract(p, h.eth); transition accept; }
+                  }
+                  control C(pkt p, inout bm_t h, im_t im) {
+                    A() a;
+                    B() b;
+                    apply {
+                      switch (h.eth.etherType) {
+                        1 : a.apply(p, im);
+                        2 : b.apply(p, im);
+                      }
+                    }
+                  }
+                  control D(emitter em, pkt p, in bm_t h) {
+                    apply { em.emit(p, h.eth); }
+                  }
+                }
+                Top(P, C, D) main;
+                """,
+                "t",
+            ),
+            [check(leaf("A", "ipv6"), "a"), check(leaf("B", "ipv4"), "b")],
+        )
+        assert analyze(linked).extract_length == 14 + 40  # max, not 14+60

@@ -1,0 +1,127 @@
+"""Unit tests for control-path enumeration."""
+
+from repro.frontend import astnodes as ast
+from repro.ir.cfg import enumerate_control_paths
+
+from tests.midend.conftest import check
+
+
+def control_of(src, prog="T"):
+    mod = check(src)
+    return mod.programs[prog].control
+
+
+BASE = """
+struct hdr_t { eth_h eth; ipv4_h ipv4; mpls_h mpls; }
+program T : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    %s
+    apply { %s }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+"""
+
+
+class TestStructuralPaths:
+    def test_straight_line_is_one_path(self):
+        c = control_of(BASE % ("", "h.eth.srcMac = 1; h.eth.dstMac = 2;"))
+        paths = enumerate_control_paths(c)
+        assert len(paths) == 1
+        assert len(paths[0]) == 2
+
+    def test_if_else_two_paths(self):
+        c = control_of(
+            BASE % ("", "if (h.eth.etherType == 1) { h.eth.srcMac = 1; } else { h.eth.srcMac = 2; }")
+        )
+        assert len(enumerate_control_paths(c)) == 2
+
+    def test_if_without_else_two_paths(self):
+        c = control_of(BASE % ("", "if (h.eth.etherType == 1) { h.eth.srcMac = 1; }"))
+        paths = enumerate_control_paths(c)
+        assert len(paths) == 2
+        assert min(len(p) for p in paths) == 0
+
+    def test_switch_paths(self):
+        c = control_of(
+            BASE
+            % (
+                "",
+                "switch (h.eth.etherType) { 1 : { h.eth.srcMac = 1; } 2 : { h.eth.srcMac = 2; } }",
+            )
+        )
+        # Two arms plus the implicit no-match path.
+        assert len(enumerate_control_paths(c)) == 3
+
+    def test_switch_with_default_no_extra_path(self):
+        c = control_of(
+            BASE
+            % (
+                "",
+                "switch (h.eth.etherType) { 1 : { h.eth.srcMac = 1; } default : { h.eth.srcMac = 2; } }",
+            )
+        )
+        assert len(enumerate_control_paths(c)) == 2
+
+    def test_table_actions_branch(self):
+        c = control_of(
+            BASE
+            % (
+                """
+                action a1() { h.mpls.setInvalid(); }
+                action a2() { h.ipv4.setValid(); }
+                table t { key = { h.eth.etherType : exact; } actions = { a1; a2; } }
+                """,
+                "t.apply();",
+            )
+        )
+        paths = enumerate_control_paths(c)
+        assert len(paths) == 2
+        ops = sorted(p.header_ops()[0][0] for p in paths)
+        assert ops == ["setInvalid", "setValid"]
+
+    def test_sequential_branching_multiplies(self):
+        c = control_of(
+            BASE
+            % (
+                "",
+                """
+                if (h.eth.etherType == 1) { h.eth.srcMac = 1; }
+                if (h.eth.dstMac == 2) { h.eth.srcMac = 2; }
+                """,
+            )
+        )
+        assert len(enumerate_control_paths(c)) == 4
+
+    def test_direct_action_call_expanded(self):
+        c = control_of(
+            BASE % ("action pop() { h.mpls.setInvalid(); }", "pop();")
+        )
+        paths = enumerate_control_paths(c)
+        assert len(paths) == 1
+        assert paths[0].header_ops()[0][0] == "setInvalid"
+
+
+class TestPathQueries:
+    def test_module_applies_in_order(self):
+        src = (
+            "M1(pkt p, im_t im);\nM2(pkt p, im_t im);\n"
+            + BASE % ("M1() m1;\nM2() m2;", "m1.apply(p, im); m2.apply(p, im);")
+        )
+        c = control_of(src)
+        paths = enumerate_control_paths(c)
+        assert len(paths) == 1
+        applies = paths[0].module_applies()
+        assert len(applies) == 2
+        assert applies[0].resolved[1].target == "M1"
+        assert applies[1].resolved[1].target == "M2"
+
+    def test_header_ops_capture_type(self):
+        c = control_of(BASE % ("", "h.ipv4.setValid();"))
+        (op, htype, lvalue) = enumerate_control_paths(c)[0].header_ops()[0]
+        assert op == "setValid"
+        assert isinstance(htype, ast.HeaderType)
+        assert htype.byte_width == 20

@@ -1,0 +1,165 @@
+"""Unit tests for the deparser→MAT transformation (§5.3)."""
+
+import pytest
+
+from repro.errors import AnalysisError, ResourceError
+from repro.frontend import astnodes as ast
+from repro.ir.printer import expr_text
+from repro.ir.parse_graph import build_parse_graph
+from repro.midend.bytestack import ByteStack
+from repro.midend.deparser_to_mat import deparser_to_mat
+
+from tests.midend.conftest import check
+
+SRC = """
+struct dp_t { eth_h eth; mpls_h mpls; }
+program DP : implements Unicast<> {
+  parser P(extractor ex, pkt p, out dp_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x8847 : parse_mpls;
+        default : accept;
+      }
+    }
+    state parse_mpls { ex.extract(p, h.mpls); transition accept; }
+  }
+  control C(pkt p, inout dp_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in dp_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.mpls);
+    }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def mat():
+    info = check(SRC).programs["DP"]
+    paths = build_parse_graph(info.parser).paths()
+    return deparser_to_mat(info.deparser, paths, 0, ByteStack(18), "m"), paths
+
+
+class TestStructure:
+    def test_keys_path_then_validity(self, mat):
+        table = mat[0].table
+        kinds = [k.match_kind for k in table.keys]
+        assert kinds == ["exact", "exact", "exact"]
+        assert expr_text(table.keys[0].expr) == "m_path"
+        assert "isValid" in expr_text(table.keys[1].expr)
+
+    def test_entry_count_paths_times_combos(self, mat):
+        # 2 paths × 2^2 validity combos, minus combos overflowing Bs=18.
+        table = mat[0].table
+        assert len(table.const_entries) == 8
+
+    def test_actions_deduplicated(self):
+        """Paths with identical extraction share copy-back actions."""
+        src = """
+        struct dd_t { eth_h eth; ipv4_h ipv4; }
+        program DD : implements Unicast<> {
+          parser P(extractor ex, pkt p, out dd_t h) {
+            state start {
+              ex.extract(p, h.eth);
+              transition select(h.eth.etherType) {
+                0x0800 : v4a;
+                0x0801 : v4b;
+              }
+            }
+            state v4a { ex.extract(p, h.ipv4); transition accept; }
+            state v4b { ex.extract(p, h.ipv4); transition accept; }
+          }
+          control C(pkt p, inout dd_t h, im_t im) { apply { } }
+          control D(emitter em, pkt p, in dd_t h) {
+            apply { em.emit(p, h.eth); em.emit(p, h.ipv4); }
+          }
+        }
+        """
+        info = check(src).programs["DD"]
+        paths = build_parse_graph(info.parser).paths()
+        assert len(paths) == 2
+        result = deparser_to_mat(info.deparser, paths, 0, ByteStack(34), "d")
+        entries = result.table.const_entries
+        used = {e.action_name for e in entries}
+        assert len(entries) == 8 and len(used) == 4
+
+    def test_default_noop(self, mat):
+        table = mat[0].table
+        noop = table.default_action
+        assert noop.endswith("noop")
+
+
+class TestShiftSynthesis:
+    def entry_action(self, mat_result, path_id, combo):
+        table, actions = mat_result.table, mat_result.actions
+        for entry in table.const_entries:
+            if entry.keysets[0].value != path_id:
+                continue
+            values = tuple(bool(k.value) for k in entry.keysets[1:])
+            if values == combo:
+                return actions[entry.action_name]
+        raise AssertionError("entry not found")
+
+    def test_popped_header_shifts_tail_up(self, mat):
+        mat_result, paths = mat
+        # Path 2 = eth+mpls (18 B); combo (eth valid, mpls invalid):
+        # new_len 14, delta -4: the action must shift and shrink bs_len.
+        mpls_path = next(
+            i + 1 for i, p in enumerate(paths) if p.extract_len == 18
+        )
+        action = self.entry_action(mat_result, mpls_path, (True, False))
+        text = "\n".join(
+            expr_text(s.lhs) + "=" + expr_text(s.rhs)
+            for s in action.body.stmts
+            if isinstance(s, ast.AssignStmt)
+        )
+        assert "upa_bs_len=(upa_bs_len + 16w0xfffc)" in text  # -4 mod 2^16
+
+    def test_unchanged_combo_has_no_shift(self, mat):
+        mat_result, paths = mat
+        eth_path = next(
+            i + 1 for i, p in enumerate(paths) if p.extract_len == 14
+        )
+        action = self.entry_action(mat_result, eth_path, (True, False))
+        for stmt in action.body.stmts:
+            if isinstance(stmt, ast.AssignStmt):
+                assert "upa_bs_len" not in expr_text(stmt.lhs)
+
+    def test_pushed_header_grows(self, mat):
+        mat_result, paths = mat
+        eth_path = next(
+            i + 1 for i, p in enumerate(paths) if p.extract_len == 14
+        )
+        action = self.entry_action(mat_result, eth_path, (True, True))
+        text = "\n".join(
+            expr_text(s.lhs) + "=" + expr_text(s.rhs)
+            for s in action.body.stmts
+            if isinstance(s, ast.AssignStmt)
+        )
+        assert "upa_bs_len=(upa_bs_len + 16w0x4)" in text
+
+
+class TestRejections:
+    def test_conditional_deparser_rejected(self):
+        bad = SRC.replace(
+            "em.emit(p, h.eth);",
+            "if (h.eth.isValid()) { em.emit(p, h.eth); }",
+        )
+        info = check(bad).programs["DP"]
+        paths = build_parse_graph(info.parser).paths()
+        with pytest.raises(AnalysisError):
+            deparser_to_mat(info.deparser, paths, 0, ByteStack(18), "m")
+
+    def test_non_emit_call_rejected(self):
+        bad = SRC.replace(
+            "em.emit(p, h.mpls);", "im.drop();"
+        ).replace(
+            "control D(emitter em, pkt p, in dp_t h)",
+            "control D(emitter em, pkt p, in dp_t h, im_t im)",
+        )
+        info = check(bad).programs["DP"]
+        paths = build_parse_graph(info.parser).paths()
+        with pytest.raises(AnalysisError):
+            deparser_to_mat(info.deparser, paths, 0, ByteStack(18), "m")

@@ -1,0 +1,142 @@
+"""Unit tests for header-stack lowering (Appendix C)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+from repro.frontend.typecheck import check_program
+from repro.ir.parse_graph import build_parse_graph
+from repro.midend.hdr_stack import has_header_stacks, lower_header_stacks
+
+SRC = """
+header eth_h  { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header mpls_h { bit<20> label; bit<3> tc; bit<1> bos; bit<8> ttl; }
+struct hdr_t { eth_h eth; mpls_h mpls[3]; }
+
+program Stacked : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x8847 : parse_mpls;
+        default : accept;
+      }
+    }
+    state parse_mpls {
+      ex.extract(p, h.mpls.next);
+      transition select(h.mpls.last.bos) {
+        0 : parse_mpls;
+        1 : accept;
+      }
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    action push_label(bit<20> lbl) {
+      h.mpls.push_front(1);
+      h.mpls[0].setValid();
+      h.mpls[0].label = lbl;
+      h.mpls[0].ttl = 64;
+    }
+    action pop_label() {
+      h.mpls.pop_front(1);
+    }
+    table lbl_tbl {
+      key = { h.mpls[0].label : exact; }
+      actions = { push_label; pop_label; }
+      default_action = pop_label();
+    }
+    apply { lbl_tbl.apply(); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.mpls[0]);
+      em.emit(p, h.mpls[1]);
+      em.emit(p, h.mpls[2]);
+    }
+  }
+}
+Stacked(P, C, D) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def lowered():
+    return lower_header_stacks(check_program(SRC, "stacked"))
+
+
+class TestStructFlattening:
+    def test_detection(self):
+        module = check_program(SRC, "stacked")
+        assert has_header_stacks(module.source)
+
+    def test_stack_replaced_by_elements(self, lowered):
+        hdr_t = lowered.types["hdr_t"]
+        names = [n for n, _ in hdr_t.fields]
+        assert names == ["eth", "mpls_0", "mpls_1", "mpls_2"]
+
+    def test_elements_are_headers(self, lowered):
+        hdr_t = lowered.types["hdr_t"]
+        assert isinstance(hdr_t.field_type("mpls_1"), ast.HeaderType)
+
+    def test_no_stack_module_unchanged(self):
+        plain = check_program(
+            "header e_h { bit<8> x; } struct s_t { e_h e; }", "plain"
+        )
+        assert lower_header_stacks(plain) is plain
+
+
+class TestParserUnrolling:
+    def test_loop_unrolled(self, lowered):
+        parser = lowered.programs["Stacked"].parser
+        names = [s.name for s in parser.states]
+        assert "parse_mpls" in names
+        assert "parse_mpls_u1" in names
+        assert "parse_mpls_u2" in names
+
+    def test_paths_extract_increasing_labels(self, lowered):
+        graph = build_parse_graph(lowered.programs["Stacked"].parser)
+        lengths = sorted(p.extract_len for p in graph.paths())
+        # eth alone, eth+1, eth+2, eth+3 labels.
+        assert lengths == [14, 18, 22, 26]
+
+    def test_overflow_goes_to_reject(self, lowered):
+        parser = lowered.programs["Stacked"].parser
+        last = parser.state("parse_mpls_u2")
+        targets = [t for _, t in last.select_cases]
+        assert "reject" in targets
+
+
+class TestStackOps:
+    def test_push_front_expanded(self, lowered):
+        control = lowered.programs["Stacked"].control
+        push = next(
+            d for d in control.locals
+            if isinstance(d, ast.ActionDecl) and d.name == "push_label"
+        )
+        # The push expands into validity-guarded element copies.
+        kinds = [type(s).__name__ for s in push.body.stmts]
+        assert "IfStmt" in kinds
+
+    def test_key_rewritten(self, lowered):
+        control = lowered.programs["Stacked"].control
+        table = next(
+            d for d in control.locals if isinstance(d, ast.TableDecl)
+        )
+        key = table.keys[0].expr
+        assert isinstance(key, ast.MemberExpr)
+        assert key.base.member == "mpls_0"
+
+    def test_out_of_range_index_rejected(self):
+        bad = SRC.replace("h.mpls[0].label : exact;", "h.mpls[7].label : exact;")
+        with pytest.raises(AnalysisError):
+            lower_header_stacks(check_program(bad, "bad"))
+
+    def test_dynamic_index_rejected(self):
+        bad = SRC.replace(
+            "apply { lbl_tbl.apply(); }",
+            "apply { bit<32> i = 1; h.mpls[i].ttl = 1; lbl_tbl.apply(); }",
+        )
+        # The parser accepts dynamic indexes syntactically; lowering rejects.
+        with pytest.raises(AnalysisError):
+            lower_header_stacks(check_program(bad, "bad"))

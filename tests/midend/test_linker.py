@@ -1,0 +1,179 @@
+"""Unit tests for µP4 module linking."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.midend.linker import link_modules
+
+from tests.midend.conftest import check
+
+LIB_IPV4 = """
+struct hdr4_t { ipv4_h ipv4; }
+program ipv4 : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr4_t h) {
+    state start { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout hdr4_t h, im_t im, out bit<16> nh) {
+    apply { nh = (bit<16>) h.ipv4.dstAddr[15:0]; }
+  }
+  control D(emitter em, pkt p, in hdr4_t h) { apply { em.emit(p, h.ipv4); } }
+}
+"""
+
+MAIN = """
+struct hdr_t { eth_h eth; }
+ipv4(pkt p, im_t im, out bit<16> nh);
+
+program Router : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    ipv4() v4;
+    apply { bit<16> nh; v4.apply(p, im, nh); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+}
+Router(P, C, D) main;
+"""
+
+
+class TestLinking:
+    def test_link_resolves_instance(self):
+        linked = link_modules(check(MAIN, "main"), [check(LIB_IPV4, "ipv4")])
+        unit = linked.callee_of(linked.main.program, "v4")
+        assert unit.name == "ipv4"
+        assert unit.module.name == "ipv4"
+
+    def test_units_topological(self):
+        linked = link_modules(check(MAIN, "main"), [check(LIB_IPV4, "ipv4")])
+        names = [u.name for u in linked.units()]
+        assert names == ["ipv4", "Router"]
+
+    def test_missing_provider_rejected(self):
+        with pytest.raises(LinkError):
+            link_modules(check(MAIN, "main"), [])
+
+    def test_duplicate_provider_rejected(self):
+        with pytest.raises(LinkError):
+            link_modules(
+                check(MAIN, "main"),
+                [check(LIB_IPV4, "a"), check(LIB_IPV4, "b")],
+            )
+
+    def test_unknown_instance_lookup(self):
+        linked = link_modules(check(MAIN, "main"), [check(LIB_IPV4, "ipv4")])
+        with pytest.raises(LinkError):
+            linked.callee_of(linked.main.program, "ghost")
+
+
+class TestSignatureChecking:
+    def test_direction_mismatch_rejected(self):
+        bad_main = MAIN.replace("out bit<16> nh);", "in bit<16> nh);").replace(
+            "v4.apply(p, im, nh);", "v4.apply(p, im, nh);"
+        )
+        with pytest.raises(LinkError):
+            link_modules(check(bad_main, "main"), [check(LIB_IPV4, "ipv4")])
+
+    def test_width_mismatch_rejected(self):
+        bad_main = MAIN.replace(
+            "ipv4(pkt p, im_t im, out bit<16> nh);",
+            "ipv4(pkt p, im_t im, out bit<32> nh);",
+        ).replace("bit<16> nh; v4.apply", "bit<32> nh; v4.apply")
+        with pytest.raises(LinkError):
+            link_modules(check(bad_main, "main"), [check(LIB_IPV4, "ipv4")])
+
+    def test_arity_mismatch_rejected(self):
+        bad_lib = LIB_IPV4.replace(
+            "im_t im, out bit<16> nh)", "im_t im, out bit<16> nh, out bit<8> extra)"
+        ).replace(
+            "apply { nh = (bit<16>) h.ipv4.dstAddr[15:0]; }",
+            "apply { nh = (bit<16>) h.ipv4.dstAddr[15:0]; extra = 0; }",
+        )
+        with pytest.raises(LinkError):
+            link_modules(check(MAIN, "main"), [check(bad_lib, "ipv4")])
+
+
+class TestRecursionCheck:
+    def test_self_recursion_rejected(self):
+        src = """
+        struct h_t { eth_h eth; }
+        Rec(pkt p, im_t im);
+        program Rec : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) {
+            state start { transition accept; }
+          }
+          control C(pkt p, inout h_t h, im_t im) {
+            Rec() inner;
+            apply { inner.apply(p, im); }
+          }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        Rec(P, C, D) main;
+        """
+        with pytest.raises(LinkError) as exc:
+            link_modules(check(src, "rec"), [])
+        assert "recursive" in str(exc.value)
+
+    def test_mutual_recursion_rejected(self):
+        a = """
+        struct h_t { eth_h eth; }
+        B(pkt p, im_t im);
+        program A : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) { state start { transition accept; } }
+          control C(pkt p, inout h_t h, im_t im) { B() b; apply { b.apply(p, im); } }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        A(P, C, D) main;
+        """
+        b = """
+        struct h_t { eth_h eth; }
+        A(pkt p, im_t im);
+        program B : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) { state start { transition accept; } }
+          control C(pkt p, inout h_t h, im_t im) { A() a; apply { a.apply(p, im); } }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        """
+        with pytest.raises(LinkError) as exc:
+            link_modules(check(a, "a"), [check(b, "b")])
+        assert "recursive" in str(exc.value)
+
+    def test_diamond_composition_allowed(self):
+        """A → B, A → C, B → D, C → D is a DAG, not recursion."""
+        d = """
+        struct h_t { eth_h eth; }
+        program D4 : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) { state start { transition accept; } }
+          control C(pkt p, inout h_t h, im_t im) { apply { } }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        """
+        mid_template = """
+        struct h_t { eth_h eth; }
+        D4(pkt p, im_t im);
+        program %s : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) { state start { transition accept; } }
+          control C(pkt p, inout h_t h, im_t im) { D4() d; apply { d.apply(p, im); } }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        """
+        top = """
+        struct h_t { eth_h eth; }
+        B4(pkt p, im_t im);
+        C4(pkt p, im_t im);
+        program A4 : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h_t h) { state start { transition accept; } }
+          control C(pkt p, inout h_t h, im_t im) {
+            B4() b; C4() c;
+            apply { b.apply(p, im); c.apply(p, im); }
+          }
+          control D(emitter em, pkt p, in h_t h) { apply { } }
+        }
+        A4(P, C, D) main;
+        """
+        linked = link_modules(
+            check(top, "top"),
+            [check(mid_template % "B4", "b"), check(mid_template % "C4", "c"), check(d, "d")],
+        )
+        assert [u.name for u in linked.units()] == ["D4", "B4", "C4", "A4"]

@@ -1,0 +1,92 @@
+"""Tests for the §8.1 trivial-MAT elision optimization."""
+
+import pytest
+
+from repro.backend.tna import TnaBackend
+from repro.lib.catalog import PROGRAMS, build_pipeline
+from repro.midend.optimize import OptimizationStats, elide_trivial_mats
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+
+from tests.integration.helpers import ENTRY_SETS, standard_corpus
+
+
+def optimized_instance(name):
+    composed = build_pipeline(name, optimize=True)
+    instance = PipelineInstance(composed)
+    api = RuntimeAPI(instance)
+    for table, matches, act_micro, _, args in ENTRY_SETS[name]:
+        api.add_entry(table, matches, act_micro, args)
+    return instance
+
+
+class TestElision:
+    def test_stats_reported(self):
+        composed = build_pipeline("P4")
+        stats = elide_trivial_mats(composed)
+        assert isinstance(stats, OptimizationStats)
+        assert stats.total >= 3
+
+    def test_dispatch_parser_mat_elided(self):
+        composed = build_pipeline("P4", optimize=True)
+        # The L3 dispatch module parses nothing: its parser MAT is gone.
+        assert "main_l3_i_parser_tbl" not in composed.tables
+
+    def test_single_path_leaf_parsers_gatewayed(self):
+        composed = build_pipeline("P4")
+        stats = elide_trivial_mats(composed)
+        assert any("ipv4_i_parser" in n for n in stats.gatewayed_parser_mats)
+
+    def test_empty_deparser_elided(self):
+        composed = build_pipeline("P4", optimize=True)
+        assert "main_l3_i_deparser_tbl" not in composed.tables
+
+    def test_main_parser_kept(self):
+        # The main parser extracts Ethernet and must survive (as a MAT
+        # or gateway); the forwarding table is untouched.
+        composed = build_pipeline("P4", optimize=True)
+        assert "main_forward_tbl" in composed.tables
+
+    def test_idempotent(self):
+        composed = build_pipeline("P4", optimize=True)
+        stats = elide_trivial_mats(composed)
+        assert stats.total == 0
+
+    def test_monolithic_untouched(self):
+        from repro.lib.catalog import build_monolithic
+
+        composed = build_monolithic("P4")
+        before = len(composed.tables)
+        stats = elide_trivial_mats(composed)
+        assert stats.total == 0 and len(composed.tables) == before
+
+
+class TestResourceEffect:
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_never_more_tables(self, name):
+        plain = build_pipeline(name)
+        opt = build_pipeline(name, optimize=True)
+        assert len(opt.tables) < len(plain.tables)
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_never_more_stages(self, name):
+        backend = TnaBackend()
+        plain = backend.compile(build_pipeline(name))
+        opt = backend.compile(build_pipeline(name, optimize=True))
+        assert opt.num_stages <= plain.num_stages
+
+
+class TestBehaviorPreserved:
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_optimized_equals_unoptimized(self, name):
+        from tests.integration.helpers import make_instance
+
+        plain = make_instance(name, "micro")
+        opt = optimized_instance(name)
+        for pkt in standard_corpus(name):
+            a = plain.process(pkt.copy(), 1)
+            b = opt.process(pkt.copy(), 1)
+            assert len(a) == len(b), f"{name}: {pkt!r}"
+            for x, y in zip(a, b):
+                assert x.port == y.port
+                assert x.packet.tobytes() == y.packet.tobytes()

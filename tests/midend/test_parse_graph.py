@@ -1,0 +1,202 @@
+"""Unit tests for parse-graph construction and path enumeration."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend import astnodes as ast
+from repro.ir.parse_graph import build_parse_graph
+
+from tests.midend.conftest import check
+
+FIG10_PARSER = """
+struct meta_t2 { bit<8> data1; bit<8> data2; }
+struct hdr_t { eth_h eth; ipv4_h ipv4; ipv6_h ipv6; tcp_h tcp; }
+
+program Fig10 : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h, inout meta_t2 m) {
+    bit<8> var_y;
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x86DD : parse_ipv6;
+        0x0800 : parse_ipv4;
+      }
+    }
+    state parse_ipv6 {
+      ex.extract(p, h.ipv6);
+      var_y = m.data1;
+      transition select(h.ipv6.nextHdr) { 0x6 : parse_tcp; }
+    }
+    state parse_ipv4 {
+      ex.extract(p, h.ipv4);
+      var_y = m.data2;
+      transition select(h.ipv4.protocol) { 0x6 : parse_tcp; }
+    }
+    state parse_tcp {
+      ex.extract(p, h.tcp);
+      transition select(var_y) { 0xFF : accept; }
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); em.emit(p, h.ipv6); em.emit(p, h.ipv4); em.emit(p, h.tcp); }
+  }
+}
+"""
+
+
+@pytest.fixture
+def fig10_graph():
+    mod = check(FIG10_PARSER)
+    return build_parse_graph(mod.programs["Fig10"].parser)
+
+
+class TestFig10Paths:
+    """Checks the paper's Fig. 10 static-analysis example."""
+
+    def test_two_paths(self, fig10_graph):
+        assert len(fig10_graph.paths()) == 2
+
+    def test_path_extract_lengths(self, fig10_graph):
+        lengths = sorted(p.extract_len for p in fig10_graph.paths())
+        assert lengths == [54, 74]  # eth-ipv4-tcp and eth-ipv6-tcp
+
+    def test_extract_length_is_max(self, fig10_graph):
+        assert fig10_graph.extract_length == 74
+
+    def test_min_extract_length(self, fig10_graph):
+        assert fig10_graph.min_extract_length == 54
+
+    def test_extract_offsets(self, fig10_graph):
+        v6_path = [p for p in fig10_graph.paths() if p.extract_len == 74][0]
+        assert [(e.offset, e.size) for e in v6_path.extracts] == [
+            (0, 14),
+            (14, 40),
+            (54, 20),
+        ]
+
+    def test_forward_substitution(self, fig10_graph):
+        """var_y in the final select is replaced per path (Fig. 10b)."""
+        for path in fig10_graph.paths():
+            last_condition = path.conditions[-1]
+            assert isinstance(last_condition.subject, ast.MemberExpr)
+            assert last_condition.subject.member in ("data1", "data2")
+
+    def test_conditions_count(self, fig10_graph):
+        for path in fig10_graph.paths():
+            assert len(path.conditions) == 3  # etherType, nexthdr/proto, var_y
+
+    def test_extracted_header_types(self, fig10_graph):
+        names = dict(fig10_graph.extracted_header_types())
+        assert set(names) == {"h.eth", "h.ipv4", "h.ipv6", "h.tcp"}
+        assert names["h.ipv6"].byte_width == 40
+
+    def test_path_names_stable(self, fig10_graph):
+        names = {p.name() for p in fig10_graph.paths()}
+        assert names == {"h_eth_h_ipv4_h_tcp", "h_eth_h_ipv6_h_tcp"}
+
+
+class TestGraphShapes:
+    def test_empty_parser(self):
+        mod = check(
+            """
+            struct e_t {}
+            program E : implements Unicast<> {
+              parser P(extractor ex, pkt p, out e_t h) {
+                state start { transition accept; }
+              }
+              control C(pkt p, inout e_t h, im_t im) { apply { } }
+              control D(emitter em, pkt p, in e_t h) { apply { } }
+            }
+            """
+        )
+        graph = build_parse_graph(mod.programs["E"].parser)
+        assert graph.extract_length == 0
+        assert len(graph.paths()) == 1
+
+    def test_reject_path_dropped(self):
+        mod = check(
+            """
+            struct hdr_t { eth_h eth; }
+            program R : implements Unicast<> {
+              parser P(extractor ex, pkt p, out hdr_t h) {
+                state start {
+                  ex.extract(p, h.eth);
+                  transition select(h.eth.etherType) {
+                    0x0800 : accept;
+                    default : reject;
+                  }
+                }
+              }
+              control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+              control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); } }
+            }
+            """
+        )
+        graph = build_parse_graph(mod.programs["R"].parser)
+        assert len(graph.paths()) == 1
+        assert graph.paths()[0].extract_len == 14
+
+    def test_no_default_implies_reject(self):
+        mod = check(
+            """
+            struct hdr_t { eth_h eth; ipv4_h ipv4; }
+            program N : implements Unicast<> {
+              parser P(extractor ex, pkt p, out hdr_t h) {
+                state start {
+                  ex.extract(p, h.eth);
+                  transition select(h.eth.etherType) { 0x0800 : v4; }
+                }
+                state v4 { ex.extract(p, h.ipv4); transition accept; }
+              }
+              control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+              control D(emitter em, pkt p, in hdr_t h) { apply { em.emit(p, h.eth); em.emit(p, h.ipv4); } }
+            }
+            """
+        )
+        graph = build_parse_graph(mod.programs["N"].parser)
+        assert len(graph.paths()) == 1  # only the 0x0800 path accepts
+
+    def test_cycle_rejected(self):
+        mod = check(
+            """
+            struct hdr_t { eth_h eth; }
+            program Cy : implements Unicast<> {
+              parser P(extractor ex, pkt p, out hdr_t h) {
+                state start { transition loop; }
+                state loop { transition start; }
+              }
+              control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+              control D(emitter em, pkt p, in hdr_t h) { apply { } }
+            }
+            """
+        )
+        with pytest.raises(AnalysisError):
+            build_parse_graph(mod.programs["Cy"].parser)
+
+    def test_diamond_paths(self):
+        mod = check(
+            """
+            struct hdr_t { eth_h eth; ipv4_h ipv4; ipv6_h ipv6; tcp_h tcp; }
+            program Dm : implements Unicast<> {
+              parser P(extractor ex, pkt p, out hdr_t h) {
+                state start {
+                  ex.extract(p, h.eth);
+                  transition select(h.eth.etherType) {
+                    0x0800 : a; 0x86DD : b;
+                  }
+                }
+                state a { ex.extract(p, h.ipv4); transition t; }
+                state b { ex.extract(p, h.ipv6); transition t; }
+                state t { ex.extract(p, h.tcp); transition accept; }
+              }
+              control C(pkt p, inout hdr_t h, im_t im) { apply { } }
+              control D(emitter em, pkt p, in hdr_t h) { apply { } }
+            }
+            """
+        )
+        graph = build_parse_graph(mod.programs["Dm"].parser)
+        assert len(graph.paths()) == 2
+        # Shared tail state appears in both paths at different offsets.
+        offsets = sorted(p.extracts[-1].offset for p in graph.paths())
+        assert offsets == [34, 54]

@@ -1,0 +1,120 @@
+"""Unit tests for the parser→MAT transformation (§5.3, Fig. 10)."""
+
+import pytest
+
+from repro.frontend import astnodes as ast
+from repro.ir.printer import expr_text
+from repro.midend.bytestack import ByteStack
+from repro.midend.parser_to_mat import parser_to_mat
+
+from tests.midend.conftest import check
+from tests.midend.test_parse_graph import FIG10_PARSER
+
+
+@pytest.fixture(scope="module")
+def fig10_mat():
+    parser = check(FIG10_PARSER).programs["Fig10"].parser
+    return parser_to_mat(parser, 0, ByteStack(94), "m")
+
+
+class TestKeys:
+    def test_length_guard_first(self, fig10_mat):
+        assert fig10_mat.table.keys[0].match_kind == "range"
+        assert expr_text(fig10_mat.table.keys[0].expr) == "upa_bs_len"
+
+    def test_subjects_mapped_to_stack(self, fig10_mat):
+        """Fig. 10c: etherType becomes b[12]++b[13], nexthdr b[20],
+        protocol b[23]; the meta fields stay symbolic."""
+        key_texts = [expr_text(k.expr) for k in fig10_mat.table.keys[1:]]
+        assert "(upa_bs.b12 ++ upa_bs.b13)" in key_texts
+        assert "upa_bs.b20" in key_texts
+        assert "upa_bs.b23" in key_texts
+        assert any("m.data1" in k for k in key_texts)
+        assert any("m.data2" in k for k in key_texts)
+
+    def test_subject_kinds_ternary(self, fig10_mat):
+        assert all(k.match_kind == "ternary" for k in fig10_mat.table.keys[1:])
+
+
+class TestEntries:
+    def test_one_entry_per_path(self, fig10_mat):
+        assert len(fig10_mat.table.const_entries) == len(fig10_mat.paths) == 2
+
+    def test_dont_cares_on_other_paths_keys(self, fig10_mat):
+        """Fig. 10c: the v4 entry ignores the v6-only keys and vice
+        versa."""
+        for entry in fig10_mat.table.const_entries:
+            wildcards = [
+                ks for ks in entry.keysets[1:] if isinstance(ks, ast.DefaultExpr)
+            ]
+            assert len(wildcards) == 2  # the other path's subject + meta
+
+    def test_entry_guard_matches_path_length(self, fig10_mat):
+        for entry, path in zip(fig10_mat.table.const_entries, fig10_mat.paths):
+            guard = entry.keysets[0]
+            assert isinstance(guard, ast.RangeExpr)
+            assert guard.lo.value == path.extract_len
+
+
+class TestActions:
+    def action_of(self, mat, index):
+        return mat.actions[mat.table.const_entries[index].action_name]
+
+    def test_action_sets_path_register(self, fig10_mat):
+        action = self.action_of(fig10_mat, 0)
+        first = action.body.stmts[0]
+        assert isinstance(first, ast.AssignStmt)
+        assert expr_text(first.lhs) == "m_path"
+        assert first.rhs.value == 1
+
+    def test_action_sets_validity_and_fields(self, fig10_mat):
+        action = self.action_of(fig10_mat, 0)
+        text = "".join(
+            expr_text(s.call) if isinstance(s, ast.MethodCallStmt)
+            else expr_text(s.lhs)
+            for s in action.body.stmts
+        )
+        assert "setValid" in text
+        assert "h.eth.dstMac" in text
+
+    def test_forwarded_assignments_replayed(self, fig10_mat):
+        """The per-path var_y assignment (after forward substitution)
+        lands in the action body."""
+        found = []
+        for entry in fig10_mat.table.const_entries:
+            action = fig10_mat.actions[entry.action_name]
+            for stmt in action.body.stmts:
+                if isinstance(stmt, ast.AssignStmt) and expr_text(stmt.lhs) == "var_y":
+                    found.append(expr_text(stmt.rhs))
+        assert sorted(found) == ["m.data1", "m.data2"]
+
+    def test_default_action_sets_error(self, fig10_mat):
+        err = fig10_mat.actions[fig10_mat.table.default_action]
+        targets = [expr_text(s.lhs) for s in err.body.stmts]
+        assert "upa_parser_err" in targets
+
+
+class TestOffsets:
+    def test_base_offset_shifts_reads(self):
+        parser = check(FIG10_PARSER).programs["Fig10"].parser
+        mat = parser_to_mat(parser, 14, ByteStack(108), "m")
+        key_texts = [expr_text(k.expr) for k in mat.table.keys[1:]]
+        assert "(upa_bs.b26 ++ upa_bs.b27)" in key_texts  # etherType at 14+12
+
+    def test_const_extract_len(self):
+        src = """
+        struct h1_t { eth_h eth; }
+        program OneLen : implements Unicast<> {
+          parser P(extractor ex, pkt p, out h1_t h) {
+            state start { ex.extract(p, h.eth); transition accept; }
+          }
+          control C(pkt p, inout h1_t h, im_t im) { apply { } }
+          control D(emitter em, pkt p, in h1_t h) { apply { em.emit(p, h.eth); } }
+        }
+        """
+        parser = check(src).programs["OneLen"].parser
+        mat = parser_to_mat(parser, 0, ByteStack(14), "m")
+        assert mat.const_extract_len == 14
+
+    def test_variable_extract_len_is_none(self, fig10_mat):
+        assert fig10_mat.const_extract_len is None

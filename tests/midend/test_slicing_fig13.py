@@ -1,0 +1,173 @@
+"""PDG slicing tests reproducing the paper's Fig. 13 example.
+
+The ``validate`` orchestration program runs a production module and a
+test module over copies of the same packet, logs mismatches, and emits
+both copies — three pkt instances (p, pm, pt), hence three slices.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend.typecheck import check_program
+from repro.midend.pdg import build_pdg
+from repro.midend.slicing import build_pps, compute_slices, plan_replication
+
+FIG13 = """
+struct h_t { bit<8> x; }
+
+prog(pkt p, im_t im, out h_t hp);
+test(pkt p, im_t im, out h_t ht);
+log(pkt p, im_t im, in h_t a, in h_t b);
+
+program Validate : implements Orchestration<> {
+  control C(pkt p, im_t i, out_buf ob) {
+    pkt pt;
+    pkt pm;
+    im_t it;
+    im_t im;
+    h_t hp;
+    h_t ht;
+    prog() prog_i;
+    test() test_i;
+    log() log_i;
+    apply {
+      pm.copy_from(p);        // c1: slice 1
+      im.copy_from(i);
+      pt.copy_from(p);        // c3: slice 3
+      it.copy_from(i);
+      prog_i.apply(p, i, hp);     // slices 2, 1
+      test_i.apply(pt, it, ht);   // slices 3, 1
+      if (hp.x != ht.x) {
+        log_i.apply(pm, im, hp, ht);
+        ob.enqueue(pm, im);
+      }
+      it.set_out_port(DROP);
+      ob.enqueue(p, i);
+      ob.enqueue(pt, it);
+    }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def validate_control():
+    module = check_program(FIG13, "fig13")
+    return module.programs["Validate"].control
+
+
+@pytest.fixture(scope="module")
+def plan(validate_control):
+    return plan_replication(validate_control)
+
+
+def node_named(pdg, fragment):
+    hits = [n for n in pdg.nodes if fragment in n.describe()]
+    assert hits, f"no PDG node matching {fragment!r}"
+    return hits[0]
+
+
+class TestPdg:
+    def test_node_count(self, plan):
+        # 11 leaf statements in the apply block.
+        assert len(plan.pdg.nodes) == 11
+
+    def test_copy_from_defines_instance(self, plan):
+        node = node_named(plan.pdg, "pm.copy_from")
+        assert "pm" in node.defs and "pm" in node.pkt_defs
+        assert "p" in node.uses
+
+    def test_module_apply_redefines_packet(self, plan):
+        node = node_named(plan.pdg, "prog_i.apply")
+        assert "p" in node.pkt_defs and "p" in node.pkt_uses
+        assert "hp" in node.defs
+
+    def test_exit_points(self, plan):
+        exits = plan.pdg.exit_nodes()
+        assert len(exits) == 3
+        assert sorted(e.exit_instance for e in exits) == ["p", "pm", "pt"]
+
+    def test_control_dependence_on_condition(self, plan):
+        log_node = node_named(plan.pdg, "log_i.apply")
+        incoming_vars = {e.var for e in plan.pdg.predecessors(log_node.id)}
+        assert "hp" in incoming_vars and "ht" in incoming_vars
+
+
+class TestSlices:
+    def test_three_slices(self, plan):
+        assert sorted(plan.slices) == ["p", "pm", "pt"]
+
+    def test_slice_pm_includes_both_applies(self, plan):
+        """Fig. 13: prog.apply is /*2,1*/ and test.apply is /*3,1*/."""
+        pm_slice = plan.slices["pm"].node_ids
+        assert node_named(plan.pdg, "prog_i.apply").id in pm_slice
+        assert node_named(plan.pdg, "test_i.apply").id in pm_slice
+
+    def test_slice_pm_excludes_pt_copy(self, plan):
+        """pt.copy_from is /*3*/ only: other lineages are not crossed."""
+        pm_slice = plan.slices["pm"].node_ids
+        assert node_named(plan.pdg, "pt.copy_from").id not in pm_slice
+
+    def test_slice_p_minimal(self, plan):
+        """Slice 2 (p): prog.apply + the copies reading p + its enqueue."""
+        p_slice = plan.slices["p"].node_ids
+        assert node_named(plan.pdg, "prog_i.apply").id in p_slice
+        assert node_named(plan.pdg, "ob.enqueue(p, i)").id in p_slice
+        assert node_named(plan.pdg, "log_i.apply").id not in p_slice
+
+    def test_slice_pt_includes_its_copy(self, plan):
+        pt_slice = plan.slices["pt"].node_ids
+        assert node_named(plan.pdg, "pt.copy_from").id in pt_slice
+        assert node_named(plan.pdg, "test_i.apply").id in pt_slice
+
+
+class TestPps:
+    def test_threads_per_instance(self, plan):
+        assert sorted(plan.pps.threads) == ["p", "pm", "pt"]
+
+    def test_method_calls_owned_by_processed_instance(self, plan):
+        test_node = node_named(plan.pdg, "test_i.apply")
+        assert test_node.id in plan.pps.threads["pt"].node_ids
+        assert test_node.id not in plan.pps.threads["pm"].node_ids
+
+    def test_schedule_orders_producers_first(self, plan):
+        order = plan.schedule()
+        assert order.index("p") < order.index("pm")
+        assert order.index("pt") < order.index("pm")
+
+    def test_serializable(self, plan):
+        # No exception: the Fig. 13 program is a DAG of threads.
+        assert plan.pps.edges
+
+
+class TestNonSerializable:
+    def test_thread_cycle_rejected(self):
+        """Two instances feeding each other's processing is rejected."""
+        src = """
+        struct h_t { bit<8> x; }
+        fwd(pkt p, im_t im, out h_t o);
+
+        program Cyclic : implements Orchestration<> {
+          control C(pkt p, im_t i, out_buf ob) {
+            pkt q;
+            h_t a;
+            h_t b;
+            fwd() f1;
+            fwd() f2;
+            apply {
+              q.copy_from(p);
+              f1.apply(p, i, a);
+              if (a.x == 1) { q.copy_from(p); }
+              f2.apply(q, i, b);
+              if (b.x == 1) { p.copy_from(q); }
+              f1.apply(p, i, a);
+              ob.enqueue(p, i);
+              ob.enqueue(q, i);
+            }
+          }
+        }
+        """
+        module = check_program(src, "cyclic")
+        control = module.programs["Cyclic"].control
+        with pytest.raises(AnalysisError):
+            plan_replication(control)

@@ -1,0 +1,110 @@
+"""Unit tests for variable-length header lowering (Appendix C)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend.typecheck import check_program
+from repro.ir.parse_graph import build_parse_graph
+from repro.midend.varlen import has_varlen_headers, lower_varlen_headers
+
+SRC = """
+header eth_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+header opt_h { bit<8> kind; bit<8> len; varbit<32> data; }
+struct hdr_t { eth_h eth; opt_h opt; }
+
+program VarLen : implements Unicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start {
+      ex.extract(p, h.eth);
+      transition select(h.eth.etherType) {
+        0x1234 : parse_opt;
+        default : accept;
+      }
+    }
+    state parse_opt {
+      ex.extract(p, h.opt, (bit<32>) 16);
+      transition accept;
+    }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    apply { im.set_out_port(8w1); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply {
+      em.emit(p, h.eth);
+      em.emit(p, h.opt);
+    }
+  }
+}
+VarLen(P, C, D) main;
+"""
+
+
+@pytest.fixture(scope="module")
+def lowered():
+    return lower_varlen_headers(check_program(SRC, "varlen"))
+
+
+class TestTypeSplitting:
+    def test_detection(self):
+        module = check_program(SRC, "varlen")
+        assert has_varlen_headers(module.source)
+
+    def test_fixed_part_kept(self, lowered):
+        opt = lowered.types["opt_h"]
+        assert [n for n, _ in opt.fields] == ["kind", "len"]
+
+    def test_variants_synthesized(self, lowered):
+        assert lowered.types["opt_h_var1"].fixed_bit_width == 8
+        assert lowered.types["opt_h_var4"].fixed_bit_width == 32
+
+    def test_struct_gains_variant_fields(self, lowered):
+        hdr_t = lowered.types["hdr_t"]
+        names = [n for n, _ in hdr_t.fields]
+        assert "opt" in names
+        assert "opt_var1" in names and "opt_var4" in names
+
+    def test_no_varbit_module_unchanged(self):
+        plain = check_program("header e_h { bit<8> x; }", "plain")
+        assert lower_varlen_headers(plain) is plain
+
+    def test_varbit_not_last_rejected(self):
+        bad = "header b_h { varbit<16> v; bit<8> after; }"
+        with pytest.raises(AnalysisError):
+            lower_varlen_headers(check_program(bad, "bad"))
+
+
+class TestParserRewriting:
+    def test_variant_states_created(self, lowered):
+        parser = lowered.programs["VarLen"].parser
+        names = {s.name for s in parser.states}
+        assert "parse_opt_var1" in names
+        assert "parse_opt_var4" in names
+        assert "parse_opt_varlen_done" in names
+
+    def test_select_enumerates_sizes(self, lowered):
+        parser = lowered.programs["VarLen"].parser
+        opt = parser.state("parse_opt")
+        labels = []
+        for keysets, _ in opt.select_cases:
+            labels.append(keysets[0].value)
+        assert labels == [0, 8, 16, 24, 32]
+
+    def test_parse_paths_cover_all_sizes(self, lowered):
+        graph = build_parse_graph(lowered.programs["VarLen"].parser)
+        lengths = sorted(p.extract_len for p in graph.paths())
+        # eth only, and eth + kind/len (2B) + 0..4 bytes of options.
+        assert lengths == [14, 16, 17, 18, 19, 20]
+
+    def test_emits_expanded(self, lowered):
+        deparser = lowered.programs["VarLen"].deparser
+        assert len(deparser.apply_body.stmts) == 2 + 4  # eth, opt, 4 variants
+
+
+class TestEndToEnd:
+    def test_lowered_module_composes(self, lowered):
+        from repro.midend.inline import compose
+        from repro.midend.linker import link_modules
+
+        composed = compose(link_modules(lowered, []))
+        assert composed.region.extract_length == 20

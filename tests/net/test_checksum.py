@@ -1,0 +1,63 @@
+"""Unit tests for repro.net.checksum."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import (
+    incremental_update,
+    internet_checksum,
+    ipv4_header_checksum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+)
+from repro.net.ipv4 import IPV4, ipv4
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # RFC 1071 worked example.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    @given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+    def test_verification_property(self, data):
+        # Appending the checksum makes the total sum verify to zero.
+        csum = internet_checksum(data)
+        assert internet_checksum(data + csum.to_bytes(2, "big")) == 0
+
+
+class TestIPv4Checksum:
+    def test_builder_produces_valid_checksum(self):
+        hdr = IPV4.encode(ipv4("192.168.0.1", "10.0.0.1", 6, payload_len=20))
+        assert internet_checksum(hdr) == 0
+
+    def test_recompute_matches(self):
+        fields = ipv4("1.2.3.4", "5.6.7.8", 17)
+        hdr = IPV4.encode(fields)
+        assert ipv4_header_checksum(hdr) == fields["hdrChecksum"]
+
+
+class TestIncrementalUpdate:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_matches_full_recompute(self, old_word, new_word):
+        data = bytearray(b"\x11\x22\x33\x44") + old_word.to_bytes(2, "big")
+        old_csum = internet_checksum(bytes(data))
+        data[4:6] = new_word.to_bytes(2, "big")
+        assert incremental_update(old_csum, old_word, new_word) == internet_checksum(
+            bytes(data)
+        )
+
+
+class TestPseudoHeaders:
+    def test_v4_layout(self):
+        ph = pseudo_header_v4(0x01020304, 0x05060708, 6, 20)
+        assert ph == bytes.fromhex("0102030405060708") + b"\x00\x06\x00\x14"
+
+    def test_v6_length(self):
+        assert len(pseudo_header_v6(1, 2, 6, 20)) == 40

@@ -1,0 +1,112 @@
+"""Dissector edge cases across protocol chains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.build import PacketBuilder, codec_for, dissect, layer_fields
+from repro.net.packet import Packet
+from repro.net.vlan import vlan
+
+
+class TestChains:
+    def test_vlan_then_ipv6(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x8100)
+            .layer("vlan", vlan(5, 0x86DD))
+            .ipv6("fd00::1", "fd00::2", 17)
+            .udp(1, 2)
+            .build()
+        )
+        names = [n for n, _ in dissect(pkt)]
+        assert names == ["ethernet", "vlan", "ipv6", "udp"]
+
+    def test_double_vlan(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x8100)
+            .layer("vlan", vlan(5, 0x8100))
+            .layer("vlan", vlan(6, 0x0800))
+            .ipv4("1.1.1.1", "2.2.2.2", 6)
+            .build()
+        )
+        names = [n for n, _ in dissect(pkt)]
+        assert names[:4] == ["ethernet", "vlan", "vlan", "ipv4"]
+
+    def test_gre_tunnel(self):
+        from repro.net.gre import gre
+
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4("1.1.1.1", "2.2.2.2", 47)
+            .layer("gre", gre(0x0800))
+            .build()
+        )
+        names = [n for n, _ in dissect(pkt)]
+        assert names == ["ethernet", "ipv4", "gre"]
+
+    def test_mpls_over_ipv6_payload(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x8847)
+            .mpls(7, bos=1)
+            .ipv6("fd00::1", "fd00::2", 59)
+            .build()
+        )
+        names = [n for n, _ in dissect(pkt)]
+        assert names == ["ethernet", "mpls", "ipv6"]
+
+    def test_truncated_mid_header(self):
+        full = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4("1.1.1.1", "2.2.2.2", 6)
+            .build()
+        )
+        cut = Packet(full.tobytes()[:20])  # eth + 6 bytes of ipv4
+        layers = dissect(cut)
+        names = [n for n, _ in layers]
+        assert names[0] == "ethernet"
+        assert "ipv4" not in names
+        assert names[-1] == "payload"
+
+    def test_empty_packet(self):
+        assert dissect(Packet(b"")) == []
+
+    def test_first_layer_override(self):
+        pkt = PacketBuilder().ipv4("1.1.1.1", "2.2.2.2", 6).tcp(1, 2).build()
+        names = [n for n, _ in dissect(pkt, first_layer="ipv4")]
+        assert names == ["ipv4", "tcp"]
+
+
+class TestLayerFields:
+    def test_second_occurrence(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4("1.1.1.1", "9.9.9.9", 4)
+            .ipv4("3.3.3.3", "4.4.4.4", 6)
+            .build()
+        )
+        layers = dissect(pkt)
+        from repro.net.ipv4 import ip4
+
+        assert layer_fields(layers, "ipv4", 0)["dstAddr"] == ip4("9.9.9.9")
+        assert layer_fields(layers, "ipv4", 1)["dstAddr"] == ip4("4.4.4.4")
+
+    def test_codec_lookup_error(self):
+        with pytest.raises(KeyError):
+            codec_for("not-a-protocol")
+
+
+@given(st.binary(min_size=0, max_size=80))
+def test_dissector_never_crashes(data):
+    """Any byte blob dissects without raising."""
+    layers = dissect(Packet(data))
+    total = sum(
+        codec_for(name).byte_width if name != "payload" else len(fields["raw"])
+        for name, fields in layers
+    )
+    assert total <= len(data) or not layers

@@ -1,0 +1,101 @@
+"""Unit tests for repro.net.fields."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.fields import Field, FieldError, HeaderCodec
+
+SIMPLE = HeaderCodec("simple_t", [("a", 4), ("b", 4), ("c", 16)])
+
+
+class TestLayout:
+    def test_widths(self):
+        assert SIMPLE.bit_width == 24
+        assert SIMPLE.byte_width == 3
+
+    def test_field_names(self):
+        assert SIMPLE.field_names() == ["a", "b", "c"]
+
+    def test_offsets(self):
+        assert SIMPLE.bit_offset_of("a") == 0
+        assert SIMPLE.bit_offset_of("b") == 4
+        assert SIMPLE.bit_offset_of("c") == 8
+
+    def test_byte_range(self):
+        assert SIMPLE.byte_range_of("a") == (0, 1)
+        assert SIMPLE.byte_range_of("b") == (0, 1)
+        assert SIMPLE.byte_range_of("c") == (1, 3)
+
+    def test_non_byte_aligned_rejected(self):
+        with pytest.raises(FieldError):
+            HeaderCodec("bad", [("x", 3)])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(FieldError):
+            HeaderCodec("bad", [("x", 4), ("x", 4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FieldError):
+            HeaderCodec("bad", [])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FieldError):
+            Field("x", 0)
+
+
+class TestEncodeDecode:
+    def test_encode_msb_first(self):
+        data = SIMPLE.encode({"a": 0xA, "b": 0xB, "c": 0x1234})
+        assert data == b"\xab\x12\x34"
+
+    def test_decode(self):
+        assert SIMPLE.decode(b"\xab\x12\x34") == {"a": 0xA, "b": 0xB, "c": 0x1234}
+
+    def test_missing_fields_default_zero(self):
+        assert SIMPLE.encode({"c": 1}) == b"\x00\x00\x01"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FieldError):
+            SIMPLE.encode({"nope": 1})
+
+    def test_value_out_of_range(self):
+        with pytest.raises(FieldError):
+            SIMPLE.encode({"a": 16})
+
+    def test_decode_short_buffer(self):
+        with pytest.raises(FieldError):
+            SIMPLE.decode(b"\x00")
+
+    def test_get_set_single_field(self):
+        data = SIMPLE.encode({"a": 1, "b": 2, "c": 3})
+        assert SIMPLE.get(data, "b") == 2
+        updated = SIMPLE.set(data, "b", 7)
+        assert SIMPLE.get(updated, "b") == 7
+        assert SIMPLE.get(updated, "a") == 1
+        assert SIMPLE.get(updated, "c") == 3
+
+    def test_set_preserves_tail_bytes(self):
+        data = SIMPLE.encode({"a": 1}) + b"tail"
+        assert SIMPLE.set(data, "a", 2).endswith(b"tail")
+
+
+@given(
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.integers(0, 0xFFFF),
+)
+def test_roundtrip_property(a, b, c):
+    values = {"a": a, "b": b, "c": c}
+    assert SIMPLE.decode(SIMPLE.encode(values)) == values
+
+
+@given(st.lists(st.integers(1, 4), min_size=1, max_size=8))
+def test_random_layout_roundtrip(widths):
+    # Make the layout byte aligned by padding.
+    total = sum(w * 8 for w in widths)
+    fields = [(f"f{i}", w * 8) for i, w in enumerate(widths)]
+    codec = HeaderCodec("rand_t", fields)
+    assert codec.bit_width == total
+    values = {f"f{i}": (1 << (w * 8)) - 1 for i, w in enumerate(widths)}
+    assert codec.decode(codec.encode(values)) == values

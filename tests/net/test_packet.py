@@ -1,0 +1,157 @@
+"""Unit tests for repro.net.packet."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet, PacketError
+
+
+class TestBasics:
+    def test_empty(self):
+        p = Packet()
+        assert len(p) == 0
+        assert p.tobytes() == b""
+
+    def test_length_property(self):
+        assert Packet(b"abc").length == 3
+
+    def test_read_write(self):
+        p = Packet(b"\x00" * 8)
+        p.write(2, b"\xaa\xbb")
+        assert p.read(2, 2) == b"\xaa\xbb"
+        assert p.read(0, 2) == b"\x00\x00"
+
+    def test_read_int_write_int(self):
+        p = Packet(b"\x00" * 4)
+        p.write_int(0, 4, 0xDEADBEEF)
+        assert p.read_int(0, 4) == 0xDEADBEEF
+        assert p.read_int(1, 2) == 0xADBE
+
+    def test_write_int_overflow(self):
+        p = Packet(b"\x00" * 2)
+        with pytest.raises(PacketError):
+            p.write_int(0, 2, 0x10000)
+
+    def test_out_of_range_read(self):
+        with pytest.raises(PacketError):
+            Packet(b"ab").read(1, 5)
+
+    def test_negative_offset(self):
+        with pytest.raises(PacketError):
+            Packet(b"ab").read(-1, 1)
+
+    def test_equality(self):
+        assert Packet(b"xy") == Packet(b"xy")
+        assert Packet(b"xy") == b"xy"
+        assert Packet(b"xy") != Packet(b"yz")
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Packet(b"a"))
+
+    def test_repr_truncates(self):
+        r = repr(Packet(bytes(32)))
+        assert "32B" in r and r.endswith("...)")
+
+
+class TestResize:
+    def test_insert_middle(self):
+        p = Packet(b"aabb")
+        p.insert(2, b"XX")
+        assert p.tobytes() == b"aaXXbb"
+
+    def test_insert_at_end(self):
+        p = Packet(b"aa")
+        p.insert(2, b"bb")
+        assert p.tobytes() == b"aabb"
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(PacketError):
+            Packet(b"aa").insert(3, b"x")
+
+    def test_remove_shifts_up(self):
+        p = Packet(b"aaXXbb")
+        removed = p.remove(2, 2)
+        assert removed == b"XX"
+        assert p.tobytes() == b"aabb"
+
+    def test_append_truncate(self):
+        p = Packet(b"ab")
+        p.append(b"cd")
+        assert p.tobytes() == b"abcd"
+        p.truncate(1)
+        assert p.tobytes() == b"a"
+
+    def test_truncate_out_of_range(self):
+        with pytest.raises(PacketError):
+            Packet(b"ab").truncate(3)
+
+
+class TestCopyAndView:
+    def test_copy_is_independent(self):
+        p = Packet(b"abcd")
+        q = p.copy()
+        q.write(0, b"Z")
+        assert p.tobytes() == b"abcd"
+        assert q.tobytes() == b"Zbcd"
+
+    def test_copy_from(self):
+        p, q = Packet(b"aa"), Packet(b"bbbb")
+        p.copy_from(q)
+        assert p.tobytes() == b"bbbb"
+        q.write(0, b"X")
+        assert p.tobytes() == b"bbbb"
+
+    def test_view_reads_window(self):
+        p = Packet(b"headtail")
+        v = p.view(4)
+        assert v.tobytes() == b"tail"
+
+    def test_view_write_propagates(self):
+        p = Packet(b"headtail")
+        v = p.view(4)
+        v.write(0, b"TAIL")
+        assert p.tobytes() == b"headTAIL"
+
+    def test_view_resize_propagates(self):
+        p = Packet(b"headtail")
+        v = p.view(4)
+        v.insert(0, b"mid-")
+        assert p.tobytes() == b"headmid-tail"
+        v.remove(0, 4)
+        assert p.tobytes() == b"headtail"
+
+    def test_nested_views(self):
+        p = Packet(b"aabbccdd")
+        v1 = p.view(2)
+        v2 = v1.view(2)
+        v2.write(0, b"XX")
+        assert p.tobytes() == b"aabbXXdd"
+
+    def test_hex_roundtrip(self):
+        p = Packet(b"\x01\x02\xff")
+        assert Packet.from_hex(p.hex()) == p
+
+    def test_split(self):
+        assert Packet(b"abcd").split(1) == [b"a", b"bcd"]
+
+
+class TestProperties:
+    @given(st.binary(max_size=64), st.binary(max_size=16), st.integers(0, 64))
+    def test_insert_then_remove_roundtrips(self, base, ins, offset):
+        p = Packet(base)
+        offset = min(offset, len(base))
+        p.insert(offset, ins)
+        assert p.remove(offset, len(ins)) == ins
+        assert p.tobytes() == base
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_copy_equals_original(self, data):
+        p = Packet(data)
+        assert p.copy() == p
+
+    @given(st.binary(min_size=4, max_size=64), st.integers(0, 3))
+    def test_view_matches_slice(self, data, offset):
+        p = Packet(data)
+        assert p.view(offset).tobytes() == data[offset:]

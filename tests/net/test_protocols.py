@@ -1,0 +1,154 @@
+"""Unit tests for the per-protocol codecs and the builder/dissector."""
+
+import pytest
+
+from repro.net.build import PacketBuilder, dissect, layer_fields
+from repro.net.ethernet import ETHERNET, ETHERTYPE_IPV4, ETHERTYPE_IPV6, mac, mac_str
+from repro.net.ipv4 import IPV4, ip4, ip4_str
+from repro.net.ipv6 import IPV6, NEXT_HDR_ROUTING, NEXT_HDR_TCP, ip6, ip6_str
+from repro.net.mpls import MPLS, label_stack
+from repro.net.srv6 import SRH_BASE, srh, srh_bytes
+from repro.net.tcp import TCP
+from repro.net.udp import UDP
+from repro.net.vlan import VLAN
+from repro.net.gre import GRE
+from repro.net.icmp import ICMP, icmp_echo
+
+
+class TestAddressParsing:
+    def test_mac_roundtrip(self):
+        assert mac_str(mac("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_mac_bad(self):
+        with pytest.raises(ValueError):
+            mac("aa:bb")
+
+    def test_ip4_roundtrip(self):
+        assert ip4_str(ip4("192.168.1.200")) == "192.168.1.200"
+        assert ip4("0.0.0.1") == 1
+
+    def test_ip4_bad(self):
+        with pytest.raises(ValueError):
+            ip4("1.2.3")
+
+    def test_ip6_roundtrip(self):
+        assert ip6_str(ip6("2001:db8::1")) == "2001:db8::1"
+        assert ip6("::1") == 1
+
+
+class TestHeaderWidths:
+    @pytest.mark.parametrize(
+        "codec,width",
+        [
+            (ETHERNET, 14),
+            (VLAN, 4),
+            (MPLS, 4),
+            (IPV4, 20),
+            (IPV6, 40),
+            (SRH_BASE, 8),
+            (TCP, 20),
+            (UDP, 8),
+            (GRE, 4),
+            (ICMP, 8),
+        ],
+    )
+    def test_wire_widths(self, codec, width):
+        assert codec.byte_width == width
+
+
+class TestMpls:
+    def test_label_stack_bottom_marked(self):
+        stack = label_stack([100, 200, 300])
+        assert [e["bos"] for e in stack] == [0, 0, 1]
+
+    def test_empty_stack(self):
+        assert label_stack([]) == []
+
+
+class TestSrh:
+    def test_hdr_ext_len(self):
+        base, segs = srh(["2001:db8::1", "2001:db8::2"], NEXT_HDR_TCP, 1)
+        assert base["hdrExtLen"] == 4
+        assert base["lastEntry"] == 1
+        assert len(segs) == 2
+
+    def test_segments_left_bounds(self):
+        with pytest.raises(ValueError):
+            srh(["2001:db8::1"], NEXT_HDR_TCP, segments_left=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            srh([], NEXT_HDR_TCP, 0)
+
+    def test_bytes_length(self):
+        data = srh_bytes(["2001:db8::1", "2001:db8::2"], NEXT_HDR_TCP, 1)
+        assert len(data) == 8 + 32
+
+
+class TestBuilderDissector:
+    def test_eth_ipv4_tcp_roundtrip(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", ETHERTYPE_IPV4)
+            .ipv4("10.0.0.1", "10.0.0.2", 6, payload_len=20)
+            .tcp(1234, 80)
+            .payload(b"")
+            .build()
+        )
+        assert len(pkt) == 14 + 20 + 20
+        layers = dissect(pkt)
+        names = [n for n, _ in layers]
+        assert names == ["ethernet", "ipv4", "tcp"]
+        assert layer_fields(layers, "ipv4")["dstAddr"] == ip4("10.0.0.2")
+        assert layer_fields(layers, "tcp")["dstPort"] == 80
+
+    def test_eth_ipv6_srh(self):
+        srh_data = srh_bytes(["2001:db8::9", "2001:db8::8"], NEXT_HDR_TCP, 1)
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", ETHERTYPE_IPV6)
+            .ipv6("2001:db8::1", "2001:db8::9", NEXT_HDR_ROUTING, payload_len=len(srh_data))
+            .payload(srh_data)
+            .build()
+        )
+        layers = dissect(pkt)
+        names = [n for n, _ in layers]
+        assert names[:3] == ["ethernet", "ipv6", "srh"]
+        assert names.count("srh_segment") == 2
+
+    def test_mpls_chain(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x8847)
+            .mpls(16, bos=0)
+            .mpls(17, bos=1)
+            .ipv4("10.0.0.1", "10.0.0.2", 17)
+            .udp(53, 53)
+            .build()
+        )
+        names = [n for n, _ in dissect(pkt)]
+        assert names == ["ethernet", "mpls", "mpls", "ipv4", "udp"]
+
+    def test_payload_remainder(self):
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x9999)
+            .payload(b"opaque")
+            .build()
+        )
+        layers = dissect(pkt)
+        assert layers[-1][0] == "payload"
+        assert layers[-1][1]["raw"] == b"opaque"
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(KeyError):
+            PacketBuilder().layer("quic", {})
+
+    def test_layer_fields_missing(self):
+        with pytest.raises(KeyError):
+            layer_fields([], "ipv4")
+
+    def test_icmp(self):
+        fields = icmp_echo(7, 9)
+        assert fields["type"] == 8
+        assert ICMP.decode(ICMP.encode(fields))["identifier"] == 7

@@ -1,0 +1,96 @@
+"""Multicast (paper Fig. 12): mc_engine + the switch's PRE."""
+
+import pytest
+
+from repro.core.api import build_dataplane, compile_module
+from repro.net.build import PacketBuilder, dissect
+
+MCAST_SRC = """
+header eth_h { bit<48> dstMac; bit<48> srcMac; bit<16> etherType; }
+struct hdr_t { eth_h eth; }
+
+program Flood : implements Multicast<> {
+  parser P(extractor ex, pkt p, out hdr_t h) {
+    state start { ex.extract(p, h.eth); transition accept; }
+  }
+  control C(pkt p, inout hdr_t h, im_t im) {
+    mc_engine() mce;
+    action replicate(bit<16> gid) {
+      mce.set_mc_group(gid);
+    }
+    action unicast(bit<8> port) {
+      im.set_out_port(port);
+    }
+    table mcast_tbl {
+      key = { h.eth.dstMac : exact; }
+      actions = { replicate; unicast; }
+      default_action = unicast(0);
+    }
+    apply { mcast_tbl.apply(); }
+  }
+  control D(emitter em, pkt p, in hdr_t h) {
+    apply { em.emit(p, h.eth); }
+  }
+}
+Flood(P, C, D) main;
+"""
+
+BROADCAST = 0xFFFFFFFFFFFF
+
+
+@pytest.fixture(scope="module")
+def dataplane():
+    dp = build_dataplane(compile_module(MCAST_SRC, "flood.up4"))
+    dp.set_multicast_group(1, [2, 3, 4])
+    dp.api.add_entry("mcast_tbl", [BROADCAST], "replicate", [1])
+    return dp
+
+
+def bcast_packet():
+    return (
+        PacketBuilder()
+        .ethernet("ff:ff:ff:ff:ff:ff", "02:00:00:00:00:01", 0x0800)
+        .payload(b"who-has")
+        .build()
+    )
+
+
+class TestReplication:
+    def test_broadcast_replicated_to_group(self, dataplane):
+        outs = dataplane.inject(bcast_packet(), in_port=1)
+        assert sorted(o.port for o in outs) == [2, 3, 4]
+
+    def test_replicas_are_copies(self, dataplane):
+        outs = dataplane.inject(bcast_packet(), in_port=1)
+        outs[0].packet.write(0, b"\x00")
+        assert outs[1].packet.tobytes() != outs[0].packet.tobytes()
+
+    def test_replica_bytes_match_input(self, dataplane):
+        pkt = bcast_packet()
+        outs = dataplane.inject(pkt.copy(), in_port=1)
+        for out in outs:
+            assert out.packet == pkt
+
+    def test_unicast_not_replicated(self, dataplane):
+        dataplane.api.add_entry("mcast_tbl", [0x020000000002], "unicast", [5])
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:02", "02:00:00:00:00:01", 0x0800)
+            .build()
+        )
+        outs = dataplane.inject(pkt, in_port=1)
+        assert [o.port for o in outs] == [5]
+
+    def test_unknown_group_drops(self, dataplane):
+        dataplane.api.add_entry("mcast_tbl", [0x020000000009], "replicate", [77])
+        pkt = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:09", "02:00:00:00:00:01", 0x0800)
+            .build()
+        )
+        assert dataplane.inject(pkt, in_port=1) == []
+
+    def test_switch_stats(self, dataplane):
+        before = dataplane.switch.stats["replicated"]
+        dataplane.inject(bcast_packet(), in_port=1)
+        assert dataplane.switch.stats["replicated"] == before + 3

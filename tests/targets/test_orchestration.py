@@ -1,0 +1,175 @@
+"""End-to-end execution of an Orchestration pipeline (§5.4, Fig. 13).
+
+The A-B validation program of the appendix runs a production router and
+a test router over copies of the same packet and emits the mismatching
+copies to a logging port — here executed over real packets.
+"""
+
+import pytest
+
+from repro.frontend.typecheck import check_program
+from repro.net.build import PacketBuilder
+from repro.net.ipv4 import ip4
+from repro.targets.orchestration import OrchestrationRunner
+
+ROUTER_TEMPLATE = """
+header ipv4_h {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct rr_t { ipv4_h ipv4; }
+
+program %(name)s : implements Unicast<> {
+  parser P(extractor ex, pkt p, out rr_t h) {
+    state start { ex.extract(p, h.ipv4); transition accept; }
+  }
+  control C(pkt p, inout rr_t h, im_t im, out bit<16> decision) {
+    action route(bit<16> d) { decision = d; }
+    action none() { decision = 0; }
+    table %(table)s {
+      key = { h.ipv4.dstAddr : lpm; }
+      actions = { route; none; }
+      default_action = none();
+    }
+    apply { decision = 0; %(table)s.apply(); }
+  }
+  control D(emitter em, pkt p, in rr_t h) { apply { em.emit(p, h.ipv4); } }
+}
+"""
+
+VALIDATE = """
+prod(pkt p, im_t im, out bit<16> decision);
+test(pkt p, im_t im, out bit<16> decision);
+
+program Validate : implements Orchestration<> {
+  control C(pkt p, im_t i, out_buf ob) {
+    pkt pt;
+    im_t it;
+    bit<16> dp;
+    bit<16> dt;
+    prod() prod_i;
+    test() test_i;
+    apply {
+      pt.copy_from(p);
+      it.copy_from(i);
+      prod_i.apply(p, i, dp);
+      test_i.apply(pt, it, dt);
+      i.set_out_port((bit<8>) dp);
+      ob.enqueue(p, i);
+      if (dp != dt) {
+        // Disagreement: also emit the test copy to the mirror port.
+        it.set_out_port(99);
+        ob.enqueue(pt, it);
+      }
+    }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def runner():
+    prod = check_program(
+        ROUTER_TEMPLATE % {"name": "prod", "table": "prod_lpm"}, "prod.up4"
+    )
+    test = check_program(
+        ROUTER_TEMPLATE % {"name": "test", "table": "test_lpm"}, "test.up4"
+    )
+    main = check_program(VALIDATE, "validate.up4")
+    r = OrchestrationRunner(main, [prod, test])
+    # Production and test agree on 10/8 but disagree on 10.9/16.
+    r.api("prod_i").add_entry("prod_lpm", [(ip4("10.0.0.0"), 8)], "route", [4])
+    r.api("test_i").add_entry("test_lpm", [(ip4("10.0.0.0"), 8)], "route", [4])
+    r.api("test_i").add_entry("test_lpm", [(ip4("10.9.0.0"), 16)], "route", [5])
+    return r
+
+
+def packet(dst):
+    return PacketBuilder().ipv4("1.1.1.1", dst, 6).payload(b"pp").build()
+
+
+class TestValidate:
+    def test_agreement_single_output(self, runner):
+        result = runner.process(packet("10.1.1.1"), in_port=1)
+        assert len(result.outputs) == 1
+        assert result.outputs[0].port == 4
+
+    def test_disagreement_mirrors_test_copy(self, runner):
+        result = runner.process(packet("10.9.1.1"), in_port=1)
+        assert len(result.outputs) == 2
+        ports = sorted(o.port for o in result.outputs)
+        assert ports == [4, 99]
+
+    def test_copies_processed_independently(self, runner):
+        result = runner.process(packet("10.9.1.1"), in_port=1)
+        # Both outputs carry the same bytes: routing only set decisions.
+        a, b = result.outputs
+        assert a.packet.tobytes() == b.packet.tobytes()
+
+    def test_plan_attached(self, runner):
+        result = runner.process(packet("10.1.1.1"), in_port=1)
+        assert sorted(result.plan.slices) == ["p", "pt"]
+
+    def test_unknown_destination_agrees_on_zero(self, runner):
+        result = runner.process(packet("172.16.0.1"), in_port=1)
+        assert len(result.outputs) == 1
+        assert result.outputs[0].port == 0
+
+    def test_per_instance_control_api(self, runner):
+        with pytest.raises(Exception):
+            runner.api("ghost_i")
+
+
+class TestDroppedCopies:
+    def test_dropped_copy_not_enqueued(self):
+        dropper = """
+        header b_h { bit<8> x; }
+        struct d_t { b_h b; }
+        program dropmod : implements Unicast<> {
+          parser P(extractor ex, pkt p, out d_t h) {
+            state start { ex.extract(p, h.b); transition accept; }
+          }
+          control C(pkt p, inout d_t h, im_t im) {
+            apply { im.drop(); }
+          }
+          control D(emitter em, pkt p, in d_t h) { apply { em.emit(p, h.b); } }
+        }
+        """
+        main = """
+        dropmod(pkt p, im_t im);
+        program DropAll : implements Orchestration<> {
+          control C(pkt p, im_t i, out_buf ob) {
+            dropmod() d_i;
+            apply {
+              d_i.apply(p, i);
+              ob.enqueue(p, i);
+            }
+          }
+        }
+        """
+        runner = OrchestrationRunner(
+            check_program(main, "m.up4"), [check_program(dropper, "d.up4")]
+        )
+        from repro.net.packet import Packet
+
+        result = runner.process(Packet(b"\x01payload"), in_port=0)
+        assert result.outputs == []
+
+    def test_unicast_main_rejected(self):
+        src = """
+        header b_h { bit<8> x; }
+        struct u_t { b_h b; }
+        program U : implements Unicast<> {
+          parser P(extractor ex, pkt p, out u_t h) {
+            state start { transition accept; }
+          }
+          control C(pkt p, inout u_t h, im_t im) { apply { } }
+          control D(emitter em, pkt p, in u_t h) { apply { } }
+        }
+        """
+        from repro.errors import TargetError
+
+        with pytest.raises(TargetError):
+            OrchestrationRunner(check_program(src, "u.up4"), [])

@@ -1,0 +1,84 @@
+"""Unit tests for the V1Model-style switch wrapper."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.net.build import PacketBuilder
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.runtime_api import RuntimeAPI
+from repro.targets.switch import Switch, SwitchConfig
+
+from tests.integration.helpers import ENTRY_SETS, eth_ipv4, make_instance
+
+
+@pytest.fixture()
+def switch():
+    instance = make_instance("P4", "micro")
+    return Switch(instance, SwitchConfig(num_ports=8))
+
+
+class TestPorts:
+    def test_valid_port_forwarding(self, switch):
+        outs = switch.inject(eth_ipv4(), in_port=1)
+        assert [o.port for o in outs] == [2]
+
+    def test_invalid_in_port_rejected(self, switch):
+        with pytest.raises(TargetError):
+            switch.inject(eth_ipv4(), in_port=99)
+
+    def test_invalid_group_port_rejected(self, switch):
+        with pytest.raises(TargetError):
+            switch.set_multicast_group(1, [99])
+
+    def test_non_positive_group_rejected(self, switch):
+        with pytest.raises(TargetError):
+            switch.set_multicast_group(0, [1])
+
+
+class TestStats:
+    def test_counts_in_out_dropped(self, switch):
+        switch.inject(eth_ipv4(), in_port=1)  # forwarded
+        switch.inject(eth_ipv4(dst="172.16.0.1"), in_port=1)  # dropped
+        assert switch.stats["in"] == 2
+        assert switch.stats["out"] == 1
+        assert switch.stats["dropped"] == 1
+
+    def test_inject_many(self, switch):
+        results = switch.inject_many([eth_ipv4(), eth_ipv4()], in_port=1)
+        assert len(results) == 2
+        assert all(len(r) == 1 for r in results)
+
+
+class TestRuntimeApiExtras:
+    def test_entry_counts(self):
+        instance = make_instance("P4", "micro")
+        api = RuntimeAPI(instance)
+        counts = api.entry_counts()
+        fwd = next(k for k in counts if k.endswith("forward_tbl"))
+        assert counts[fwd] == 3  # three forward entries installed
+        parser = next(k for k in counts if k == "main_parser_tbl")
+        assert counts[parser] >= 1  # const entries
+
+    def test_set_default_changes_miss_behavior(self):
+        instance = make_instance("P4", "micro")
+        api = RuntimeAPI(instance)
+        # Route unknown destinations out port 7 instead of dropping.
+        from repro.net.ethernet import mac
+
+        api.set_default(
+            "forward_tbl", "forward",
+            [mac("02:00:00:00:00:aa"), mac("02:00:00:00:00:bb"), 7],
+        )
+        outs = instance.process(eth_ipv4(dst="10.0.0.5"), 1)
+        assert outs[0].port == 2  # hit unchanged
+        # A miss on forward_tbl needs a routed nh without a forward
+        # entry; install a route to an unknown nh.
+        api.add_entry("ipv4_lpm_tbl", [(0xC0000000, 8)], "process", [42])
+        outs = instance.process(eth_ipv4(dst="192.1.2.3"), 1)
+        assert outs[0].port == 7
+
+    def test_clear_entries(self):
+        instance = make_instance("P4", "micro")
+        api = RuntimeAPI(instance)
+        api.clear("forward_tbl")
+        assert instance.process(eth_ipv4(), 1) == []

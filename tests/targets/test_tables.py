@@ -1,0 +1,124 @@
+"""Unit tests for the match-action table runtime."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TargetError
+from repro.frontend import astnodes as ast
+from repro.targets.tables import TableRuntime
+
+
+def make_table(match_kinds, actions=("hit", "miss"), entries=(), default="miss"):
+    keys = []
+    for kind in match_kinds:
+        expr = ast.PathExpr(name=f"k{len(keys)}")
+        expr.type = ast.BitType(width=32)
+        keys.append(ast.KeyElement(expr=expr, match_kind=kind))
+    decl = ast.TableDecl(
+        name="t",
+        keys=keys,
+        actions=list(actions),
+        default_action=default,
+        const_entries=list(entries),
+    )
+    return TableRuntime(decl)
+
+
+class TestExact:
+    def test_hit_and_miss(self):
+        t = make_table(["exact"])
+        t.add_entry([5], "hit", [1])
+        assert t.lookup([5]) == ("hit", [1], True)
+        assert t.lookup([6]) == ("miss", [], False)
+
+    def test_first_match_priority(self):
+        t = make_table(["exact"])
+        t.add_entry([5], "hit", [1])
+        t.add_entry([5], "hit", [2])
+        assert t.lookup([5])[1] == [1]
+
+    def test_explicit_priority(self):
+        t = make_table(["exact"])
+        t.add_entry([5], "hit", [1], priority=0)
+        t.add_entry([5], "hit", [2], priority=10)
+        assert t.lookup([5])[1] == [2]
+
+
+class TestLpm:
+    def test_longest_prefix_wins(self):
+        t = make_table(["lpm"])
+        t.add_entry([(0x0A000000, 8)], "hit", [1])
+        t.add_entry([(0x0A010000, 16)], "hit", [2])
+        assert t.lookup([0x0A010203])[1] == [2]
+        assert t.lookup([0x0A020304])[1] == [1]
+
+    def test_zero_length_prefix_matches_all(self):
+        t = make_table(["lpm"])
+        t.add_entry([(0, 0)], "hit", [9])
+        assert t.lookup([0xFFFFFFFF])[1] == [9]
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_full_prefix_is_exact(self, addr):
+        t = make_table(["lpm"])
+        t.add_entry([(addr, 32)], "hit", [1])
+        hit = t.lookup([addr])
+        assert hit[0] == "hit"
+        assert t.lookup([(addr + 1) % 2**32])[0] == "miss"
+
+
+class TestTernary:
+    def test_mask_match(self):
+        t = make_table(["ternary"])
+        t.add_entry([(0x0800, 0xFF00)], "hit", [1])
+        assert t.lookup([0x08AB])[0] == "hit"
+        assert t.lookup([0x0700])[0] == "miss"
+
+    def test_dont_care(self):
+        t = make_table(["ternary", "exact"])
+        t.add_entry([None, 7], "hit", [1])
+        assert t.lookup([12345, 7])[0] == "hit"
+        assert t.lookup([12345, 8])[0] == "miss"
+
+
+class TestRange:
+    def test_inclusive_bounds(self):
+        t = make_table(["range"])
+        t.add_entry([(10, 20)], "hit", [1])
+        assert t.lookup([10])[0] == "hit"
+        assert t.lookup([20])[0] == "hit"
+        assert t.lookup([9])[0] == "miss"
+        assert t.lookup([21])[0] == "miss"
+
+
+class TestManagement:
+    def test_arity_checked(self):
+        t = make_table(["exact", "exact"])
+        with pytest.raises(TargetError):
+            t.add_entry([1], "hit")
+
+    def test_unknown_action_rejected(self):
+        t = make_table(["exact"])
+        with pytest.raises(TargetError):
+            t.add_entry([1], "fly")
+
+    def test_set_default(self):
+        t = make_table(["exact"])
+        t.set_default("hit", [42])
+        assert t.lookup([0]) == ("hit", [42], False)
+
+    def test_clear(self):
+        t = make_table(["exact"])
+        t.add_entry([5], "hit")
+        t.clear_runtime_entries()
+        assert t.lookup([5])[0] == "miss"
+
+    def test_const_entries_precede_runtime(self):
+        entry = ast.TableEntry(
+            keysets=[ast.IntLit(value=5, width=32)],
+            action_name="hit",
+            action_args=[ast.IntLit(value=1)],
+        )
+        t = make_table(["exact"], entries=[entry])
+        t.add_entry([5], "hit", [2])
+        assert t.lookup([5])[1] == [1]
