@@ -30,6 +30,7 @@ from repro.frontend import astnodes as ast
 from repro.midend.bytestack import BS_INSTANCE
 from repro.midend.inline import ComposedPipeline
 from repro.backend.tna.descriptor import TofinoDescriptor
+from repro.obs.metrics import METRICS
 
 # (container_id, hi, lo): the container covers field bits hi..lo (LSB 0).
 Span = Tuple[str, int, int]
@@ -84,6 +85,8 @@ class PhvAllocation:
             self.containers[cid] = 16
             bits -= 16
             index += 1
+        METRICS.set_gauge("tna.phv.containers_allocated", len(self.containers))
+        METRICS.set_gauge("tna.phv.bits_allocated", self.bits_allocated)
 
     # ------------------------------------------------------------------
     def check_capacity(self, desc: TofinoDescriptor) -> None:
@@ -257,6 +260,9 @@ def allocate_phv(
             else:
                 chunks = _chunks_bestfit(width)
             allocator.place_field(fname, width, chunks)
+    METRICS.set_gauge("tna.phv.containers_allocated", len(alloc.containers))
+    METRICS.set_gauge("tna.phv.bits_allocated", alloc.bits_allocated)
+    METRICS.set_gauge("tna.phv.bits_used", alloc.bits_used)
     return alloc
 
 

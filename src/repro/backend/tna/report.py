@@ -52,6 +52,17 @@ class TnaReport:
             f"splits={len(self.split.extra_depth)}"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        counts = self.container_counts
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "containers": {"8": counts[8], "16": counts[16], "32": counts[32]},
+            "bits_allocated": self.bits_allocated,
+            "stages": self.num_stages,
+            "splits": len(self.split.extra_depth),
+        }
+
 
 def _pct(micro: int, mono: int) -> Optional[float]:
     if mono == 0:
@@ -80,6 +91,17 @@ class OverheadRow:
             f"{fmt(self.pct_32b)} {fmt(self.pct_bits)}   "
             f"{self.stages_mono:2d} -> {self.stages_micro:2d}"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "pct_8b": self.pct_8b,
+            "pct_16b": self.pct_16b,
+            "pct_32b": self.pct_32b,
+            "pct_bits": self.pct_bits,
+            "stages_mono": self.stages_mono,
+            "stages_micro": self.stages_micro,
+        }
 
 
 def overhead_row(

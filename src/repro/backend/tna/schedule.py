@@ -23,6 +23,7 @@ from repro.errors import ResourceError
 from repro.backend.base import LogicalTable
 from repro.backend.tna.descriptor import TofinoDescriptor
 from repro.backend.tna.split import SplitResult
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -113,6 +114,10 @@ def schedule_stages(
         effective_end[table.name] = end
         placed.append(table)
 
+    METRICS.set_gauge("tna.schedule.stages_used", result.num_stages)
+    METRICS.set_gauge("tna.schedule.dependencies", len(result.dependencies))
+    for use in result.stages:
+        METRICS.observe("tna.schedule.stage_occupancy", len(use.tables))
     if result.num_stages > desc.num_stages:
         raise ResourceError(
             f"program needs {result.num_stages} MAU stages; the target has "

@@ -15,31 +15,121 @@ Mirrors the paper's Fig. 4 usage of the compiler:
 
     # Regenerate the evaluation tables
     python -m repro eval
+
+    # Profile the compiler passes over a library composition
+    python -m repro profile P4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import traceback
+from contextlib import nullcontext as _nullcontext
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.api import compile_module, save_ir
 from repro.core.arch import describe_architecture
 from repro.core.driver import CompilerOptions, Up4Compiler
-from repro.errors import ReproError
+from repro.errors import EXIT_INTERNAL_ERROR, ReproError
 from repro.frontend.json_ir import load_module
+from repro.obs.metrics import METRICS, collecting
+from repro.obs.trace import Tracer
+
+_EPILOG = """\
+exit codes:
+  0   success
+  1   generic error
+  2   compile error (lex / parse / typecheck / link / analysis / backend)
+  3   target resource exhaustion (PHV, stages, ALU sources)
+  4   behavioral-target error
+  70  internal error (unexpected exception — please report)
+
+errors print as `error[<code>]: <message>` on stderr, where <code> is a
+stable machine-readable slug (e.g. parse-error, resource-error).
+"""
 
 
-def _read_module(path: Path):
-    text = path.read_text()
-    if path.suffix == ".json":
-        return load_module(text)
-    return compile_module(text, path.name)
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _read_modules(paths: List[Path], compiler: Up4Compiler):
+    """Compile .up4 sources (through the compiler, so spans and metrics
+    are recorded) or load .json µP4-IR files."""
+    modules = []
+    for path in paths:
+        text = path.read_text()
+        if path.suffix == ".json":
+            modules.append(load_module(text))
+        else:
+            modules.append(compiler.frontend(text, path.name))
+    return modules
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-pass timing spans and print them when done",
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="collect compiler metrics; write the JSON snapshot to FILE "
+        "(default: stdout)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON object instead of text",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    return Tracer(enabled=True) if getattr(args, "trace", False) else None
+
+
+def _emit_observability(
+    args: argparse.Namespace,
+    tracer: Optional[Tracer],
+    payload: Optional[dict] = None,
+) -> None:
+    """Print/write the trace table and metrics snapshot per CLI flags.
+
+    In ``--json`` mode the spans and (stdout-destined) metrics are folded
+    into ``payload`` instead of printed as text.
+    """
+    json_mode = payload is not None
+    if tracer is not None:
+        if json_mode:
+            payload["trace"] = tracer.to_dicts()
+        else:
+            print()
+            print(tracer.render_table())
+    if args.metrics is not None:
+        if args.metrics == "-":
+            if json_mode:
+                payload["metrics"] = METRICS.snapshot()
+            else:
+                print()
+                print(METRICS.to_json())
+        else:
+            Path(args.metrics).write_text(METRICS.to_json() + "\n")
+            if not json_mode:
+                print(f"wrote {len(METRICS)} metrics to {args.metrics}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 def cmd_compile(args: argparse.Namespace) -> int:
-    module = _read_module(Path(args.module))
+    from repro.core.api import save_ir
+
+    compiler = Up4Compiler()
+    module = _read_modules([Path(args.module)], compiler)[0]
     ir = save_ir(module)
     if args.output:
         Path(args.output).write_text(ir)
@@ -49,10 +139,28 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tna_report_text(report, verbose: bool) -> str:
+    lines = [report.summary()]
+    if verbose:
+        lines.append("")
+        lines.append("stage placement:")
+        for stage, use in enumerate(report.schedule.stages):
+            lines.append(f"  stage {stage:2d}: {', '.join(use.tables)}")
+        counts = report.container_counts
+        lines.append("")
+        lines.append(
+            f"PHV: 8b={counts[8]} 16b={counts[16]} 32b={counts[32]} "
+            f"({report.bits_allocated} bits allocated)"
+        )
+        if report.split.violations:
+            lines.append(
+                f"split-pass fixes: {len(report.split.extra_depth)} tables"
+            )
+    return "\n".join(lines)
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     paths = [Path(p) for p in args.modules]
-    main = _read_module(paths[0])
-    libs = [_read_module(p) for p in paths[1:]]
     options = CompilerOptions(
         target=args.target,
         monolithic=args.monolithic,
@@ -60,35 +168,66 @@ def cmd_build(args: argparse.Namespace) -> int:
         align_fields=not args.no_align,
         split_assignments=not args.no_split,
     )
-    result = Up4Compiler(options).compile_modules(main, libs)
+    tracer = _make_tracer(args)
+    compiler = Up4Compiler(options, tracer=tracer)
+
+    with collecting() if args.metrics is not None else _nullcontext():
+        modules = _read_modules(paths, compiler)
+        result = compiler.compile_modules(modules[0], modules[1:])
+
     region = result.region
-    print(
-        f"composed {result.composed.name!r} [{result.composed.mode}]: "
-        f"El={region.extract_length}B Bs={region.byte_stack_size}B "
-        f"minpkt={region.min_packet_size}B, "
-        f"{len(result.composed.tables)} MATs"
-    )
+    payload: Optional[dict] = None
+    if args.json:
+        payload = {
+            "name": result.composed.name,
+            "mode": result.composed.mode,
+            "region": {
+                "extract_length": region.extract_length,
+                "byte_stack": region.byte_stack_size,
+                "min_packet": region.min_packet_size,
+            },
+            "tables": len(result.composed.tables),
+            "target": args.target,
+        }
+    else:
+        print(
+            f"composed {result.composed.name!r} [{result.composed.mode}]: "
+            f"El={region.extract_length}B Bs={region.byte_stack_size}B "
+            f"minpkt={region.min_packet_size}B, "
+            f"{len(result.composed.tables)} MATs"
+        )
+
     if args.target == "v1model":
         text = result.target_output.source_text
+        if payload is not None:
+            payload["source_lines"] = len(text.splitlines())
+            if not args.output:
+                payload["source_text"] = text
         if args.output:
             Path(args.output).write_text(text)
-            print(f"wrote generated V1Model program to {args.output}")
-        else:
+            if payload is None:
+                print(f"wrote generated V1Model program to {args.output}")
+            else:
+                payload["output"] = args.output
+        elif payload is None:
             print(text)
     else:
         report = result.target_output
-        print(report.summary())
-        if args.report:
-            print("\nstage placement:")
-            for stage, use in enumerate(report.schedule.stages):
-                print(f"  stage {stage:2d}: {', '.join(use.tables)}")
-            counts = report.container_counts
-            print(
-                f"\nPHV: 8b={counts[8]} 16b={counts[16]} 32b={counts[32]} "
-                f"({report.bits_allocated} bits allocated)"
-            )
-            if report.split.violations:
-                print(f"split-pass fixes: {len(report.split.extra_depth)} tables")
+        text = _tna_report_text(report, args.report or bool(args.output))
+        if payload is not None:
+            payload["report"] = report.to_dict()
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            if payload is None:
+                print(f"wrote TNA resource report to {args.output}")
+            else:
+                payload["output"] = args.output
+        elif payload is None:
+            print(text)
+
+    _emit_observability(args, tracer, payload)
+    if payload is not None:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -122,22 +261,105 @@ def cmd_eval(args: argparse.Namespace) -> int:
     from repro.lib.catalog import PROGRAMS, build_monolithic, build_pipeline
 
     backend = TnaBackend()
-    print("Table 2/3 — µP4 vs monolithic on the modeled Tofino")
-    print(f"{'prog':4s} {'8b%':>8s} {'16b%':>8s} {'32b%':>8s} {'bits%':>8s}   stages")
-    for name in PROGRAMS:
-        micro = backend.compile(build_pipeline(name))
-        try:
-            mono = backend.compile(build_monolithic(name))
-        except ResourceError:
-            mono = None
-        print(overhead_row(name, micro, mono).render())
+    tracer = _make_tracer(args)
+    rows = []
+    with collecting() if args.metrics is not None else _nullcontext():
+        for name in PROGRAMS:
+            span = tracer.span(f"eval.{name}") if tracer else _nullcontext()
+            with span:
+                micro = backend.compile(build_pipeline(name, tracer=tracer))
+                try:
+                    mono = backend.compile(build_monolithic(name))
+                except ResourceError:
+                    mono = None
+            rows.append(overhead_row(name, micro, mono))
+
+    payload: Optional[dict] = None
+    if args.json:
+        payload = {"rows": [row.to_dict() for row in rows]}
+    else:
+        print("Table 2/3 — µP4 vs monolithic on the modeled Tofino")
+        print(
+            f"{'prog':4s} {'8b%':>8s} {'16b%':>8s} {'32b%':>8s} "
+            f"{'bits%':>8s}   stages"
+        )
+        for row in rows:
+            print(row.render())
+
+    _emit_observability(args, tracer, payload)
+    if payload is not None:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Compile with tracing always on and print the per-pass table."""
+    from repro.lib.catalog import COMPOSITIONS, EXTRA_COMPOSITIONS
+    from repro.lib.loader import load_module_source
+
+    tracer = Tracer(enabled=True)
+    options = CompilerOptions(
+        target=args.target, optimize_mats=args.optimize
+    )
+    compiler = Up4Compiler(options, tracer=tracer)
+
+    with collecting():
+        if len(args.modules) == 1 and not Path(args.modules[0]).suffix:
+            name = args.modules[0]
+            recipe = COMPOSITIONS.get(name) or EXTRA_COMPOSITIONS.get(name)
+            if recipe is None:
+                from repro.errors import CompileError
+
+                known = ", ".join(sorted({*COMPOSITIONS, *EXTRA_COMPOSITIONS}))
+                raise CompileError(
+                    f"unknown composition {name!r}; known: {known} "
+                    f"(or pass .up4 module files, main first)"
+                )
+            modules = [
+                compiler.frontend(load_module_source(m), f"{m}.up4")
+                for m in recipe
+            ]
+        else:
+            modules = _read_modules([Path(p) for p in args.modules], compiler)
+        result = compiler.compile_modules(modules[0], modules[1:])
+
+    if args.json:
+        payload = {
+            "name": result.composed.name,
+            "target": args.target,
+            "trace": tracer.to_dicts(),
+            "total_ms": tracer.total_ms(),
+        }
+        if args.metrics is not None and args.metrics != "-":
+            Path(args.metrics).write_text(METRICS.to_json() + "\n")
+            payload["metrics_file"] = args.metrics
+        else:
+            payload["metrics"] = METRICS.snapshot()
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"profile of {result.composed.name!r} --target {args.target}")
+    print()
+    print(tracer.render_table())
+    if args.metrics is not None:
+        if args.metrics == "-":
+            print()
+            print(METRICS.to_json())
+        else:
+            Path(args.metrics).write_text(METRICS.to_json() + "\n")
+            print(f"\nwrote {len(METRICS)} metrics to {args.metrics}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser and entry point
+# ----------------------------------------------------------------------
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="µP4C — the µP4 compiler (SIGCOMM 2020 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -165,7 +387,10 @@ def make_parser() -> argparse.ArgumentParser:
                          help="disable the assignment-split pass (§6.3)")
     p_build.add_argument("--report", action="store_true",
                          help="print the TNA resource report")
-    p_build.add_argument("-o", "--output", help="write generated code here")
+    p_build.add_argument("-o", "--output",
+                         help="write generated code (v1model) or the "
+                         "resource report (tna) here")
+    _add_obs_flags(p_build)
     p_build.set_defaults(func=cmd_build)
 
     p_arch = sub.add_parser("arch", help="describe the µPA logical architecture")
@@ -175,7 +400,35 @@ def make_parser() -> argparse.ArgumentParser:
     p_lib.set_defaults(func=cmd_library)
 
     p_eval = sub.add_parser("eval", help="regenerate the evaluation tables")
+    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=cmd_eval)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="compile with pass tracing on and print a per-pass "
+        "time/size table",
+    )
+    p_profile.add_argument(
+        "modules",
+        nargs="+",
+        help="a catalog composition name (P1–P8) or module files "
+        "(main first, then libraries)",
+    )
+    p_profile.add_argument(
+        "--target", choices=("v1model", "tna"), default="tna"
+    )
+    p_profile.add_argument("--optimize", action="store_true",
+                           help="elide trivial synthesized MATs (§8.1)")
+    p_profile.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="also print (or write to FILE) the metrics JSON snapshot",
+    )
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit spans and metrics as one JSON object")
+    p_profile.set_defaults(func=cmd_profile)
     return parser
 
 
@@ -185,8 +438,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(f"error[io-error]: {exc}", file=sys.stderr)
         return 1
+    except Exception:  # noqa: BLE001 — last-resort diagnostics
+        traceback.print_exc()
+        print(
+            "error[internal]: unexpected exception (this is a bug)",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

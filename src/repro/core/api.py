@@ -23,6 +23,8 @@ from repro.frontend.json_ir import dump_module, load_module
 from repro.frontend.typecheck import Module
 from repro.midend.inline import ComposedPipeline
 from repro.net.packet import Packet
+from repro.obs.pkttrace import PacketTrace
+from repro.obs.trace import Tracer
 from repro.targets.pipeline import PacketOut, PipelineInstance
 from repro.targets.runtime_api import RuntimeAPI
 from repro.targets.switch import Switch, SwitchConfig
@@ -74,11 +76,24 @@ class Dataplane:
     def target_output(self):
         return self.compile_result.target_output
 
-    def inject(self, packet: Union[Packet, bytes], in_port: int = 0) -> List[PacketOut]:
+    def inject(
+        self,
+        packet: Union[Packet, bytes],
+        in_port: int = 0,
+        trace: Optional[PacketTrace] = None,
+    ) -> List[PacketOut]:
         """Send one packet through the dataplane."""
         if isinstance(packet, (bytes, bytearray)):
             packet = Packet(bytes(packet))
-        return self.switch.inject(packet, in_port)
+        return self.switch.inject(packet, in_port, trace)
+
+    def inject_traced(
+        self, packet: Union[Packet, bytes], in_port: int = 0
+    ) -> "tuple[List[PacketOut], PacketTrace]":
+        """Send one packet through and return its event trace too."""
+        trace = PacketTrace()
+        outputs = self.inject(packet, in_port, trace)
+        return outputs, trace
 
     def set_multicast_group(self, group_id: int, ports: Sequence[int]) -> None:
         self.switch.set_multicast_group(group_id, list(ports))
@@ -91,10 +106,11 @@ def build_dataplane(
     monolithic: bool = False,
     options: Optional[CompilerOptions] = None,
     switch_config: Optional[SwitchConfig] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> Dataplane:
     """Stage 2 (Fig. 4b): compose, compile for a target, make it runnable."""
     opts = options or CompilerOptions(target=target, monolithic=monolithic)
-    compiler = Up4Compiler(opts)
+    compiler = Up4Compiler(opts, tracer=tracer)
     result = compiler.compile_modules(main, libraries)
     instance = PipelineInstance(result.composed)
     switch = Switch(instance, switch_config)

@@ -10,11 +10,19 @@ Runs the pass pipeline:
 ``CompilerOptions`` exposes the knobs the paper discusses: target
 choice, monolithic mode (the evaluation baseline), and the TNA
 backend's field-alignment and assignment-splitting passes (§6.3).
+
+The driver is a *pass manager*: every stage in :data:`PASS_ORDER` runs
+inside a :class:`~repro.obs.trace.Tracer` span recording wall-time and
+input/output sizes, and the finished trace is attached to
+:class:`CompileResult`.  Construct the compiler with
+``Up4Compiler(options, tracer=Tracer())`` (or use ``--trace`` /
+``repro profile`` on the CLI) to collect it; the default tracer is
+disabled and costs nothing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.backend.tna import TnaBackend, TnaReport
@@ -22,13 +30,25 @@ from repro.backend.tna.descriptor import TofinoDescriptor
 from repro.backend.v1model import V1ModelBackend, V1ModelProgram
 from repro.errors import CompileError
 from repro.frontend.typecheck import Module, check_program
-from repro.midend.analysis import OperationalRegion, analyze
+from repro.midend.analysis import Analyzer, OperationalRegion
 from repro.midend.hdr_stack import lower_header_stacks
 from repro.midend.inline import ComposedPipeline, compose, compose_monolithic
 from repro.midend.linker import LinkedProgram, link_modules
 from repro.midend.varlen import lower_varlen_headers
+from repro.obs.trace import NULL_TRACER, Tracer
 
 TARGETS = ("v1model", "tna")
+
+#: The stages the pass manager runs, in order; each becomes a span of
+#: the same name (frontend spans repeat once per module).
+PASS_ORDER = (
+    "frontend",
+    "midend.link",
+    "midend.analyze",
+    "midend.compose",
+    "midend.optimize",
+    "backend",
+)
 
 
 @dataclass
@@ -58,51 +78,106 @@ class CompileResult:
     composed: ComposedPipeline
     region: OperationalRegion
     target_output: Union[V1ModelProgram, TnaReport, None] = None
+    # The pass trace, when the driver's tracer was enabled.
+    trace: Optional[Tracer] = None
 
 
 class Up4Compiler:
     """The µP4C pass manager."""
 
-    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[CompilerOptions] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.options = options or CompilerOptions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Frontend
     # ------------------------------------------------------------------
     def frontend(self, source: str, name: str = "<module>") -> Module:
         """Parse and type-check one µP4 module (Fig. 4a)."""
-        module = check_program(source, name)
-        lower_header_stacks(module)
-        lower_varlen_headers(module)
+        with self.tracer.span(
+            "frontend", module=name, source_bytes=len(source)
+        ) as sp:
+            with self.tracer.span("frontend.check", module=name):
+                module = check_program(source, name)
+            with self.tracer.span("frontend.lower", module=name):
+                lower_header_stacks(module)
+                lower_varlen_headers(module)
+            sp.set(programs=len(module.programs))
         return module
 
     # ------------------------------------------------------------------
     # Midend
     # ------------------------------------------------------------------
     def link(self, main: Module, libraries: Optional[List[Module]] = None) -> LinkedProgram:
-        return link_modules(main, libraries or [])
+        with self.tracer.span(
+            "midend.link", modules=1 + len(libraries or [])
+        ) as sp:
+            linked = link_modules(main, libraries or [])
+            sp.set(programs=len(linked.providers))
+        return linked
 
-    def midend(self, linked: LinkedProgram) -> ComposedPipeline:
+    def analyze(self, linked: LinkedProgram) -> Analyzer:
+        """Run the §5.2 operational-region analysis over ``linked``."""
+        with self.tracer.span("midend.analyze") as sp:
+            analyzer = Analyzer(linked)
+            region = analyzer.analyze()
+            sp.set(
+                extract_length=region.extract_length,
+                byte_stack=region.byte_stack_size,
+                min_packet=region.min_packet_size,
+            )
+        return analyzer
+
+    def midend(
+        self, linked: LinkedProgram, analyzer: Optional[Analyzer] = None
+    ) -> ComposedPipeline:
         if self.options.monolithic:
-            return compose_monolithic(linked)
-        composed = compose(linked)
+            with self.tracer.span("midend.compose", mode="monolithic") as sp:
+                composed = compose_monolithic(linked, analyzer=analyzer)
+                sp.set(tables=len(composed.tables))
+            return composed
+        with self.tracer.span("midend.compose", mode="micro") as sp:
+            composed = compose(linked, analyzer=analyzer, tracer=self.tracer)
+            sp.set(
+                tables=len(composed.tables),
+                byte_stack=composed.byte_stack_size,
+            )
         if self.options.optimize_mats:
             from repro.midend.optimize import elide_trivial_mats
 
-            elide_trivial_mats(composed)
+            with self.tracer.span(
+                "midend.optimize", tables=len(composed.tables)
+            ) as sp:
+                stats = elide_trivial_mats(composed)
+                sp.set(elided=stats.total, tables=len(composed.tables))
         return composed
 
     # ------------------------------------------------------------------
     # Backend
     # ------------------------------------------------------------------
     def backend(self, composed: ComposedPipeline):
-        if self.options.target == "v1model":
-            return V1ModelBackend().compile(composed)
-        return TnaBackend(
-            descriptor=self.options.descriptor,
-            align_fields=self.options.align_fields,
-            split_assignments=self.options.split_assignments,
-        ).compile(composed)
+        with self.tracer.span(
+            f"backend.{self.options.target}", tables=len(composed.tables)
+        ) as sp:
+            if self.options.target == "v1model":
+                out = V1ModelBackend().compile(composed)
+                sp.set(source_lines=len(out.source_text.splitlines()))
+            else:
+                out = TnaBackend(
+                    descriptor=self.options.descriptor,
+                    align_fields=self.options.align_fields,
+                    split_assignments=self.options.split_assignments,
+                ).compile(composed)
+                sp.set(
+                    stages=out.num_stages,
+                    phv_bits=out.bits_allocated,
+                    splits=len(out.split.extra_depth),
+                )
+        return out
 
     # ------------------------------------------------------------------
     def compile_modules(
@@ -110,9 +185,12 @@ class Up4Compiler:
     ) -> CompileResult:
         """Full pipeline: link → analyze → compose → backend."""
         linked = self.link(main, libraries)
-        composed = self.midend(linked)
+        analyzer = self.analyze(linked)
+        composed = self.midend(linked, analyzer=analyzer)
         result = CompileResult(composed=composed, region=composed.region)
         result.target_output = self.backend(composed)
+        if self.tracer.enabled:
+            result.trace = self.tracer
         return result
 
     def compile_sources(

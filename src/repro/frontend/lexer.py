@@ -13,6 +13,7 @@ from typing import Iterator, List
 from repro.errors import LexError
 from repro.frontend.source import SourceFile, SourceLocation
 from repro.frontend.tokens import KEYWORDS, Token, TokenKind
+from repro.obs.metrics import METRICS
 
 _SIMPLE = {
     "(": TokenKind.LPAREN,
@@ -227,4 +228,7 @@ class Lexer:
 
 def tokenize(text: str, filename: str = "<string>") -> List[Token]:
     """Lex ``text`` into a token list ending with EOF."""
-    return list(Lexer(SourceFile(text, filename)))
+    tokens = list(Lexer(SourceFile(text, filename)))
+    METRICS.inc("frontend.tokens", len(tokens))
+    METRICS.observe("frontend.tokens_per_module", len(tokens))
+    return tokens

@@ -1103,5 +1103,10 @@ class TypeChecker:
 
 def check_program(text: str, name: str = "<string>") -> Module:
     """Parse and type-check ``text``, returning the µP4-IR Module."""
+    from repro.obs.metrics import METRICS
+
     source = parse_program(text, name)
-    return TypeChecker(source, name).check()
+    module = TypeChecker(source, name).check()
+    METRICS.inc("frontend.modules_checked")
+    METRICS.inc("frontend.programs_checked", len(module.programs))
+    return module

@@ -69,12 +69,15 @@ def link_composition(name: str) -> LinkedProgram:
     return link_modules(main, libs)
 
 
-def build_pipeline(name: str, optimize: bool = False) -> ComposedPipeline:
+def build_pipeline(
+    name: str, optimize: bool = False, tracer=None
+) -> ComposedPipeline:
     """Compose the µP4 version of program ``name``.
 
-    ``optimize`` applies the §8.1 trivial-MAT elision pass.
+    ``optimize`` applies the §8.1 trivial-MAT elision pass; ``tracer``
+    (a :class:`repro.obs.Tracer`) records inlining spans when enabled.
     """
-    composed = compose(link_composition(name))
+    composed = compose(link_composition(name), tracer=tracer)
     if optimize:
         from repro.midend.optimize import elide_trivial_mats
 

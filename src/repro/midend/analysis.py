@@ -28,6 +28,7 @@ from repro.ir.cfg import ControlPath, enumerate_control_paths
 from repro.ir.parse_graph import ParseGraph, build_parse_graph
 from repro.ir.visitor import walk
 from repro.midend.linker import LinkedProgram, LinkedUnit
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,11 @@ class Analyzer:
             return cached
         region = self._analyze_unit(unit)
         self._cache[unit.name] = region
+        METRICS.inc("analysis.units_analyzed")
+        if unit.name == self.linked.main.name:
+            METRICS.set_gauge("analysis.extract_length_bytes", region.extract_length)
+            METRICS.set_gauge("analysis.byte_stack_bytes", region.byte_stack_size)
+            METRICS.set_gauge("analysis.min_packet_bytes", region.min_packet_size)
         return region
 
     # ------------------------------------------------------------------

@@ -31,6 +31,8 @@ from repro.frontend import astnodes as ast
 from repro.frontend.typecheck import ProgramInfo
 from repro.ir.visitor import rewrite_expressions, walk
 from repro.midend.analysis import Analyzer, OperationalRegion
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.midend.bytestack import (
     BS_INSTANCE,
     BS_LEN_VAR,
@@ -77,9 +79,15 @@ class ComposedPipeline:
 class Composer:
     """Builds a :class:`ComposedPipeline` from a linked composition."""
 
-    def __init__(self, linked: LinkedProgram) -> None:
+    def __init__(
+        self,
+        linked: LinkedProgram,
+        analyzer: Optional[Analyzer] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.linked = linked
-        analyzer = Analyzer(linked)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        analyzer = analyzer if analyzer is not None else Analyzer(linked)
         self.region = analyzer.analyze()
         self.regions = {u.name: analyzer.analyze(u) for u in linked.units()}
         self.bs = ByteStack(self.region.byte_stack_size)
@@ -108,10 +116,26 @@ class Composer:
         p.statements = self._inline_unit(
             self.linked.main, base_offset=0, prefix="main", bindings=bindings
         )
+        METRICS.set_gauge("compose.tables", len(p.tables))
+        METRICS.set_gauge("compose.actions", len(p.actions))
+        METRICS.set_gauge("compose.variables", len(p.variables))
         return p
 
     # ------------------------------------------------------------------
     def _inline_unit(
+        self,
+        unit: LinkedUnit,
+        base_offset: int,
+        prefix: str,
+        bindings: Dict[str, ast.Expr],
+    ) -> List[ast.Stmt]:
+        with self.tracer.span(
+            f"compose.inline.{prefix}", program=unit.name, offset=base_offset
+        ):
+            METRICS.inc("compose.modules_inlined")
+            return self._inline_unit_body(unit, base_offset, prefix, bindings)
+
+    def _inline_unit_body(
         self,
         unit: LinkedUnit,
         base_offset: int,
@@ -446,12 +470,18 @@ def _apply_renames(decl: ast.Decl, renames: Dict[str, object]) -> None:
 # ======================================================================
 
 
-def compose(linked: LinkedProgram) -> ComposedPipeline:
+def compose(
+    linked: LinkedProgram,
+    analyzer: Optional[Analyzer] = None,
+    tracer: Optional[Tracer] = None,
+) -> ComposedPipeline:
     """Compose a linked µP4 program into a flat MAT-only pipeline."""
-    return Composer(linked).compose()
+    return Composer(linked, analyzer=analyzer, tracer=tracer).compose()
 
 
-def compose_monolithic(linked: LinkedProgram) -> ComposedPipeline:
+def compose_monolithic(
+    linked: LinkedProgram, analyzer: Optional[Analyzer] = None
+) -> ComposedPipeline:
     """Lower a monolithic P4 program without homogenization.
 
     The native parser and deparser are kept; only renaming to the
@@ -463,7 +493,7 @@ def compose_monolithic(linked: LinkedProgram) -> ComposedPipeline:
             f"program {linked.main.name!r} instantiates modules; it is not "
             f"monolithic"
         )
-    analyzer = Analyzer(linked)
+    analyzer = analyzer if analyzer is not None else Analyzer(linked)
     region = analyzer.analyze()
     info = linked.main.program
     prog = info.decl.clone()

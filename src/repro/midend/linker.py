@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import LinkError
 from repro.frontend import astnodes as ast
 from repro.frontend.typecheck import Module, ProgramInfo
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -159,8 +160,11 @@ def link_modules(main: Module, libraries: Optional[List[Module]] = None) -> Link
             provider = providers[inst.target]
             if sig is not None:
                 check_signature(sig, provider.program)
+                METRICS.inc("linker.signatures_checked")
+            METRICS.inc("linker.instances_resolved")
             visit(provider, trail + [unit.name])
         visiting[unit.name] = 1
 
     visit(linked.main, [])
+    METRICS.set_gauge("linker.providers", len(providers))
     return linked

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.frontend import astnodes as ast
 from repro.midend.inline import ComposedPipeline
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -164,4 +165,5 @@ def elide_trivial_mats(composed: ComposedPipeline) -> OptimizationStats:
         return stmt
 
     composed.statements = rewrite(composed.statements)
+    METRICS.inc("optimize.mats_elided", stats.total)
     return stats

@@ -1,0 +1,149 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The compiler and the behavioral target report into the module-level
+:data:`METRICS` registry, e.g.::
+
+    METRICS.inc("frontend.tokens", len(tokens))
+    METRICS.set_gauge("tna.schedule.stages_used", result.num_stages)
+    METRICS.observe("tna.schedule.stage_occupancy", len(use.tables))
+
+The registry is **disabled by default**: every report call returns
+immediately after one attribute check, so instrumented hot paths pay
+essentially nothing until someone opts in (``--metrics`` on the CLI, or
+:func:`collecting` in tests).
+
+Snapshots are plain dicts that round-trip through JSON losslessly:
+histograms store ``count``/``sum``/``min``/``max`` rather than samples.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under dotted string keys."""
+
+    __slots__ = ("enabled", "counters", "gauges", "_hists")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        # key -> [count, sum, min, max]
+        self._hists: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self._hists.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def inc(self, key: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def set_gauge(self, key: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[key] = value
+
+    def observe(self, key: str, value: float) -> None:
+        if not self.enabled:
+            return
+        hist = self._hists.get(key)
+        if hist is None:
+            self._hists[key] = [1, value, value, value]
+        else:
+            hist[0] += 1
+            hist[1] += value
+            if value < hist[2]:
+                hist[2] = value
+            if value > hist[3]:
+                hist[3] = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def gauge(self, key: str) -> Optional[float]:
+        return self.gauges.get(key)
+
+    def histogram(self, key: str) -> Optional[Dict[str, float]]:
+        hist = self._hists.get(key)
+        if hist is None:
+            return None
+        return {"count": hist[0], "sum": hist[1], "min": hist[2], "max": hist[3]}
+
+    def keys(self) -> List[str]:
+        """Every metric key present, sorted."""
+        return sorted({*self.counters, *self.gauges, *self._hists})
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self._hists)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                key: {"count": h[0], "sum": h[1], "min": h[2], "max": h[3]}
+                for key, h in self._hists.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        reg = cls(enabled=False)
+        reg.counters = {k: int(v) for k, v in data.get("counters", {}).items()}
+        reg.gauges = {k: v for k, v in data.get("gauges", {}).items()}
+        for key, h in data.get("histograms", {}).items():
+            reg._hists[key] = [h["count"], h["sum"], h["min"], h["max"]]
+        return reg
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(text))
+
+
+#: The process-wide registry every instrumented module reports into.
+METRICS = MetricsRegistry(enabled=False)
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None, fresh: bool = True
+) -> Iterator[MetricsRegistry]:
+    """Enable a registry (default: the global one) for the duration of a
+    block, restoring its previous enabled state afterwards."""
+    reg = registry if registry is not None else METRICS
+    prior = reg.enabled
+    if fresh:
+        reg.reset()
+    reg.enable()
+    try:
+        yield reg
+    finally:
+        reg.enabled = prior

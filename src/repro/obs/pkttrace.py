@@ -1,0 +1,151 @@
+"""Per-packet execution traces for the behavioral target.
+
+A :class:`PacketTrace` is an ordered event log of what the interpreter
+did to one packet: parser extraction, every MAT apply (hit/miss, the
+matched entry, the selected action and its arguments), deparsing/emits,
+and the final disposition (output port, drop).  Behavioral tests use it
+to assert *why* a packet was forwarded, not just that it was::
+
+    outs, trace = instance.process_traced(pkt, in_port=1)
+    assert trace.hit_sequence() == ["ipv4_lpm_tbl:process", "forward_tbl:forward"]
+
+Tracing is opt-in per packet; the untraced path costs one ``is None``
+check per event site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TraceEvent:
+    """One step of packet processing."""
+
+    kind: str  # extract | parser_state | table | deparse | emit | output | drop
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> object:
+        return self.data[key]
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.data.get(key, default)
+
+    def describe(self) -> str:
+        if self.kind == "table":
+            verdict = "hit" if self.data.get("hit") else "miss"
+            entry = self.data.get("entry")
+            where = f" entry#{entry}" if entry is not None else ""
+            args = self.data.get("args") or []
+            argtext = f"({', '.join(str(a) for a in args)})" if args else ""
+            return (
+                f"table {self.data['table']} keys={self.data.get('keys')} "
+                f"-> {verdict}{where} action={self.data.get('action')}{argtext}"
+            )
+        detail = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"{self.kind} {detail}".rstrip()
+
+
+class PacketTrace:
+    """Ordered event log for one packet's trip through a pipeline."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by the interpreter/pipeline)
+    # ------------------------------------------------------------------
+    def add(self, kind: str, **data: object) -> TraceEvent:
+        event = TraceEvent(kind=kind, data=data)
+        self.events.append(event)
+        return event
+
+    def extract(self, source: str, length: int, **extra: object) -> None:
+        self.add("extract", source=source, bytes=length, **extra)
+
+    def parser_state(self, state: str) -> None:
+        self.add("parser_state", state=state)
+
+    def table(
+        self,
+        table: str,
+        keys: Sequence[int],
+        action: str,
+        hit: bool,
+        entry: Optional[int] = None,
+        const: Optional[bool] = None,
+        args: Sequence[int] = (),
+    ) -> None:
+        self.add(
+            "table",
+            table=table,
+            keys=list(keys),
+            action=action,
+            hit=hit,
+            entry=entry,
+            const=const,
+            args=list(args),
+        )
+
+    def emit(self, header: str, length: int) -> None:
+        self.add("emit", header=header, bytes=length)
+
+    def deparse(self, length: int, payload: int) -> None:
+        self.add("deparse", bytes=length, payload=payload)
+
+    def output(
+        self, port: int, length: int, mcast_grp: int = 0, recirculate: bool = False
+    ) -> None:
+        self.add(
+            "output",
+            port=port,
+            bytes=length,
+            mcast_grp=mcast_grp,
+            recirculate=recirculate,
+        )
+
+    def drop(self, reason: str) -> None:
+        self.add("drop", reason=reason)
+
+    # ------------------------------------------------------------------
+    # Querying (called by tests and tools)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def tables(self) -> List[TraceEvent]:
+        return self.of_kind("table")
+
+    def hits(self) -> List[TraceEvent]:
+        return [e for e in self.tables() if e.data.get("hit")]
+
+    def misses(self) -> List[TraceEvent]:
+        return [e for e in self.tables() if not e.data.get("hit")]
+
+    def hit_sequence(self) -> List[str]:
+        """``"table:action"`` for every MAT apply, in execution order
+        (same shape as ``Interpreter.table_trace``)."""
+        return [f"{e.data['table']}:{e.data['action']}" for e in self.tables()]
+
+    def dropped(self) -> bool:
+        return any(e.kind == "drop" for e in self.events)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        if not self.events:
+            return "(empty packet trace)"
+        return "\n".join(
+            f"{i:3d}. {event.describe()}" for i, event in enumerate(self.events)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": [{"kind": e.kind, **e.data} for e in self.events],
+        }

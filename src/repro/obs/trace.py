@@ -1,0 +1,166 @@
+"""Pass tracing: a context-manager span API for the compiler driver.
+
+A :class:`Tracer` records a tree of :class:`Span` objects::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("midend.link", modules=4) as sp:
+        linked = link_modules(main, libs)
+        sp.set(programs=len(linked.providers))
+
+Spans record wall-time (``time.perf_counter``), arbitrary attributes
+(input/output sizes by convention), nesting, and the exception type if
+one escaped the block.  A disabled tracer records nothing and hands out
+a shared no-op span, so instrumented code needs no ``if`` guards.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0  # seconds; 0.0 while still open
+    error: Optional[str] = None
+    children: List["Span"] = field(default_factory=list)
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach output attributes (sizes, counts) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration * 1000.0
+
+    # ------------------------------------------------------------------
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "Span"]]:
+        """Depth-first (depth, span) traversal of this subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span in this subtree whose name equals ``name``."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 6),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    def __init__(self) -> None:
+        super().__init__(name="<disabled>")
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records a forest of spans; disabled tracers are no-ops."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a nested span around a block of work.
+
+        The span is closed (duration recorded, nesting popped) even when
+        the block raises; the exception type is recorded on the span and
+        the exception propagates.
+        """
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        sp = Span(name=name, attrs=dict(attrs))
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(sp)
+        self._stack.append(sp)
+        sp.start = time.perf_counter()
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.error = type(exc).__name__
+            raise
+        finally:
+            sp.duration = time.perf_counter() - sp.start
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All recorded spans, depth-first across roots."""
+        return [span for root in self.roots for _, span in root.walk()]
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            hit = root.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def total_ms(self) -> float:
+        return sum(root.duration_ms for root in self.roots)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [root.to_dict() for root in self.roots]
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    # ------------------------------------------------------------------
+    def render_table(self) -> str:
+        """Render the span forest as a per-pass time/size table."""
+        rows: List[Tuple[str, str, str]] = []
+        for root in self.roots:
+            for depth, span in root.walk():
+                label = "  " * depth + span.name
+                detail = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+                if span.error is not None:
+                    detail = f"!{span.error} {detail}".rstrip()
+                rows.append((label, f"{span.duration_ms:10.3f}", detail))
+        if not rows:
+            return "(no spans recorded)"
+        width = max(len(r[0]) for r in rows)
+        width = max(width, len("pass"))
+        lines = [f"{'pass'.ljust(width)}  {'wall(ms)':>10}  detail"]
+        lines.append("-" * (width + 14 + 8))
+        for label, ms, detail in rows:
+            lines.append(f"{label.ljust(width)}  {ms}  {detail}".rstrip())
+        lines.append(f"{'total'.ljust(width)}  {self.total_ms():10.3f}")
+        return "\n".join(lines)
+
+
+#: Shared disabled tracer for code paths that want span syntax with no
+#: tracer supplied.
+NULL_TRACER = Tracer(enabled=False)

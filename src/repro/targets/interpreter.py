@@ -13,6 +13,8 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import TargetError
 from repro.frontend import astnodes as ast
 from repro.frontend.typecheck import Symbol
+from repro.obs.metrics import METRICS
+from repro.obs.pkttrace import PacketTrace
 from repro.targets.tables import TableRuntime
 
 
@@ -252,6 +254,8 @@ class Interpreter:
         self.extract_hook: Optional[Callable] = None  # set by native parser
         self.module_hook: Optional[Callable] = None  # set by orchestration
         self.table_trace: List[str] = []
+        # Per-packet trace sink; set by the pipeline around process().
+        self.ptrace: Optional[PacketTrace] = None
 
     # ==================================================================
     # Statements
@@ -476,8 +480,20 @@ class Interpreter:
         for key in decl.keys:
             value = self.eval(key.expr, env)
             key_values.append(int(value) if not isinstance(value, bool) else int(value))
-        action_name, args, hit = runtime.lookup(key_values)
+        action_name, args, hit, entry = runtime.lookup_full(key_values)
         self.table_trace.append(f"{decl.name}:{action_name}")
+        if self.ptrace is not None:
+            self.ptrace.table(
+                decl.name,
+                key_values,
+                action_name,
+                hit,
+                entry=runtime.entry_index(entry) if entry is not None else None,
+                const=entry.is_const if entry is not None else None,
+                args=args,
+            )
+        if METRICS.enabled:
+            METRICS.inc("interp.table_hits" if hit else "interp.table_misses")
         if action_name != "NoAction":
             action = self.actions.get(action_name)
             if action is None:

@@ -22,6 +22,8 @@ from repro.frontend import astnodes as ast
 from repro.midend.bytestack import BS_INSTANCE, BS_LEN_VAR, PARSER_ERR_VAR
 from repro.midend.inline import IM_VAR, PKT_VAR, ComposedPipeline
 from repro.net.packet import Packet
+from repro.obs.metrics import METRICS
+from repro.obs.pkttrace import PacketTrace
 from repro.targets.interpreter import (
     Env,
     ExitSignal,
@@ -96,12 +98,34 @@ class PipelineInstance:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def process(self, packet: Packet, in_port: int = 0) -> List[PacketOut]:
-        """Run one packet through the pipeline; [] means dropped."""
+    def process(
+        self,
+        packet: Packet,
+        in_port: int = 0,
+        trace: Optional[PacketTrace] = None,
+    ) -> List[PacketOut]:
+        """Run one packet through the pipeline; [] means dropped.
+
+        Pass a :class:`~repro.obs.pkttrace.PacketTrace` as ``trace`` to
+        record extract/MAT/deparse events for this packet.
+        """
+        if METRICS.enabled:
+            METRICS.inc("interp.packets")
         env = self._fresh_env(packet, in_port)
-        if self.composed.mode == "micro":
-            return self._process_micro(packet, env)
-        return self._process_monolithic(packet, env)
+        self.interp.ptrace = trace
+        try:
+            if self.composed.mode == "micro":
+                return self._process_micro(packet, env, trace)
+            return self._process_monolithic(packet, env, trace)
+        finally:
+            self.interp.ptrace = None
+
+    def process_traced(self, packet: Packet, in_port: int = 0):
+        """Convenience: run one packet with tracing on; returns
+        ``(outputs, trace)``."""
+        trace = PacketTrace()
+        outputs = self.process(packet, in_port, trace=trace)
+        return outputs, trace
 
     def process_with(
         self,
@@ -126,7 +150,12 @@ class PipelineInstance:
     # ------------------------------------------------------------------
     # Micro mode
     # ------------------------------------------------------------------
-    def _process_micro(self, packet: Packet, env: Env) -> List[PacketOut]:
+    def _process_micro(
+        self,
+        packet: Packet,
+        env: Env,
+        trace: Optional[PacketTrace] = None,
+    ) -> List[PacketOut]:
         bs = self.composed.byte_stack
         assert bs is not None
         extract_len = self.composed.region.extract_length
@@ -138,6 +167,8 @@ class PipelineInstance:
             stack.fields[f"b{i}"] = data[i]
         env.set(BS_LEN_VAR, loaded)
         payload = data[extract_len:]
+        if trace is not None:
+            trace.extract("byte_stack", loaded, extract_length=extract_len)
 
         try:
             self.interp.exec_block(self.composed.statements, env)
@@ -146,6 +177,12 @@ class PipelineInstance:
 
         im = self._im(env)
         if env.get(PARSER_ERR_VAR) == 1 or im.dropped:
+            if trace is not None:
+                trace.drop(
+                    "parser_error"
+                    if env.get(PARSER_ERR_VAR) == 1
+                    else "dropped"
+                )
             return []
         out_len = int(env.get(BS_LEN_VAR))  # type: ignore[arg-type]
         if out_len > bs.size:
@@ -155,6 +192,14 @@ class PipelineInstance:
         out_bytes = bytes(
             stack.fields[f"b{i}"] for i in range(out_len)
         ) + payload
+        if trace is not None:
+            trace.deparse(out_len, len(payload))
+            trace.output(
+                im.out_port,
+                len(out_bytes),
+                im.mcast_grp,
+                im.recirculate_requested,
+            )
         return [
             PacketOut(
                 Packet(out_bytes),
@@ -167,14 +212,21 @@ class PipelineInstance:
     # ------------------------------------------------------------------
     # Monolithic mode
     # ------------------------------------------------------------------
-    def _process_monolithic(self, packet: Packet, env: Env) -> List[PacketOut]:
+    def _process_monolithic(
+        self,
+        packet: Packet,
+        env: Env,
+        trace: Optional[PacketTrace] = None,
+    ) -> List[PacketOut]:
         parser = self.composed.native_parser
         data = packet.tobytes()
         cursor = 0
         if parser is not None:
             try:
-                cursor = self._run_native_parser(parser, data, env)
+                cursor = self._run_native_parser(parser, data, env, trace)
             except ParserErrorSignal:
+                if trace is not None:
+                    trace.drop("parser_reject")
                 return []
         payload = data[cursor:]
 
@@ -185,6 +237,8 @@ class PipelineInstance:
 
         im = self._im(env)
         if im.dropped:
+            if trace is not None:
+                trace.drop("dropped")
             return []
         out = bytearray()
         for emit in self.composed.native_emits or []:
@@ -195,8 +249,18 @@ class PipelineInstance:
                 continue
             htype = emit.type
             assert isinstance(htype, ast.HeaderType)
-            out.extend(_pack_header(value, htype))
+            packed = _pack_header(value, htype)
+            if trace is not None:
+                trace.emit(_expr_name(emit), len(packed))
+            out.extend(packed)
         out.extend(payload)
+        if trace is not None:
+            trace.output(
+                im.out_port,
+                len(out),
+                im.mcast_grp,
+                im.recirculate_requested,
+            )
         return [
             PacketOut(
                 Packet(bytes(out)),
@@ -208,7 +272,11 @@ class PipelineInstance:
 
     # ------------------------------------------------------------------
     def _run_native_parser(
-        self, parser: ast.ParserDecl, data: bytes, env: Env
+        self,
+        parser: ast.ParserDecl,
+        data: bytes,
+        env: Env,
+        trace: Optional[PacketTrace] = None,
     ) -> int:
         states = {s.name: s for s in parser.states}
         cursor = 0
@@ -226,6 +294,8 @@ class PipelineInstance:
             if cursor + size > len(data):
                 raise ParserErrorSignal()
             _unpack_header(header, htype, data[cursor : cursor + size])
+            if trace is not None:
+                trace.extract(_expr_name(lvalue), size, offset=cursor)
             cursor += size
             return None
 
@@ -250,6 +320,8 @@ class PipelineInstance:
                 state = states.get(state_name)
                 if state is None:
                     raise TargetError(f"parser reached unknown state {state_name!r}")
+                if trace is not None:
+                    trace.parser_state(state_name)
                 for stmt in state.stmts:
                     self.interp.exec_stmt(stmt, frame)
                 state_name = self._transition(state, frame)
@@ -283,6 +355,18 @@ class PipelineInstance:
             hi = self.interp.eval(keyset.hi, env)
             return int(lo) <= int(subject) <= int(hi)
         return self.interp.eval(keyset, env) == subject
+
+
+def _expr_name(expr: ast.Expr) -> str:
+    """Dotted-path rendering of a header lvalue for trace events."""
+    if isinstance(expr, ast.PathExpr):
+        return expr.name
+    if isinstance(expr, ast.MemberExpr):
+        return f"{_expr_name(expr.base)}.{expr.member}"
+    if isinstance(expr, ast.IndexExpr):
+        idx = expr.index.value if isinstance(expr.index, ast.IntLit) else "?"
+        return f"{_expr_name(expr.base)}[{idx}]"
+    return type(expr).__name__
 
 
 # ======================================================================

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import TargetError
 from repro.net.packet import Packet
+from repro.obs.pkttrace import PacketTrace
 from repro.targets.pipeline import PacketOut, PipelineInstance
 from repro.targets.runtime_api import RuntimeAPI
 
@@ -55,7 +56,9 @@ class Switch:
             )
 
     # ------------------------------------------------------------------
-    def inject(self, packet: Packet, in_port: int = 0) -> List[PacketOut]:
+    def inject(
+        self, packet: Packet, in_port: int = 0, trace: Optional["PacketTrace"] = None
+    ) -> List[PacketOut]:
         """Process a packet, applying PRE replication and recirculation."""
         self._check_port(in_port)
         self.stats["in"] += 1
@@ -65,7 +68,7 @@ class Switch:
             pkt, port, depth = work.pop(0)
             if depth > MAX_RECIRCULATIONS:
                 raise TargetError("recirculation limit exceeded")
-            results = self.pipeline.process(pkt, port)
+            results = self.pipeline.process(pkt, port, trace)
             if not results:
                 self.stats["dropped"] += 1
                 continue

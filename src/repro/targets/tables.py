@@ -167,18 +167,34 @@ class TableRuntime:
     # ------------------------------------------------------------------
     def lookup(self, key_values: Sequence[int]) -> Tuple[str, List[int], bool]:
         """Return ``(action, args, hit)`` for the given key values."""
+        action, args, hit, _ = self.lookup_full(key_values)
+        return action, args, hit
+
+    def lookup_full(
+        self, key_values: Sequence[int]
+    ) -> Tuple[str, List[int], bool, Optional[Entry]]:
+        """Like :meth:`lookup`, but also returns the matched entry (or
+        ``None`` on a default-action miss) for packet tracing."""
         candidates = [
             e
             for e in [*self.const_entries, *self.runtime_entries]
             if e.matches_key(key_values, self.key_widths)
         ]
         if not candidates:
-            return self.default_action, list(self.default_args), False
+            return self.default_action, list(self.default_args), False, None
         if "lpm" in self.match_kinds:
             best = max(candidates, key=lambda e: e.lpm_length())
-            return best.action_name, list(best.action_args), True
+            return best.action_name, list(best.action_args), True, best
         entry = candidates[0]
-        return entry.action_name, list(entry.action_args), True
+        return entry.action_name, list(entry.action_args), True, entry
+
+    def entry_index(self, entry: Entry) -> int:
+        """Position of an entry in the const+runtime priority order."""
+        combined = [*self.const_entries, *self.runtime_entries]
+        for index, candidate in enumerate(combined):
+            if candidate is entry:
+                return index
+        return -1
 
     def __repr__(self) -> str:
         return (

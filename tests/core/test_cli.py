@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import EXIT_COMPILE_ERROR, EXIT_RESOURCE_ERROR
 from repro.lib.loader import load_module_source
 
 
@@ -33,8 +34,13 @@ class TestCompile:
     def test_compile_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.up4"
         bad.write_text("header broken {")
-        assert main(["compile", str(bad)]) == 1
-        assert "error:" in capsys.readouterr().err
+        assert main(["compile", str(bad)]) == EXIT_COMPILE_ERROR
+        assert "error[parse-error]:" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        rc = main(["compile", str(tmp_path / "nope.up4")])
+        assert rc == 1
+        assert "error[io-error]:" in capsys.readouterr().err
 
 
 class TestBuild:
@@ -76,13 +82,15 @@ class TestBuild:
             ["build", *self.order(module_files), "--target", "tna",
              "--no-align", "--no-split"]
         )
-        assert rc == 1
-        assert "ALU" in capsys.readouterr().err
+        assert rc == EXIT_RESOURCE_ERROR
+        err = capsys.readouterr().err
+        assert "error[resource-error]:" in err
+        assert "ALU" in err
 
     def test_missing_provider_error(self, module_files, capsys):
         rc = main(["build", module_files["eth"], "--target", "v1model"])
-        assert rc == 1
-        assert "error:" in capsys.readouterr().err
+        assert rc == EXIT_COMPILE_ERROR
+        assert "error[link-error]:" in capsys.readouterr().err
 
 
 class TestInfoCommands:
@@ -94,6 +102,109 @@ class TestInfoCommands:
         assert main(["library"]) == 0
         out = capsys.readouterr().out
         assert "P4: eth + l3_v4v6 + ipv4 + ipv6" in out
+
+
+class TestObservabilityFlags:
+    def order(self, files):
+        return [files["eth"], files["l3_v4v6"], files["ipv4"], files["ipv6"]]
+
+    def test_build_trace_prints_pass_table(self, module_files, capsys):
+        rc = main(["build", *self.order(module_files), "--target", "tna",
+                   "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("frontend", "midend.link", "midend.compose",
+                     "backend.tna", "total"):
+            assert name in out
+
+    def test_build_metrics_file(self, module_files, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        rc = main(["build", *self.order(module_files), "--target", "tna",
+                   "--metrics", str(metrics_file)])
+        assert rc == 0
+        snap = json.loads(metrics_file.read_text())
+        keys = {*snap["counters"], *snap["gauges"], *snap["histograms"]}
+        # The acceptance bar: >= 10 distinct keys spanning all layers.
+        assert len(keys) >= 10
+        assert any(k.startswith("frontend.") for k in keys)
+        assert any(k.startswith(("linker.", "analysis.", "compose."))
+                   for k in keys)
+        assert any(k.startswith("tna.") for k in keys)
+
+    def test_build_metrics_stdout(self, module_files, capsys):
+        rc = main(["build", *self.order(module_files), "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"counters"' in out
+
+    def test_build_json_output(self, module_files, capsys):
+        rc = main(["build", *self.order(module_files), "--target", "tna",
+                   "--json", "--trace"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "micro"
+        assert payload["report"]["stages"] > 0
+        assert payload["trace"], "expected recorded spans in JSON mode"
+
+    def test_build_output_file_tna(self, module_files, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        rc = main(["build", *self.order(module_files), "--target", "tna",
+                   "-o", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "stage placement" in text
+        assert "PHV:" in text
+
+    def test_eval_json(self, capsys):
+        rc = main(["eval", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        programs = [row["program"] for row in payload["rows"]]
+        assert programs == ["P1", "P2", "P3", "P4", "P5", "P6", "P7"]
+        assert all(row["stages_micro"] > 0 for row in payload["rows"])
+
+
+class TestProfile:
+    def test_profile_composition(self, capsys):
+        rc = main(["profile", "P4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("frontend", "midend.link", "midend.compose",
+                     "backend.tna"):
+            assert name in out
+
+    def test_profile_nonzero_walltimes(self, capsys):
+        rc = main(["profile", "P4", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        spans = {s["name"]: s for s in payload["trace"]}
+        for name in ("frontend", "midend.link", "midend.compose",
+                     "backend.tna"):
+            assert spans[name]["duration_ms"] > 0.0
+        assert payload["total_ms"] > 0.0
+        keys = {*payload["metrics"]["counters"],
+                *payload["metrics"]["gauges"],
+                *payload["metrics"]["histograms"]}
+        assert len(keys) >= 10
+
+    def test_profile_module_files(self, module_files, capsys):
+        rc = main(["profile", module_files["eth"], module_files["l3_v4v6"],
+                   module_files["ipv4"], module_files["ipv6"],
+                   "--target", "v1model"])
+        assert rc == 0
+        assert "backend.v1model" in capsys.readouterr().out
+
+    def test_profile_unknown_composition_fails(self, capsys):
+        rc = main(["profile", "P99"])
+        assert rc == EXIT_COMPILE_ERROR
+        err = capsys.readouterr().err
+        assert "error[compile-error]:" in err
+        assert "known: P1" in err
+
+    def test_profile_missing_file_fails(self, tmp_path, capsys):
+        rc = main(["profile", str(tmp_path / "nope.up4")])
+        assert rc == 1
+        assert "error[io-error]:" in capsys.readouterr().err
 
 
 class TestOptimizeFlag:

@@ -1,0 +1,141 @@
+"""Tests of the metrics registry."""
+
+import json
+
+from repro.obs.metrics import METRICS, MetricsRegistry, collecting
+
+
+class TestRegistry:
+    def test_counters(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("frontend.tokens", 10)
+        reg.inc("frontend.tokens", 5)
+        reg.inc("linker.instances_resolved")
+        assert reg.counter("frontend.tokens") == 15
+        assert reg.counter("linker.instances_resolved") == 1
+        assert reg.counter("missing") == 0
+
+    def test_gauges(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.set_gauge("tna.schedule.stages_used", 5)
+        reg.set_gauge("tna.schedule.stages_used", 7)
+        assert reg.gauge("tna.schedule.stages_used") == 7
+        assert reg.gauge("missing") is None
+
+    def test_histograms(self):
+        reg = MetricsRegistry(enabled=True)
+        for v in (4, 2, 9, 1):
+            reg.observe("tna.schedule.stage_occupancy", v)
+        hist = reg.histogram("tna.schedule.stage_occupancy")
+        assert hist == {"count": 4, "sum": 16, "min": 1, "max": 9}
+        assert reg.histogram("missing") is None
+
+    def test_keys_and_len(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("a.counter")
+        reg.set_gauge("b.gauge", 1.0)
+        reg.observe("c.hist", 2.0)
+        assert reg.keys() == ["a.counter", "b.gauge", "c.hist"]
+        assert len(reg) == 3
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        reg = MetricsRegistry()
+        assert reg.enabled is False
+
+    def test_disabled_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.set_gauge("b", 1)
+        reg.observe("c", 2)
+        assert len(reg) == 0
+
+    def test_global_registry_disabled_by_default(self):
+        # Compiling anything without opting in must leave the process
+        # registry untouched.
+        assert METRICS.enabled is False
+        before = len(METRICS)
+        from repro.lib.catalog import build_pipeline
+
+        build_pipeline("P4")
+        assert len(METRICS) == before
+
+
+class TestJsonRoundTrip:
+    def _populated(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("frontend.tokens", 123)
+        reg.set_gauge("analysis.extract_length_bytes", 54)
+        reg.observe("tna.schedule.stage_occupancy", 3)
+        reg.observe("tna.schedule.stage_occupancy", 5)
+        return reg
+
+    def test_snapshot_is_json_serializable(self):
+        reg = self._populated()
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_round_trip_preserves_everything(self):
+        reg = self._populated()
+        clone = MetricsRegistry.from_json(reg.to_json())
+        assert clone.snapshot() == reg.snapshot()
+        assert clone.counter("frontend.tokens") == 123
+        assert clone.gauge("analysis.extract_length_bytes") == 54
+        assert clone.histogram("tna.schedule.stage_occupancy") == {
+            "count": 2, "sum": 8, "min": 3, "max": 5,
+        }
+
+
+class TestCollecting:
+    def test_collecting_enables_and_restores(self):
+        reg = MetricsRegistry(enabled=False)
+        with collecting(reg) as active:
+            assert active is reg
+            assert reg.enabled
+            reg.inc("x")
+        assert reg.enabled is False
+        assert reg.counter("x") == 1  # data survives the context
+
+    def test_collecting_fresh_resets(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("stale")
+        with collecting(reg):
+            assert reg.counter("stale") == 0
+
+    def test_collecting_not_fresh_accumulates(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("kept")
+        with collecting(reg, fresh=False):
+            reg.inc("kept")
+        assert reg.counter("kept") == 2
+
+
+class TestCompilerPopulation:
+    def test_build_populates_all_layers(self):
+        from repro.backend.tna import TnaBackend
+        from repro.lib.catalog import build_pipeline
+
+        reg = MetricsRegistry()
+        with collecting():
+            TnaBackend().compile(build_pipeline("P4"))
+            snap = METRICS.snapshot()
+        keys = {*snap["counters"], *snap["gauges"], *snap["histograms"]}
+        assert len(keys) >= 10
+        assert "linker.instances_resolved" in keys
+        assert "analysis.extract_length_bytes" in keys
+        assert "compose.tables" in keys
+        assert "tna.phv.bits_allocated" in keys
+        assert "tna.schedule.stages_used" in keys
+
+    def test_interpreter_counters(self):
+        from repro.net.packet import Packet
+        from repro.lib.catalog import build_pipeline
+        from repro.targets.pipeline import PipelineInstance
+
+        inst = PipelineInstance(build_pipeline("P4"))
+        with collecting():
+            inst.process(Packet(bytes(64)), 1)
+            assert METRICS.counter("interp.packets") == 1
+            total_lookups = (METRICS.counter("interp.table_hits")
+                             + METRICS.counter("interp.table_misses"))
+            assert total_lookups == len(inst.interp.table_trace)

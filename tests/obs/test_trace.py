@@ -1,0 +1,125 @@
+"""Tests of the pass-tracing span API."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, Span, Tracer, _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_spans_nest(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_durations_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            sum(range(1000))
+        span = tracer.find("work")
+        assert span.duration > 0.0
+        assert span.duration_ms == span.duration * 1000.0
+        assert tracer.total_ms() >= span.duration_ms
+
+    def test_attrs_at_open_and_set(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("pass", modules=4) as sp:
+            sp.set(tables=11)
+        span = tracer.find("pass")
+        assert span.attrs == {"modules": 4, "tables": 11}
+
+
+class TestSpanErrors:
+    def test_span_survives_exception(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        # Both spans closed, error type recorded, stack unwound.
+        assert tracer._stack == []
+        outer = tracer.find("outer")
+        inner = tracer.find("inner")
+        assert outer.error == "ValueError"
+        assert inner.error == "ValueError"
+        assert inner.duration > 0.0
+
+    def test_tracer_usable_after_exception(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("failed"):
+                raise RuntimeError
+        with tracer.span("next"):
+            pass
+        # "next" is a sibling root, not a child of the failed span.
+        assert [r.name for r in tracer.roots] == ["failed", "next"]
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything", size=1) as sp:
+            sp.set(more=2)
+        assert tracer.roots == []
+        assert tracer.spans() == []
+
+    def test_disabled_yields_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a") as sa:
+            pass
+        with tracer.span("b") as sb:
+            pass
+        assert sa is sb is _NULL_SPAN
+        assert _NULL_SPAN.attrs == {}
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestRendering:
+    def test_to_dict_round_trip_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        (d,) = tracer.to_dicts()
+        assert d["name"] == "outer"
+        assert d["attrs"] == {"n": 1}
+        assert d["children"][0]["name"] == "inner"
+        assert d["duration_ms"] >= d["children"][0]["duration_ms"]
+
+    def test_render_table(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("frontend", module="eth.up4"):
+            with tracer.span("frontend.check"):
+                pass
+        table = tracer.render_table()
+        assert "pass" in table and "wall(ms)" in table
+        assert "  frontend.check" in table  # indented under its parent
+        assert "module=eth.up4" in table
+        assert table.splitlines()[-1].startswith("total")
+
+    def test_render_empty(self):
+        assert Tracer(enabled=True).render_table() == "(no spans recorded)"
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
