@@ -292,6 +292,53 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile_packets(composed, count: int) -> dict:
+    """Push ``count`` synthetic packets through the behavioral target so
+    the ``interp.*`` lookup counters have something to report."""
+    import time
+
+    from repro.net.build import PacketBuilder
+    from repro.targets.pipeline import PipelineInstance
+    from repro.targets.runtime_api import RuntimeAPI
+
+    def _eth(ethertype: int):
+        return PacketBuilder().ethernet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02", ethertype
+        )
+
+    mix = [
+        _eth(0x0800).ipv4("192.168.0.1", "10.0.0.5", 6).payload(b"profile").build(),
+        _eth(0x86DD)
+        .ipv6("fd00::1", "2001:db8::5", 59, payload_len=7)
+        .payload(b"profile")
+        .build(),
+        _eth(0x9999).payload(b"profile").build(),
+    ]
+    instance = PipelineInstance(composed)
+    outputs = 0
+    start = time.perf_counter()
+    for i in range(count):
+        outputs += len(instance.process(mix[i % len(mix)].copy(), 1))
+    elapsed = time.perf_counter() - start
+    strategies: dict = {}
+    for info in RuntimeAPI(instance).lookup_info().values():
+        name = str(info["strategy"])
+        strategies[name] = strategies.get(name, 0) + 1
+    return {
+        "packets": count,
+        "outputs": outputs,
+        "elapsed_ms": round(elapsed * 1000, 3),
+        "pkts_per_sec": round(count / elapsed, 1) if elapsed > 0 else None,
+        "lookups": {
+            "indexed": METRICS.counter("interp.lookup.indexed"),
+            "scan": METRICS.counter("interp.lookup.scan"),
+            "hits": METRICS.counter("interp.table_hits"),
+            "misses": METRICS.counter("interp.table_misses"),
+        },
+        "table_strategies": strategies,
+    }
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Compile with tracing always on and print the per-pass table."""
     from repro.lib.catalog import COMPOSITIONS, EXTRA_COMPOSITIONS
@@ -322,6 +369,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         else:
             modules = _read_modules([Path(p) for p in args.modules], compiler)
         result = compiler.compile_modules(modules[0], modules[1:])
+        behavior = (
+            _run_profile_packets(result.composed, args.packets)
+            if args.packets
+            else None
+        )
 
     if args.json:
         payload = {
@@ -330,6 +382,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "trace": tracer.to_dicts(),
             "total_ms": tracer.total_ms(),
         }
+        if behavior is not None:
+            payload["behavior"] = behavior
         if args.metrics is not None and args.metrics != "-":
             Path(args.metrics).write_text(METRICS.to_json() + "\n")
             payload["metrics_file"] = args.metrics
@@ -341,6 +395,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"profile of {result.composed.name!r} --target {args.target}")
     print()
     print(tracer.render_table())
+    if behavior is not None:
+        lookups = behavior["lookups"]
+        strategies = ", ".join(
+            f"{n} {s}" for s, n in sorted(behavior["table_strategies"].items())
+        )
+        print()
+        print(
+            f"behavioral run: {behavior['packets']} packets -> "
+            f"{behavior['outputs']} outputs "
+            f"({behavior['pkts_per_sec']:.0f} pkt/s)"
+        )
+        print(
+            f"  table lookups: indexed={lookups['indexed']} "
+            f"scan={lookups['scan']} hits={lookups['hits']} "
+            f"misses={lookups['misses']}"
+        )
+        print(f"  lookup strategies: {strategies}")
     if args.metrics is not None:
         if args.metrics == "-":
             print()
@@ -419,6 +490,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument("--optimize", action="store_true",
                            help="elide trivial synthesized MATs (§8.1)")
+    p_profile.add_argument(
+        "--packets", type=int, default=0, metavar="N",
+        help="also push N synthetic packets through the behavioral "
+        "target and report table-lookup counters (indexed vs. scan)",
+    )
     p_profile.add_argument(
         "--metrics",
         nargs="?",

@@ -12,6 +12,12 @@ immediately after one attribute check, so instrumented hot paths pay
 essentially nothing until someone opts in (``--metrics`` on the CLI, or
 :func:`collecting` in tests).
 
+The behavioral target reports ``interp.packets``, ``interp.table_hits``
+/ ``interp.table_misses``, and ``interp.lookup.indexed`` /
+``interp.lookup.scan`` — the last pair distinguishes O(1) indexed table
+lookups (exact-hash, lpm-buckets) from linear scans (ternary/range
+tables and the reference path).
+
 Snapshots are plain dicts that round-trip through JSON losslessly:
 histograms store ``count``/``sum``/``min``/``max`` rather than samples.
 """

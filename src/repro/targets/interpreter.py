@@ -476,10 +476,13 @@ class Interpreter:
         runtime = self.tables.get(decl.name)
         if runtime is None:
             raise TargetError(f"table {decl.name!r} has no runtime state")
-        key_values = []
-        for key in decl.keys:
-            value = self.eval(key.expr, env)
-            key_values.append(int(value) if not isinstance(value, bool) else int(value))
+        # Evaluate the key expressions once into a tuple; the runtime's
+        # key_exprs/key_widths vectors are cached at construction so the
+        # per-packet cost is just the expression evaluations.
+        evaluate = self.eval
+        key_values = tuple(
+            int(evaluate(expr, env)) for expr in runtime.key_exprs
+        )
         action_name, args, hit, entry = runtime.lookup_full(key_values)
         self.table_trace.append(f"{decl.name}:{action_name}")
         if self.ptrace is not None:

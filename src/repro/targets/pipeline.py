@@ -59,12 +59,22 @@ class ParserErrorSignal(Exception):
 
 
 class PipelineInstance:
-    """Executable instance of a :class:`ComposedPipeline`."""
+    """Executable instance of a :class:`ComposedPipeline`.
 
-    def __init__(self, composed: ComposedPipeline) -> None:
+    ``use_table_index=False`` forces every table onto the reference
+    linear-scan lookup; differential tests and the lookup-throughput
+    benchmark use it to compare against the indexed fast path.
+    """
+
+    def __init__(
+        self, composed: ComposedPipeline, use_table_index: bool = True
+    ) -> None:
         self.composed = composed
+        # TableRuntime caches the per-table key-width vector on the decl,
+        # so building many instances of one composition computes it once.
         self.tables: Dict[str, TableRuntime] = {
-            name: TableRuntime(decl) for name, decl in composed.tables.items()
+            name: TableRuntime(decl, use_index=use_table_index)
+            for name, decl in composed.tables.items()
         }
         self.interp = Interpreter(self.tables, composed.actions)
         # Stateful externs (registers) persist across packets.

@@ -118,3 +118,10 @@ class RuntimeAPI:
             name: len(t.const_entries) + len(t.runtime_entries)
             for name, t in self.instance.tables.items()
         }
+
+    def lookup_info(self) -> Dict[str, Dict[str, object]]:
+        """Per-table lookup strategy (exact-hash / lpm-buckets /
+        compiled-scan / reference-scan), entry and residual counts."""
+        return {
+            name: t.index_info() for name, t in self.instance.tables.items()
+        }

@@ -7,20 +7,57 @@ Supports the four match kinds µP4 requires of targets (§6.4): ``exact``,
   i.e. first-match priority — this is what the parser-MAT transformation
   relies on), and
 * runtime entries installed through the control API, inserted after the
-  const entries in priority order.
+  const entries in priority order (higher ``priority`` first, insertion
+  order among equals).
 
-A lookup evaluates each key expression, then returns the first matching
-entry; if an ``lpm`` key is present, the longest prefix among matching
-entries wins.
+Lookup semantics
+----------------
+
+A lookup evaluates each key expression, then:
+
+* without an ``lpm`` key, the **first** matching entry in the combined
+  const-then-runtime order wins;
+* with an ``lpm`` key, the matching entry with the **longest prefix**
+  wins, and equal prefix lengths fall back to the same first-match
+  order (const before runtime, then priority, then insertion order).
+
+Key values are expected to already fit their declared key widths — the
+interpreter guarantees this through ``bit<W>`` wrap-around semantics.
+
+Indexed fast path
+-----------------
+
+Hardware MATs resolve every lookup in O(1) — exact match hashes, lpm and
+ternary live in TCAM (Bosshart et al., RMT).  A linear scan over
+``const_entries + runtime_entries`` instead collapses under the
+homogenization passes that turn parsers and deparsers into large MATs
+(§5.3), so :class:`TableRuntime` mirrors the hardware cost model with a
+per-match-kind index, built lazily on first lookup and invalidated by
+any entry mutation:
+
+* exact-only tables hash the full key tuple (``_ExactIndex``);
+* tables with one ``lpm`` key and otherwise-exact keys bucket entries by
+  prefix length and probe buckets longest-first (``_LpmIndex``);
+* everything else keeps the priority-ordered list but precompiles each
+  entry's specs into flat ``(position, mask, value)`` /
+  ``(position, lo, hi)`` check tuples (``_CompiledScan``), avoiding the
+  per-spec kind branch of the reference scan.
+
+Entries whose specs do not fit an index's fast map (e.g. a don't-care
+spec on an exact key) go to a small residual list that is scanned in
+priority order, so every strategy reproduces the reference semantics
+bit-for-bit.  :meth:`TableRuntime.lookup_scan_full` keeps the reference
+scan alive for differential tests and benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TargetError
 from repro.frontend import astnodes as ast
+from repro.obs.metrics import METRICS
 
 # A match spec per key, normalized by kind:
 #   exact   -> ("exact", value)
@@ -75,6 +112,190 @@ class Entry:
         return 0
 
 
+# ======================================================================
+# Compiled entry checks (shared by every index strategy)
+# ======================================================================
+
+
+def _prefix_mask(width: int, prefix_len: int) -> int:
+    return ((1 << prefix_len) - 1) << (width - prefix_len)
+
+
+def _compile_checks(entry: Entry, key_widths: Sequence[int]):
+    """Flatten an entry's specs into ``(pos, mask, value)`` ternary checks
+    and ``(pos, lo, hi)`` range checks — no kind branch left at lookup
+    time."""
+    tchecks: List[Tuple[int, int, int]] = []
+    rchecks: List[Tuple[int, int, int]] = []
+    for pos, spec in enumerate(entry.matches):
+        kind = spec[0]
+        if kind == "any":
+            continue
+        width = key_widths[pos]
+        full = (1 << width) - 1
+        if kind == "exact":
+            tchecks.append((pos, full, spec[1] & full))
+        elif kind == "lpm":
+            mask = _prefix_mask(width, spec[2])
+            if mask:
+                tchecks.append((pos, mask, spec[1] & mask))
+        elif kind == "ternary":
+            mask = spec[2] & full
+            if mask:
+                tchecks.append((pos, mask, spec[1] & mask))
+        elif kind == "range":
+            rchecks.append((pos, spec[1], spec[2]))
+        else:
+            raise TargetError(f"unknown match kind {kind!r}")
+    return tuple(tchecks), tuple(rchecks)
+
+
+def _checks_match(key_values, tchecks, rchecks) -> bool:
+    for pos, mask, want in tchecks:
+        if key_values[pos] & mask != want:
+            return False
+    for pos, lo, hi in rchecks:
+        if not lo <= key_values[pos] <= hi:
+            return False
+    return True
+
+
+class _ExactIndex:
+    """All keys ``exact``: one dict probe on the full key tuple."""
+
+    metric = "interp.lookup.indexed"
+    strategy = "exact-hash"
+
+    def __init__(self, entries: Sequence[Entry], key_widths: Sequence[int]) -> None:
+        # key tuple -> (order, entry); first entry per tuple wins.
+        self.map: Dict[Tuple[int, ...], Tuple[int, Entry]] = {}
+        # Entries with a don't-care spec cannot live in the hash; they
+        # stay in a (usually empty) priority-ordered residual list.
+        self.residual: List[tuple] = []
+        for order, entry in enumerate(entries):
+            if all(spec[0] == "exact" for spec in entry.matches):
+                key = tuple(spec[1] for spec in entry.matches)
+                if key not in self.map:
+                    self.map[key] = (order, entry)
+            else:
+                tchecks, rchecks = _compile_checks(entry, key_widths)
+                self.residual.append((order, entry, tchecks, rchecks))
+
+    def lookup(self, key_values) -> Optional[Entry]:
+        best = self.map.get(tuple(key_values))
+        for order, entry, tchecks, rchecks in self.residual:
+            if best is not None and best[0] < order:
+                break
+            if _checks_match(key_values, tchecks, rchecks):
+                best = (order, entry)
+                break
+        return best[1] if best is not None else None
+
+
+class _LpmIndex:
+    """One ``lpm`` key, rest ``exact``: per-prefix-length hash buckets on
+    the masked key tuple, probed longest-first."""
+
+    metric = "interp.lookup.indexed"
+    strategy = "lpm-buckets"
+
+    def __init__(
+        self, entries: Sequence[Entry], key_widths: Sequence[int], lpm_pos: int
+    ) -> None:
+        self.lpm_pos = lpm_pos
+        width = key_widths[lpm_pos]
+        # prefix_len -> {masked key tuple: (order, entry)}
+        self.buckets: Dict[int, Dict[Tuple[int, ...], Tuple[int, Entry]]] = {}
+        self.masks: Dict[int, int] = {}
+        # Entries with a don't-care on an exact key position.
+        self.residual: List[tuple] = []
+        for order, entry in enumerate(entries):
+            prefix_len, fast = self._classify(entry, lpm_pos)
+            if fast:
+                mask = _prefix_mask(width, prefix_len)
+                key = tuple(
+                    (spec[1] & mask if spec[0] == "lpm" else 0)
+                    if pos == lpm_pos
+                    else spec[1]
+                    for pos, spec in enumerate(entry.matches)
+                )
+                bucket = self.buckets.setdefault(prefix_len, {})
+                self.masks[prefix_len] = mask
+                if key not in bucket:
+                    bucket[key] = (order, entry)
+            else:
+                tchecks, rchecks = _compile_checks(entry, key_widths)
+                self.residual.append((order, prefix_len, entry, tchecks, rchecks))
+        self.lengths = sorted(self.buckets, reverse=True)
+
+    @staticmethod
+    def _classify(entry: Entry, lpm_pos: int) -> Tuple[int, bool]:
+        prefix_len = 0
+        fast = True
+        for pos, spec in enumerate(entry.matches):
+            if pos == lpm_pos:
+                if spec[0] == "lpm":
+                    prefix_len = spec[2]
+                elif spec[0] != "any":
+                    fast = False
+            elif spec[0] != "exact":
+                fast = False
+        return prefix_len, fast
+
+    def lookup(self, key_values) -> Optional[Entry]:
+        key_values = tuple(key_values)
+        lpm_pos = self.lpm_pos
+        best_len, best_order, best_entry = -1, -1, None
+        for prefix_len in self.lengths:
+            probe = (
+                key_values[:lpm_pos]
+                + (key_values[lpm_pos] & self.masks[prefix_len],)
+                + key_values[lpm_pos + 1 :]
+            )
+            hit = self.buckets[prefix_len].get(probe)
+            if hit is not None:
+                # Longest-first probing: no shorter bucket can win now.
+                best_len, best_order, best_entry = prefix_len, hit[0], hit[1]
+                break
+        for order, prefix_len, entry, tchecks, rchecks in self.residual:
+            if prefix_len < best_len or (prefix_len == best_len and order > best_order):
+                continue
+            if _checks_match(key_values, tchecks, rchecks):
+                best_len, best_order, best_entry = prefix_len, order, entry
+        return best_entry
+
+
+class _CompiledScan:
+    """Ternary/range/mixed tables: priority-ordered scan over precompiled
+    flat check tuples."""
+
+    metric = "interp.lookup.scan"
+    strategy = "compiled-scan"
+
+    def __init__(
+        self, entries: Sequence[Entry], key_widths: Sequence[int], has_lpm: bool
+    ) -> None:
+        self.has_lpm = has_lpm
+        self.rows = []
+        for entry in entries:
+            tchecks, rchecks = _compile_checks(entry, key_widths)
+            self.rows.append((entry.lpm_length(), entry, tchecks, rchecks))
+
+    def lookup(self, key_values) -> Optional[Entry]:
+        if not self.has_lpm:
+            for _, entry, tchecks, rchecks in self.rows:
+                if _checks_match(key_values, tchecks, rchecks):
+                    return entry
+            return None
+        best_entry = None
+        best_len = -1
+        for prefix_len, entry, tchecks, rchecks in self.rows:
+            # Strict > keeps the earliest entry among equal lengths.
+            if prefix_len > best_len and _checks_match(key_values, tchecks, rchecks):
+                best_entry, best_len = entry, prefix_len
+        return best_entry
+
+
 class TableRuntime:
     """Runtime state of one MAT."""
 
@@ -82,13 +303,25 @@ class TableRuntime:
         self,
         decl: ast.TableDecl,
         key_widths: Optional[List[int]] = None,
+        use_index: bool = True,
     ) -> None:
         self.decl = decl
         self.name = decl.name
         self.match_kinds = [k.match_kind for k in decl.keys]
-        self.key_widths = key_widths or [
-            _width_of(k.expr) for k in decl.keys
-        ]
+        self.key_exprs = tuple(k.expr for k in decl.keys)
+        if key_widths is None:
+            key_widths = getattr(decl, "_key_width_cache", None)
+            if key_widths is None:
+                key_widths = tuple(
+                    _width_of(k.expr, table=decl.name, key=_key_name(k.expr))
+                    for k in decl.keys
+                )
+                decl._key_width_cache = key_widths  # type: ignore[attr-defined]
+        self.key_widths = tuple(key_widths)
+        self._key_names = [_key_name(k.expr) for k in decl.keys]
+        self._has_lpm = "lpm" in self.match_kinds
+        self.use_index = use_index
+        self._index = None
         self.const_entries: List[Entry] = [
             self._convert_const_entry(e) for e in decl.const_entries
         ]
@@ -103,9 +336,9 @@ class TableRuntime:
     # ------------------------------------------------------------------
     def _convert_const_entry(self, entry: ast.TableEntry) -> Entry:
         matches = [
-            _keyset_to_spec(ks, kind, width)
-            for ks, kind, width in zip(
-                entry.keysets, self.match_kinds, self.key_widths
+            _keyset_to_spec(ks, kind, width, table=self.name, key=name)
+            for ks, kind, width, name in zip(
+                entry.keysets, self.match_kinds, self.key_widths, self._key_names
             )
         ]
         return Entry(
@@ -127,6 +360,8 @@ class TableRuntime:
         ``matches`` items may be: an int (exact), a ``(value, length)``
         tuple for lpm keys, a ``(value, mask)`` tuple for ternary keys, a
         ``(lo, hi)`` tuple for range keys, or ``None`` for don't-care.
+        Values are masked to the key width; lpm prefix lengths and range
+        bounds are validated here so bad entries fail at install time.
         """
         if len(matches) != len(self.match_kinds):
             raise TargetError(
@@ -138,8 +373,12 @@ class TableRuntime:
                 f"table {self.name!r} has no action {action_name!r}"
             )
         specs: List[MatchSpec] = []
-        for m, kind, width in zip(matches, self.match_kinds, self.key_widths):
-            specs.append(_runtime_match_to_spec(m, kind, width))
+        for m, kind, width, name in zip(
+            matches, self.match_kinds, self.key_widths, self._key_names
+        ):
+            specs.append(
+                _runtime_match_to_spec(m, kind, width, table=self.name, key=name)
+            )
         self.runtime_entries.append(
             Entry(
                 matches=specs,
@@ -150,6 +389,7 @@ class TableRuntime:
         )
         # Higher priority wins; stable for equal priorities.
         self.runtime_entries.sort(key=lambda e: -e.priority)
+        self._index = None
 
     def set_default(self, action_name: str, args: Optional[Sequence[int]] = None) -> None:
         if action_name not in self.decl.actions and action_name != "NoAction":
@@ -158,9 +398,11 @@ class TableRuntime:
             )
         self.default_action = action_name
         self.default_args = list(args or [])
+        self._index = None
 
     def clear_runtime_entries(self) -> None:
         self.runtime_entries = []
+        self._index = None
 
     # ------------------------------------------------------------------
     # Lookup
@@ -175,18 +417,78 @@ class TableRuntime:
     ) -> Tuple[str, List[int], bool, Optional[Entry]]:
         """Like :meth:`lookup`, but also returns the matched entry (or
         ``None`` on a default-action miss) for packet tracing."""
-        candidates = [
-            e
-            for e in [*self.const_entries, *self.runtime_entries]
-            if e.matches_key(key_values, self.key_widths)
-        ]
-        if not candidates:
+        if not self.use_index:
+            return self.lookup_scan_full(key_values)
+        index = self._index
+        if index is None:
+            index = self._build_index()
+        if METRICS.enabled:
+            METRICS.inc(index.metric)
+        entry = index.lookup(key_values)
+        if entry is None:
             return self.default_action, list(self.default_args), False, None
-        if "lpm" in self.match_kinds:
-            best = max(candidates, key=lambda e: e.lpm_length())
-            return best.action_name, list(best.action_args), True, best
-        entry = candidates[0]
         return entry.action_name, list(entry.action_args), True, entry
+
+    def lookup_scan_full(
+        self, key_values: Sequence[int]
+    ) -> Tuple[str, List[int], bool, Optional[Entry]]:
+        """Reference linear scan over ``const + runtime`` entries.
+
+        This is the semantic ground truth the indexed strategies must
+        reproduce; differential tests and the lookup-throughput benchmark
+        call it directly.
+        """
+        if METRICS.enabled:
+            METRICS.inc("interp.lookup.scan")
+        entry = self._scan_match(key_values)
+        if entry is None:
+            return self.default_action, list(self.default_args), False, None
+        return entry.action_name, list(entry.action_args), True, entry
+
+    def _scan_match(self, key_values: Sequence[int]) -> Optional[Entry]:
+        key_widths = self.key_widths
+        has_lpm = self._has_lpm
+        best = None
+        best_len = -1
+        for entry in [*self.const_entries, *self.runtime_entries]:
+            if not entry.matches_key(key_values, key_widths):
+                continue
+            if not has_lpm:
+                return entry
+            prefix_len = entry.lpm_length()
+            # Longest prefix wins; equal lengths keep the first match in
+            # the combined const-then-runtime priority order.
+            if prefix_len > best_len:
+                best, best_len = entry, prefix_len
+        return best
+
+    def _build_index(self):
+        combined = [*self.const_entries, *self.runtime_entries]
+        kinds = self.match_kinds
+        if all(kind == "exact" for kind in kinds):
+            index = _ExactIndex(combined, self.key_widths)
+        elif kinds.count("lpm") == 1 and all(
+            kind in ("exact", "lpm") for kind in kinds
+        ):
+            index = _LpmIndex(combined, self.key_widths, kinds.index("lpm"))
+        else:
+            index = _CompiledScan(combined, self.key_widths, self._has_lpm)
+        self._index = index
+        return index
+
+    def index_info(self) -> Dict[str, object]:
+        """Strategy and entry stats for reporting (CLI, control API)."""
+        info: Dict[str, object] = {
+            "entries": len(self.const_entries) + len(self.runtime_entries),
+            "indexed": self.use_index,
+        }
+        if self.use_index:
+            index = self._index if self._index is not None else self._build_index()
+            info["strategy"] = index.strategy
+            info["residual"] = len(getattr(index, "residual", ()))
+        else:
+            info["strategy"] = "reference-scan"
+        return info
 
     def entry_index(self, entry: Entry) -> int:
         """Position of an entry in the const+runtime priority order."""
@@ -208,13 +510,29 @@ class TableRuntime:
 # ======================================================================
 
 
-def _width_of(expr: ast.Expr) -> int:
+def _key_name(expr: ast.Expr) -> str:
+    """Dotted-path rendering of a key expression for error messages."""
+    if isinstance(expr, ast.PathExpr):
+        return expr.name
+    if isinstance(expr, ast.MemberExpr):
+        return f"{_key_name(expr.base)}.{expr.member}"
+    if isinstance(expr, ast.SliceExpr):
+        return f"{_key_name(expr.base)}[{expr.hi}:{expr.lo}]"
+    if isinstance(expr, ast.BinaryExpr):
+        return f"{_key_name(expr.left)}{expr.op}{_key_name(expr.right)}"
+    return type(expr).__name__
+
+
+def _width_of(expr: ast.Expr, table: str, key: str) -> int:
     t = expr.type
     if isinstance(t, ast.BitType):
         return t.width
     if isinstance(t, ast.BoolType):
         return 1
-    return 32
+    raise TargetError(
+        f"table {table!r} key {key!r}: match key has no bit width "
+        f"(type {t!r}); only bit<W> and bool keys are matchable"
+    )
 
 
 def _literal_value(expr: ast.Expr) -> int:
@@ -230,15 +548,35 @@ def _literal_value(expr: ast.Expr) -> int:
     raise TargetError("table entry arguments must be compile-time values")
 
 
-def _keyset_to_spec(keyset: ast.Expr, kind: str, width: int) -> MatchSpec:
+def _keyset_to_spec(
+    keyset: ast.Expr, kind: str, width: int, table: str, key: str
+) -> MatchSpec:
     full_mask = (1 << width) - 1
     if isinstance(keyset, ast.DefaultExpr):
         return ("any",)
     if isinstance(keyset, ast.MaskExpr):
-        return ("ternary", _literal_value(keyset.value), _literal_value(keyset.mask))
+        if kind != "ternary":
+            raise TargetError(
+                f"table {table!r} key {key!r}: mask keyset on a {kind!r} "
+                f"key (masks are only valid on ternary keys)"
+            )
+        mask = _literal_value(keyset.mask) & full_mask
+        return ("ternary", _literal_value(keyset.value) & full_mask, mask)
     if isinstance(keyset, ast.RangeExpr):
-        return ("range", _literal_value(keyset.lo), _literal_value(keyset.hi))
-    value = _literal_value(keyset)
+        if kind != "range":
+            raise TargetError(
+                f"table {table!r} key {key!r}: range keyset on a {kind!r} "
+                f"key (ranges are only valid on range keys)"
+            )
+        lo = _literal_value(keyset.lo) & full_mask
+        hi = _literal_value(keyset.hi) & full_mask
+        if lo > hi:
+            raise TargetError(
+                f"table {table!r} key {key!r}: empty range {lo}..{hi} "
+                f"after masking to {width} bits"
+            )
+        return ("range", lo, hi)
+    value = _literal_value(keyset) & full_mask
     if kind == "exact":
         return ("exact", value)
     if kind == "ternary":
@@ -250,26 +588,42 @@ def _keyset_to_spec(keyset: ast.Expr, kind: str, width: int) -> MatchSpec:
     raise TargetError(f"unknown match kind {kind!r}")
 
 
-def _runtime_match_to_spec(match, kind: str, width: int) -> MatchSpec:
+def _runtime_match_to_spec(
+    match, kind: str, width: int, table: str, key: str
+) -> MatchSpec:
     full_mask = (1 << width) - 1
     if match is None:
         return ("any",)
     if isinstance(match, int):
+        value = match & full_mask
         if kind == "exact":
-            return ("exact", match)
+            return ("exact", value)
         if kind == "ternary":
-            return ("ternary", match, full_mask)
+            return ("ternary", value, full_mask)
         if kind == "lpm":
-            return ("lpm", match, width)
+            return ("lpm", value, width)
         if kind == "range":
-            return ("range", match, match)
+            return ("range", value, value)
     if isinstance(match, tuple) and len(match) == 2:
         a, b = match
         if kind == "lpm":
-            return ("lpm", a, b)
+            if not 0 <= b <= width:
+                raise TargetError(
+                    f"table {table!r} key {key!r}: lpm prefix length {b} "
+                    f"out of range for a {width}-bit key"
+                )
+            return ("lpm", a & full_mask, b)
         if kind == "ternary":
-            return ("ternary", a, b)
+            mask = b & full_mask
+            return ("ternary", a & full_mask, mask)
         if kind == "range":
-            return ("range", a, b)
+            lo = a & full_mask
+            hi = b & full_mask
+            if lo > hi:
+                raise TargetError(
+                    f"table {table!r} key {key!r}: empty range {lo}..{hi} "
+                    f"after masking to {width} bits"
+                )
+            return ("range", lo, hi)
         raise TargetError(f"tuple match not valid for {kind!r} key")
     raise TargetError(f"cannot interpret match {match!r} for {kind!r} key")

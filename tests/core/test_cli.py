@@ -206,6 +206,29 @@ class TestProfile:
         assert rc == 1
         assert "error[io-error]:" in capsys.readouterr().err
 
+    def test_profile_packets_surfaces_lookup_counters(self, capsys):
+        rc = main(["profile", "P4", "--packets", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "behavioral run: 30 packets" in out
+        assert "table lookups: indexed=" in out
+        assert "lookup strategies:" in out
+
+    def test_profile_packets_json(self, capsys):
+        rc = main(["profile", "P4", "--packets", "30", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        behavior = payload["behavior"]
+        assert behavior["packets"] == 30
+        assert behavior["lookups"]["indexed"] > 0
+        assert (
+            payload["metrics"]["counters"]["interp.lookup.indexed"]
+            == behavior["lookups"]["indexed"]
+        )
+        assert set(behavior["table_strategies"]) <= {
+            "exact-hash", "lpm-buckets", "compiled-scan",
+        }
+
 
 class TestOptimizeFlag:
     def test_build_with_optimize(self, module_files, capsys):

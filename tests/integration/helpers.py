@@ -64,10 +64,16 @@ ENTRY_SETS["P7"] = ENTRY_SETS["P4"] + [
 ]
 
 
-def make_instance(name: str, mode: str) -> PipelineInstance:
-    """Build a pipeline instance with the standard entries installed."""
+def make_instance(
+    name: str, mode: str, use_table_index: bool = True
+) -> PipelineInstance:
+    """Build a pipeline instance with the standard entries installed.
+
+    ``use_table_index=False`` forces the reference linear-scan table
+    lookup (for differential tests against the indexed fast path).
+    """
     composed = build_pipeline(name) if mode == "micro" else build_monolithic(name)
-    instance = PipelineInstance(composed)
+    instance = PipelineInstance(composed, use_table_index=use_table_index)
     api = RuntimeAPI(instance)
     for table, matches, act_micro, act_mono, args in ENTRY_SETS[name]:
         action = act_micro if mode == "micro" else act_mono

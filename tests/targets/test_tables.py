@@ -122,3 +122,182 @@ class TestManagement:
         t = make_table(["exact"], entries=[entry])
         t.add_entry([5], "hit", [2])
         assert t.lookup([5])[1] == [1]
+
+
+class TestLpmTieBreak:
+    """Equal prefix lengths fall back to the first-match priority order:
+    const before runtime, then priority, then insertion order."""
+
+    def test_const_beats_runtime_at_equal_length(self):
+        entry = ast.TableEntry(
+            keysets=[ast.IntLit(value=0x0A000000, width=32)],
+            action_name="hit",
+            action_args=[ast.IntLit(value=1)],
+        )
+        t = make_table(["lpm"], entries=[entry])  # const is a /32
+        t.add_entry([(0x0A000000, 32)], "hit", [2])
+        assert t.lookup([0x0A000000])[1] == [1]
+        assert t.lookup_scan_full([0x0A000000])[1] == [1]
+
+    def test_priority_breaks_equal_length_ties(self):
+        t = make_table(["lpm"])
+        t.add_entry([(0x0A000000, 8)], "hit", [1], priority=0)
+        t.add_entry([(0x0A000000, 8)], "hit", [2], priority=10)
+        assert t.lookup([0x0A112233])[1] == [2]
+        assert t.lookup_scan_full([0x0A112233])[1] == [2]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        t = make_table(["lpm"])
+        t.add_entry([(0x0A000000, 8)], "hit", [1])
+        t.add_entry([(0x0A000000, 8)], "hit", [2])
+        assert t.lookup([0x0A112233])[1] == [1]
+        assert t.lookup_scan_full([0x0A112233])[1] == [1]
+
+    def test_longer_prefix_still_beats_priority(self):
+        t = make_table(["lpm"])
+        t.add_entry([(0x0A000000, 8)], "hit", [1], priority=99)
+        t.add_entry([(0x0A010000, 16)], "hit", [2], priority=0)
+        assert t.lookup([0x0A010203])[1] == [2]
+
+
+class TestEntryValidation:
+    def test_overlong_lpm_prefix_rejected(self):
+        t = make_table(["lpm"])
+        with pytest.raises(TargetError, match="prefix length 33"):
+            t.add_entry([(0x0A000000, 33)], "hit")
+
+    def test_negative_lpm_prefix_rejected(self):
+        t = make_table(["lpm"])
+        with pytest.raises(TargetError, match="prefix length"):
+            t.add_entry([(0x0A000000, -1)], "hit")
+
+    def test_exact_value_masked_to_key_width(self):
+        t = make_table(["exact"])
+        t.add_entry([(1 << 40) | 5], "hit", [1])
+        assert t.lookup([5])[0] == "hit"
+
+    def test_ternary_value_and_mask_masked(self):
+        t = make_table(["ternary"])
+        t.add_entry([((1 << 40) | 0x0800, (1 << 40) | 0xFF00)], "hit", [1])
+        assert t.lookup([0x08AB])[0] == "hit"
+
+    def test_empty_range_after_masking_rejected(self):
+        t = make_table(["range"])
+        with pytest.raises(TargetError, match="empty range"):
+            t.add_entry([(10, (1 << 32) + 5)], "hit")
+
+
+class TestKeyValidation:
+    def test_untyped_key_expr_rejected(self):
+        expr = ast.PathExpr(name="mystery")  # no .type annotation
+        decl = ast.TableDecl(
+            name="t",
+            keys=[ast.KeyElement(expr=expr, match_kind="exact")],
+            actions=["hit"],
+        )
+        with pytest.raises(TargetError, match="'mystery'"):
+            TableRuntime(decl)
+
+    @pytest.mark.parametrize("kind", ["exact", "lpm", "range"])
+    def test_mask_keyset_only_valid_on_ternary(self, kind):
+        entry = ast.TableEntry(
+            keysets=[
+                ast.MaskExpr(
+                    value=ast.IntLit(value=0x0800), mask=ast.IntLit(value=0xFF00)
+                )
+            ],
+            action_name="hit",
+        )
+        with pytest.raises(TargetError, match="mask keyset"):
+            make_table([kind], entries=[entry])
+
+    @pytest.mark.parametrize("kind", ["exact", "lpm", "ternary"])
+    def test_range_keyset_only_valid_on_range(self, kind):
+        entry = ast.TableEntry(
+            keysets=[
+                ast.RangeExpr(lo=ast.IntLit(value=1), hi=ast.IntLit(value=9))
+            ],
+            action_name="hit",
+        )
+        with pytest.raises(TargetError, match="range keyset"):
+            make_table([kind], entries=[entry])
+
+    def test_mask_keyset_on_ternary_still_works(self):
+        entry = ast.TableEntry(
+            keysets=[
+                ast.MaskExpr(
+                    value=ast.IntLit(value=0x0800), mask=ast.IntLit(value=0xFF00)
+                )
+            ],
+            action_name="hit",
+            action_args=[ast.IntLit(value=1)],
+        )
+        t = make_table(["ternary"], entries=[entry])
+        assert t.lookup([0x08AB])[0] == "hit"
+
+
+class TestIndexing:
+    def test_strategies_by_match_kind(self):
+        assert make_table(["exact", "exact"]).index_info()["strategy"] == "exact-hash"
+        assert make_table(["lpm", "exact"]).index_info()["strategy"] == "lpm-buckets"
+        assert make_table(["ternary"]).index_info()["strategy"] == "compiled-scan"
+        assert make_table(["range", "lpm"]).index_info()["strategy"] == "compiled-scan"
+        assert make_table(["lpm", "lpm"]).index_info()["strategy"] == "compiled-scan"
+
+    def test_add_entry_invalidates_index(self):
+        t = make_table(["exact"])
+        t.add_entry([1], "hit", [1])
+        assert t.lookup([2])[0] == "miss"  # index built here
+        t.add_entry([2], "hit", [2])
+        assert t.lookup([2])[1] == [2]
+
+    def test_clear_invalidates_index(self):
+        t = make_table(["exact"])
+        t.add_entry([1], "hit", [1])
+        assert t.lookup([1])[0] == "hit"
+        t.clear_runtime_entries()
+        assert t.lookup([1])[0] == "miss"
+
+    def test_dont_care_residual_keeps_priority_order(self):
+        t = make_table(["exact"])
+        t.add_entry([None], "hit", [1], priority=5)  # wildcard, residual
+        t.add_entry([7], "hit", [2], priority=0)  # hashed
+        assert t.lookup([7])[1] == [1]  # higher priority wins
+        assert t.lookup([8])[1] == [1]
+        assert t.lookup_scan_full([7])[1] == [1]
+
+    def test_hashed_entry_before_residual_wins(self):
+        t = make_table(["exact"])
+        t.add_entry([7], "hit", [2])
+        t.add_entry([None], "hit", [1])
+        assert t.lookup([7])[1] == [2]
+        assert t.lookup([8])[1] == [1]
+
+    def test_lpm_wildcard_acts_as_zero_length(self):
+        t = make_table(["lpm"])
+        t.add_entry([None], "hit", [1])
+        t.add_entry([(0x0A000000, 8)], "hit", [2])
+        assert t.lookup([0x0A112233])[1] == [2]
+        assert t.lookup([0x0B000000])[1] == [1]
+
+    def test_lpm_with_exact_cokey(self):
+        t = make_table(["lpm", "exact"])
+        t.add_entry([(0x0A000000, 8), 1], "hit", [1])
+        t.add_entry([(0x0A010000, 16), 2], "hit", [2])
+        assert t.lookup([0x0A010203, 1])[1] == [1]
+        assert t.lookup([0x0A010203, 2])[1] == [2]
+        assert t.lookup([0x0A010203, 3])[0] == "miss"
+
+    def test_scan_reference_disabled_index(self):
+        expr = ast.PathExpr(name="k0")
+        expr.type = ast.BitType(width=32)
+        decl = ast.TableDecl(
+            name="t",
+            keys=[ast.KeyElement(expr=expr, match_kind="exact")],
+            actions=["hit", "miss"],
+            default_action="miss",
+        )
+        t = TableRuntime(decl, use_index=False)
+        t.add_entry([5], "hit", [1])
+        assert t.index_info()["strategy"] == "reference-scan"
+        assert t.lookup([5]) == ("hit", [1], True)
