@@ -18,6 +18,9 @@ Mirrors the paper's Fig. 4 usage of the compiler:
 
     # Profile the compiler passes over a library composition
     python -m repro profile P4
+
+    # Soak the behavioral switch with randomized + injected faults
+    python -m repro soak --programs P4,P7 --packets 50000 --fault-rate 0.1
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ exit codes:
   3   target resource exhaustion (PHV, stages, ALU sources)
   4   behavioral-target error
   70  internal error (unexpected exception — please report)
+  130 interrupted (SIGINT / Ctrl-C)
 
 errors print as `error[<code>]: <message>` on stderr, where <code> is a
 stable machine-readable slug (e.g. parse-error, resource-error).
@@ -339,6 +343,35 @@ def _run_profile_packets(composed, count: int) -> dict:
     }
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Soak/fuzz the behavioral switch under randomized + injected faults."""
+    from repro.targets.soak import SoakConfig, render_summary, run_soak
+
+    fault_spec = None
+    if args.fault_spec:
+        fault_spec = json.loads(Path(args.fault_spec).read_text())
+    config = SoakConfig(
+        programs=[p.strip() for p in args.programs.split(",") if p.strip()],
+        packets=args.packets,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        fault_spec=fault_spec,
+        mode=args.mode,
+        strict=args.strict,
+    )
+    summary = run_soak(config)
+    text = json.dumps(summary, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    if args.json:
+        print(text)
+    else:
+        print(render_summary(summary))
+        if args.out:
+            print(f"wrote JSON summary to {args.out}")
+    return 0 if summary["ok"] else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Compile with tracing always on and print the per-pass table."""
     from repro.lib.catalog import COMPOSITIONS, EXTRA_COMPOSITIONS
@@ -505,15 +538,55 @@ def make_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", action="store_true",
                            help="emit spans and metrics as one JSON object")
     p_profile.set_defaults(func=cmd_profile)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="push randomized + fault-injected packets through compiled "
+        "compositions, asserting containment and exact drop accounting",
+    )
+    p_soak.add_argument(
+        "--programs", default="P4,P7", metavar="LIST",
+        help="comma-separated catalog compositions (default: P4,P7)",
+    )
+    p_soak.add_argument("--packets", type=int, default=50_000, metavar="N",
+                        help="packets per program (default: 50000)")
+    p_soak.add_argument("--seed", type=int, default=1234,
+                        help="RNG seed for packets and fault injection")
+    p_soak.add_argument(
+        "--fault-rate", type=float, default=0.1, metavar="R",
+        help="base injected-fault rate in [0,1] (default: 0.1; 0 disables)",
+    )
+    p_soak.add_argument(
+        "--fault-spec", metavar="FILE",
+        help="JSON FaultPlan spec {\"seed\": ..., \"sites\": {site: rate}} "
+        "overriding --fault-rate (sites: corrupt, truncate, table[:name], "
+        "extern[:name], buffer)",
+    )
+    p_soak.add_argument("--mode", choices=("micro", "mono"), default="micro")
+    p_soak.add_argument(
+        "--strict", action="store_true",
+        help="disable containment: re-raise the first per-packet fault",
+    )
+    p_soak.add_argument("--out", metavar="FILE",
+                        help="also write the JSON summary to FILE")
+    p_soak.add_argument("--json", action="store_true",
+                        help="print the JSON summary instead of text")
+    p_soak.set_defaults(func=cmd_soak)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
+    json_mode = bool(getattr(args, "json", False))
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
+        if json_mode:
+            print(json.dumps({"ok": False, **exc.to_dict()}, indent=2))
         print(f"error[{exc.code}]: {exc}", file=sys.stderr)
         return exc.exit_code
     except OSError as exc:

@@ -19,7 +19,7 @@ diagnostic tag is useful.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 #: CLI exit statuses (documented in ``python -m repro --help``).
 EXIT_OK = 0
@@ -35,6 +35,27 @@ class ReproError(Exception):
 
     code: str = "error"
     exit_code: int = EXIT_ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for ``--json`` CLI failure output.
+
+        Always carries ``error``/``code``/``exit_code``; adds ``loc``
+        (source location), ``reason`` and ``site`` (fault containment)
+        when the concrete class defines them.
+        """
+        out: Dict[str, object] = {
+            "error": str(self),
+            "code": self.code,
+            "exit_code": self.exit_code,
+        }
+        loc = getattr(self, "loc", None)
+        if loc is not None:
+            out["loc"] = str(loc)
+        for extra in ("reason", "site"):
+            value = getattr(self, extra, None)
+            if value is not None:
+                out[extra] = value
+        return out
 
 
 class CompileError(ReproError):

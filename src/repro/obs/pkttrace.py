@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 class TraceEvent:
     """One step of packet processing."""
 
-    kind: str  # extract | parser_state | table | deparse | emit | output | drop
+    kind: str  # extract | parser_state | table | deparse | emit | output | drop | fault
     data: Dict[str, object] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> object:
@@ -108,6 +108,11 @@ class PacketTrace:
     def drop(self, reason: str) -> None:
         self.add("drop", reason=reason)
 
+    def fault(self, site: str, **extra: object) -> None:
+        """An injected fault fired at ``site`` (e.g. ``corrupt``,
+        ``table:ipv4_lpm_tbl``)."""
+        self.add("fault", site=site, **extra)
+
     # ------------------------------------------------------------------
     # Querying (called by tests and tools)
     # ------------------------------------------------------------------
@@ -136,6 +141,9 @@ class PacketTrace:
 
     def dropped(self) -> bool:
         return any(e.kind == "drop" for e in self.events)
+
+    def faults(self) -> List[TraceEvent]:
+        return self.of_kind("fault")
 
     # ------------------------------------------------------------------
     def render(self) -> str:

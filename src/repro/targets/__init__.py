@@ -13,9 +13,20 @@ composed IR produced by the midend/backends directly.
   replication engine (multicast groups), recirculation.
 * :mod:`~repro.targets.runtime_api` — the "control API" of the paper's
   Fig. 4: table entry installation and multicast group programming.
+* :mod:`~repro.targets.faults` — fault containment (per-packet
+  :class:`Verdict`, :class:`ResourceGuards`) and the deterministic
+  :class:`FaultPlan` injector.
+* :mod:`~repro.targets.soak` — the soak/fuzz harness behind
+  ``python -m repro soak``.
 """
 
 from repro.targets.tables import TableRuntime, Entry
+from repro.targets.faults import (
+    FaultError,
+    FaultPlan,
+    ResourceGuards,
+    Verdict,
+)
 from repro.targets.pipeline import PipelineInstance, PacketOut
 from repro.targets.switch import Switch
 from repro.targets.runtime_api import RuntimeAPI
@@ -24,6 +35,10 @@ from repro.targets.orchestration import OrchestrationRunner
 __all__ = [
     "TableRuntime",
     "Entry",
+    "FaultError",
+    "FaultPlan",
+    "ResourceGuards",
+    "Verdict",
     "PipelineInstance",
     "PacketOut",
     "Switch",

@@ -1,0 +1,284 @@
+"""Fault containment for the behavioral target (and fault *injection*).
+
+A real RMT switch drops a malformed packet and keeps forwarding; the
+behavioral target used to be fail-stop instead — one bad packet raised
+:class:`~repro.errors.TargetError` out of the switch and killed the run.
+This module provides the three pieces that turn the switch into a
+fault-contained boundary:
+
+* :class:`Verdict` — the structured per-packet outcome
+  (EMIT/DROP/KILLED) the switch returns instead of raising.  Every
+  packet *unit* (the injected packet, each multicast copy, each extra
+  pipeline result) terminates exactly once as an emit or a
+  reason-coded drop, so ``len(outputs) + drops == units`` always holds
+  and accounting sums to inputs.
+* :class:`ResourceGuards` — bounds that convert runaway executions into
+  bounded drops: an interpreter step budget, a native-parser step
+  budget, the recirculation limit, a multicast fan-out cap, and the
+  orchestration out-buffer capacity.
+* :class:`FaultPlan` — a deterministic, seedable fault injector for
+  soak/fuzz runs: corrupt or truncate packet bytes, fail a named table
+  lookup, trip an extern, exhaust a buffer, at configurable per-site
+  rates.
+
+Reason codes are stable machine-readable slugs (:data:`REASONS`); the
+switch counts drops per reason in ``Switch.drops_by_reason`` and, when
+metrics are enabled, under ``switch.drops.<reason>``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import TargetError
+
+#: Stable drop/kill reason codes (documented in DESIGN.md §8).
+REASONS = (
+    "pipeline-drop",      # program dropped the packet (im.drop / no route)
+    "drop-port",          # egressed on the drop port (0xFF)
+    "parser-error",       # homogenized parser flagged upa_parser_err
+    "parser-reject",      # native parser transitioned to reject
+    "truncated-extract",  # native parser extracted past end of packet
+    "recirc-limit",       # recirculation depth guard tripped
+    "step-budget",        # interpreter statement budget exhausted
+    "parse-depth",        # native parser state-step budget exhausted
+    "bytestack-bounds",   # byte-stack length left the operational region
+    "mcast-no-group",     # mcast_grp set but no such group programmed
+    "mcast-misconfig",    # multicast group names an out-of-range port
+    "mcast-fanout",       # multicast copies beyond the fan-out cap
+    "buffer-exhausted",   # out_buf / egress buffer capacity exceeded
+    "extern-fault",       # an extern (or injected table fault) tripped
+    "internal",           # any other contained exception
+)
+
+DEFAULT_STEP_BUDGET = 200_000
+
+
+class FaultError(TargetError):
+    """A guard or injected fault tripped inside the behavioral target.
+
+    Carries a stable ``reason`` (one of :data:`REASONS`) and an optional
+    ``site`` naming where it tripped (e.g. ``table:ipv4_lpm_tbl``).  The
+    instance ``code`` is the reason, so CLI/JSON error output stays
+    machine-readable.
+    """
+
+    def __init__(
+        self, reason: str, message: Optional[str] = None, site: Optional[str] = None
+    ) -> None:
+        self.reason = reason
+        self.site = site
+        self.code = reason
+        text = message or f"fault: {reason}"
+        if site:
+            text += f" (at {site})"
+        super().__init__(text)
+
+
+@dataclass
+class ResourceGuards:
+    """Bounds that turn runaway executions into bounded, counted drops."""
+
+    max_recirculations: int = 8
+    interp_step_budget: int = DEFAULT_STEP_BUDGET
+    parser_step_budget: int = 1024
+    max_mcast_fanout: int = 64
+    max_out_buf: int = 1024
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "max_recirculations": self.max_recirculations,
+            "interp_step_budget": self.interp_step_budget,
+            "parser_step_budget": self.parser_step_budget,
+            "max_mcast_fanout": self.max_mcast_fanout,
+            "max_out_buf": self.max_out_buf,
+        }
+
+
+@dataclass
+class Verdict:
+    """Structured outcome of one packet through the switch.
+
+    ``units`` counts packet units created while processing (the injected
+    packet plus every extra pipeline result and multicast copy); each
+    unit terminates exactly once, so ``len(outputs) + drops == units``
+    (:meth:`balanced`) is the switch's accounting invariant.
+    """
+
+    outputs: List[object] = field(default_factory=list)
+    reasons: Dict[str, int] = field(default_factory=dict)
+    units: int = 1
+    killed: bool = False
+    error: Optional[str] = None
+
+    EMIT = "emit"
+    DROP = "drop"
+    KILLED = "killed"
+
+    @property
+    def kind(self) -> str:
+        if self.killed:
+            return self.KILLED
+        return self.EMIT if self.outputs else self.DROP
+
+    @property
+    def drops(self) -> int:
+        return sum(self.reasons.values())
+
+    def balanced(self) -> bool:
+        return len(self.outputs) + self.drops == self.units
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "emits": len(self.outputs),
+            "drops": dict(self.reasons),
+            "units": self.units,
+            "killed": self.killed,
+            "error": self.error,
+        }
+
+
+# ======================================================================
+# Fault injection
+# ======================================================================
+
+#: Site categories a FaultPlan knows how to trip.
+SITE_CATEGORIES = ("corrupt", "truncate", "table", "extern", "buffer")
+
+
+class FaultPlan:
+    """Deterministic, seedable fault injector.
+
+    A plan maps *sites* to trip rates in ``[0, 1]``.  A site is either a
+    bare category (``"table"`` trips every table lookup) or a named one
+    (``"table:ipv4_lpm_tbl"``; the named rate wins over the category).
+    Categories:
+
+    * ``corrupt`` — XOR a random byte of the packet at injection time,
+    * ``truncate`` — cut the packet short at injection time,
+    * ``table`` / ``table:<name>`` — fail a table lookup
+      (``extern-fault``),
+    * ``extern`` / ``extern:<name>`` — trip an extern call
+      (``extern-fault``),
+    * ``buffer`` — exhaust the egress/out buffer
+      (``buffer-exhausted``).
+
+    Each site draws from its own :class:`random.Random` stream seeded
+    with ``f"{seed}/{site}"``, so the same seed and plan yield an
+    identical fault sequence regardless of which *other* sites exist —
+    the determinism the soak harness asserts.
+    """
+
+    def __init__(
+        self,
+        seed: object = 0,
+        sites: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        # int or str; either seeds the per-site streams deterministically.
+        self.seed = seed
+        self.sites: Dict[str, float] = dict(sites or {})
+        for site, rate in self.sites.items():
+            if not (0.0 <= float(rate) <= 1.0):
+                raise TargetError(f"fault site {site!r} rate {rate} not in [0, 1]")
+        self.trips: Dict[str, int] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind every site's random stream to the seed state."""
+        self._rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{self.seed}/{site}") for site in self.sites
+        }
+        self.trips.clear()
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "FaultPlan":
+        """Build from a JSON-able spec: ``{"seed": 1, "sites": {...}}``."""
+        seed = spec.get("seed", 0)
+        if not isinstance(seed, (int, str)):
+            raise TargetError("fault spec 'seed' must be an int or string")
+        sites = spec.get("sites", {})
+        if not isinstance(sites, Mapping):
+            raise TargetError("fault spec 'sites' must be a mapping of site -> rate")
+        for site in sites:
+            category = str(site).split(":", 1)[0]
+            if category not in SITE_CATEGORIES:
+                raise TargetError(
+                    f"unknown fault site category {category!r}; "
+                    f"known: {', '.join(SITE_CATEGORIES)}"
+                )
+        return cls(seed=seed, sites={str(k): float(v) for k, v in sites.items()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_spec(json.loads(text))
+
+    @classmethod
+    def uniform(cls, rate: float, seed: object = 0) -> "FaultPlan":
+        """A spread of all five categories scaled off one base rate."""
+        return cls(
+            seed=seed,
+            sites={
+                "corrupt": rate,
+                "truncate": rate / 2,
+                "table": rate / 2,
+                "extern": rate / 4,
+                "buffer": rate / 8,
+            },
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "sites": dict(self.sites)}
+
+    # ------------------------------------------------------------------
+    def _site_for(self, category: str, name: Optional[str]) -> Optional[str]:
+        if name is not None:
+            named = f"{category}:{name}"
+            if named in self.sites:
+                return named
+            # Composed pipelines prefix declaration names
+            # (``main_l3_i_ipv4_i_ipv4_lpm_tbl``); accept the same
+            # unambiguous suffix the RuntimeAPI accepts.
+            prefix = f"{category}:"
+            for site in self.sites:
+                if site.startswith(prefix):
+                    suffix = site[len(prefix):]
+                    if name == suffix or name.endswith(f"_{suffix}"):
+                        return site
+        return category if category in self.sites else None
+
+    def trip(self, category: str, name: Optional[str] = None) -> bool:
+        """Deterministically decide whether this site faults now."""
+        site = self._site_for(category, name)
+        if site is None:
+            return False
+        rate = self.sites[site]
+        if rate <= 0.0:
+            return False
+        tripped = self._rngs[site].random() < rate
+        if tripped:
+            self.trips[site] = self.trips.get(site, 0) + 1
+        return tripped
+
+    def mutate(self, data: bytes) -> Tuple[bytes, List[str]]:
+        """Apply packet-byte faults (corrupt/truncate) at injection time.
+
+        Returns the (possibly) mutated bytes and the list of sites that
+        fired, for trace events.
+        """
+        applied: List[str] = []
+        if data and self.trip("corrupt"):
+            rng = self._rngs[self._site_for("corrupt", None)]  # type: ignore[index]
+            pos = rng.randrange(len(data))
+            flip = rng.randrange(1, 256)
+            data = data[:pos] + bytes([data[pos] ^ flip]) + data[pos + 1 :]
+            applied.append("corrupt")
+        if data and self.trip("truncate"):
+            rng = self._rngs[self._site_for("truncate", None)]  # type: ignore[index]
+            data = data[: rng.randrange(len(data))]
+            applied.append("truncate")
+        return data, applied

@@ -15,6 +15,7 @@ from repro.frontend import astnodes as ast
 from repro.frontend.typecheck import Symbol
 from repro.obs.metrics import METRICS
 from repro.obs.pkttrace import PacketTrace
+from repro.targets.faults import DEFAULT_STEP_BUDGET, FaultError, FaultPlan
 from repro.targets.tables import TableRuntime
 
 
@@ -256,6 +257,14 @@ class Interpreter:
         self.table_trace: List[str] = []
         # Per-packet trace sink; set by the pipeline around process().
         self.ptrace: Optional[PacketTrace] = None
+        # Resource guard: statements executed for the current packet.
+        # The pipeline resets `steps` per packet; exceeding the budget
+        # raises FaultError("step-budget"), which the switch converts
+        # into a counted drop.
+        self.steps = 0
+        self.step_limit = DEFAULT_STEP_BUDGET
+        # Fault injection plan (None on the production path).
+        self.faults: Optional[FaultPlan] = None
 
     # ==================================================================
     # Statements
@@ -265,6 +274,14 @@ class Interpreter:
             self.exec_stmt(stmt, env)
 
     def exec_stmt(self, stmt: ast.Stmt, env: Env) -> None:
+        steps = self.steps + 1
+        self.steps = steps
+        if steps > self.step_limit:
+            raise FaultError(
+                "step-budget",
+                f"interpreter exceeded {self.step_limit} statements "
+                f"for one packet",
+            )
         if isinstance(stmt, ast.BlockStmt):
             self.exec_block(stmt.stmts, Env(env))
         elif isinstance(stmt, ast.AssignStmt):
@@ -476,6 +493,12 @@ class Interpreter:
         runtime = self.tables.get(decl.name)
         if runtime is None:
             raise TargetError(f"table {decl.name!r} has no runtime state")
+        if self.faults is not None and self.faults.trip("table", decl.name):
+            raise FaultError(
+                "extern-fault",
+                f"injected lookup failure in table {decl.name!r}",
+                site=f"table:{decl.name}",
+            )
         # Evaluate the key expressions once into a tuple; the runtime's
         # key_exprs/key_widths vectors are cached at construction so the
         # per-packet cost is just the expression evaluations.
@@ -538,6 +561,12 @@ class Interpreter:
     ):
         target = call.target
         assert isinstance(target, ast.MemberExpr)
+        if self.faults is not None and self.faults.trip("extern", extern):
+            raise FaultError(
+                "extern-fault",
+                f"injected fault in extern {extern!r}.{method}",
+                site=f"extern:{extern}",
+            )
         if extern == "extractor":
             if self.extract_hook is None:
                 raise TargetError(

@@ -26,13 +26,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import TargetError
+from repro.errors import ReproError, TargetError
 from repro.frontend import astnodes as ast
 from repro.frontend.typecheck import Module
 from repro.midend.inline import IM_VAR, compose
 from repro.midend.linker import LinkedProgram, LinkedUnit, link_modules
 from repro.midend.slicing import ReplicationPlan, plan_replication
 from repro.net.packet import Packet
+from repro.targets.faults import (
+    FaultError,
+    FaultPlan,
+    ResourceGuards,
+    Verdict,
+)
 from repro.targets.interpreter import (
     Env,
     ExitSignal,
@@ -47,10 +53,16 @@ from repro.targets.runtime_api import RuntimeAPI
 
 
 class OutBufState:
-    """The ``out_buf`` logical extern: collects (packet, im) pairs."""
+    """The ``out_buf`` logical extern: collects (packet, im) pairs.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds the buffer (``ResourceGuards.max_out_buf``);
+    enqueueing past it raises ``FaultError("buffer-exhausted")``, a
+    bounded failure the containment boundary converts to a drop.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
         self.items: List[PacketOut] = []
+        self.capacity = capacity
 
     def call(self, method: str, args: List[object]) -> object:
         if method == "enqueue":
@@ -59,6 +71,11 @@ class OutBufState:
                 raise TargetError("out_buf.enqueue needs (pkt, im_t) arguments")
             if im.dropped:
                 return None  # dropped packets are not inserted (Fig. 3)
+            if self.capacity is not None and len(self.items) >= self.capacity:
+                raise FaultError(
+                    "buffer-exhausted",
+                    f"out_buf capacity {self.capacity} exceeded",
+                )
             self.items.append(
                 PacketOut(pkt_obj.packet.copy(), im.out_port, im.mcast_grp)
             )
@@ -109,12 +126,28 @@ class ModuleRunner:
 class OrchestrationResult:
     outputs: List[PacketOut]
     plan: ReplicationPlan
+    # Set when a contained fault emptied the outputs (strict=False).
+    verdict: Optional[Verdict] = None
 
 
 class OrchestrationRunner:
-    """Executes an Orchestration main program over real packets."""
+    """Executes an Orchestration main program over real packets.
 
-    def __init__(self, main: Module, libraries: Optional[List[Module]] = None) -> None:
+    ``guards``/``faults`` are threaded into the orchestration-level
+    interpreter and every standalone module runner.  With
+    ``strict=False`` a per-packet fault is contained: ``process``
+    returns an empty result whose ``verdict`` carries the reason code
+    instead of raising.
+    """
+
+    def __init__(
+        self,
+        main: Module,
+        libraries: Optional[List[Module]] = None,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
+        strict: bool = True,
+    ) -> None:
         linked = link_modules(main, libraries or [])
         info = linked.main.program
         if info.interface != "Orchestration":
@@ -126,12 +159,19 @@ class OrchestrationRunner:
         self.info = info
         self.control = info.control
         self.plan = plan_replication(info.control)
+        self.guards = guards or ResourceGuards()
+        self.faults = faults
+        self.strict = strict
         # One standalone runner per module instance.
         self.runners: Dict[str, ModuleRunner] = {}
         for inst_name, inst in info.instances.items():
             unit = linked.resolve(inst.target)
-            self.runners[inst_name] = ModuleRunner(unit, linked)
+            runner = ModuleRunner(unit, linked)
+            runner.instance.configure_faults(guards=self.guards, faults=faults)
+            self.runners[inst_name] = runner
         self.interp = Interpreter({}, {})
+        self.interp.step_limit = self.guards.interp_step_budget
+        self.interp.faults = faults
         self.interp.module_hook = self._invoke_module  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
@@ -148,6 +188,7 @@ class OrchestrationRunner:
     # ------------------------------------------------------------------
     def process(self, packet: Packet, in_port: int = 0) -> OrchestrationResult:
         env = Env()
+        self.interp.steps = 0
         out_bufs: List[OutBufState] = []
         im = ImState(in_port=in_port, pkt_len=len(packet))
         for param in self.control.params:
@@ -158,7 +199,7 @@ class OrchestrationRunner:
                 elif ptype.name == "im_t":
                     env.define(param.name, im)
                 elif ptype.name == "out_buf":
-                    buf = OutBufState()
+                    buf = OutBufState(capacity=self.guards.max_out_buf)
                     out_bufs.append(buf)
                     env.define(param.name, buf)
                 elif ptype.name == "in_buf":
@@ -177,10 +218,24 @@ class OrchestrationRunner:
                     env.define(local.name, ImState(in_port=in_port))
                 else:
                     env.define(local.name, default_value(vtype))
+        verdict: Optional[Verdict] = None
         try:
             self.interp.exec_block(self.control.apply_body.stmts, env)
         except (ExitSignal, ReturnSignal):
             pass
+        except ReproError as exc:
+            if self.strict:
+                raise
+            reason = exc.reason if isinstance(exc, FaultError) else "internal"
+            verdict = Verdict(
+                outputs=[],
+                reasons={reason: 1},
+                units=1,
+                killed=True,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        if verdict is not None:
+            return OrchestrationResult(outputs=[], plan=self.plan, verdict=verdict)
         outputs: List[PacketOut] = []
         for buf in out_bufs:
             outputs.extend(buf.items)

@@ -24,6 +24,7 @@ from repro.midend.inline import IM_VAR, PKT_VAR, ComposedPipeline
 from repro.net.packet import Packet
 from repro.obs.metrics import METRICS
 from repro.obs.pkttrace import PacketTrace
+from repro.targets.faults import FaultError, FaultPlan, ResourceGuards
 from repro.targets.interpreter import (
     Env,
     ExitSignal,
@@ -38,6 +39,8 @@ from repro.targets.interpreter import (
 )
 from repro.targets.tables import TableRuntime
 
+#: Kept for backwards compatibility; the live bound is
+#: ``ResourceGuards.parser_step_budget``.
 MAX_PARSER_STEPS = 1024
 
 
@@ -55,7 +58,15 @@ class PacketOut:
 
 
 class ParserErrorSignal(Exception):
-    """Native parser rejected the packet."""
+    """Native parser rejected the packet.
+
+    ``reason`` distinguishes a select-driven reject (``parser-reject``)
+    from an extract past the end of the packet (``truncated-extract``).
+    """
+
+    def __init__(self, reason: str = "parser-reject") -> None:
+        self.reason = reason
+        super().__init__(reason)
 
 
 class PipelineInstance:
@@ -67,7 +78,11 @@ class PipelineInstance:
     """
 
     def __init__(
-        self, composed: ComposedPipeline, use_table_index: bool = True
+        self,
+        composed: ComposedPipeline,
+        use_table_index: bool = True,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.composed = composed
         # TableRuntime caches the per-table key-width vector on the decl,
@@ -79,6 +94,22 @@ class PipelineInstance:
         self.interp = Interpreter(self.tables, composed.actions)
         # Stateful externs (registers) persist across packets.
         self.persistent: Dict[str, object] = {}
+        # Reason code for the last []-returning process() call; the
+        # switch folds it into the packet's Verdict.
+        self.last_drop_reason: Optional[str] = None
+        self.guards = ResourceGuards()
+        self.configure_faults(guards=guards, faults=faults)
+
+    def configure_faults(
+        self,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        """(Re)wire resource guards and a fault-injection plan."""
+        if guards is not None:
+            self.guards = guards
+        self.interp.step_limit = self.guards.interp_step_budget
+        self.interp.faults = faults
 
     # ------------------------------------------------------------------
     # Environment setup
@@ -122,6 +153,8 @@ class PipelineInstance:
         if METRICS.enabled:
             METRICS.inc("interp.packets")
         env = self._fresh_env(packet, in_port)
+        self.last_drop_reason = None
+        self.interp.steps = 0
         self.interp.ptrace = trace
         try:
             if self.composed.mode == "micro":
@@ -147,6 +180,8 @@ class PipelineInstance:
         variables; returns ``(outputs, final_env)`` so callers can read
         back out-parameters (orchestration-time module invocation)."""
         env = self._fresh_env(packet, im.in_port if im else 0)
+        self.last_drop_reason = None
+        self.interp.steps = 0
         if im is not None:
             env.set(IM_VAR, im)
         for name, value in (presets or {}).items():
@@ -187,17 +222,20 @@ class PipelineInstance:
 
         im = self._im(env)
         if env.get(PARSER_ERR_VAR) == 1 or im.dropped:
+            reason = (
+                "parser-error"
+                if env.get(PARSER_ERR_VAR) == 1
+                else "pipeline-drop"
+            )
+            self.last_drop_reason = reason
             if trace is not None:
-                trace.drop(
-                    "parser_error"
-                    if env.get(PARSER_ERR_VAR) == 1
-                    else "dropped"
-                )
+                trace.drop(reason)
             return []
         out_len = int(env.get(BS_LEN_VAR))  # type: ignore[arg-type]
-        if out_len > bs.size:
-            raise TargetError(
-                f"byte-stack length {out_len} exceeds stack size {bs.size}"
+        if out_len > bs.size or out_len < 0:
+            raise FaultError(
+                "bytestack-bounds",
+                f"byte-stack length {out_len} outside stack size {bs.size}",
             )
         out_bytes = bytes(
             stack.fields[f"b{i}"] for i in range(out_len)
@@ -234,9 +272,10 @@ class PipelineInstance:
         if parser is not None:
             try:
                 cursor = self._run_native_parser(parser, data, env, trace)
-            except ParserErrorSignal:
+            except ParserErrorSignal as sig:
+                self.last_drop_reason = sig.reason
                 if trace is not None:
-                    trace.drop("parser_reject")
+                    trace.drop(sig.reason)
                 return []
         payload = data[cursor:]
 
@@ -247,8 +286,9 @@ class PipelineInstance:
 
         im = self._im(env)
         if im.dropped:
+            self.last_drop_reason = "pipeline-drop"
             if trace is not None:
-                trace.drop("dropped")
+                trace.drop("pipeline-drop")
             return []
         out = bytearray()
         for emit in self.composed.native_emits or []:
@@ -302,7 +342,7 @@ class PipelineInstance:
                 raise TargetError("extract target is not a header")
             size = htype.byte_width
             if cursor + size > len(data):
-                raise ParserErrorSignal()
+                raise ParserErrorSignal("truncated-extract")
             _unpack_header(header, htype, data[cursor : cursor + size])
             if trace is not None:
                 trace.extract(_expr_name(lvalue), size, offset=cursor)
@@ -322,11 +362,11 @@ class PipelineInstance:
                 )
         try:
             state_name = "start"
-            for _ in range(MAX_PARSER_STEPS):
+            for _ in range(self.guards.parser_step_budget):
                 if state_name == "accept":
                     return cursor
                 if state_name == "reject":
-                    raise ParserErrorSignal()
+                    raise ParserErrorSignal("parser-reject")
                 state = states.get(state_name)
                 if state is None:
                     raise TargetError(f"parser reached unknown state {state_name!r}")
@@ -335,7 +375,11 @@ class PipelineInstance:
                 for stmt in state.stmts:
                     self.interp.exec_stmt(stmt, frame)
                 state_name = self._transition(state, frame)
-            raise TargetError("native parser exceeded step budget")
+            raise FaultError(
+                "parse-depth",
+                f"native parser exceeded its "
+                f"{self.guards.parser_step_budget}-state step budget",
+            )
         finally:
             self.interp.extract_hook = None
 

@@ -1,0 +1,284 @@
+"""Soak/fuzz harness: hostile traffic against the contained switch.
+
+Pushes tens of thousands of randomized and fault-injected packets
+through compiled catalog compositions (P1–P8) and checks the two
+containment invariants the rest of the system relies on:
+
+* **zero uncaught exceptions** — every per-packet failure must surface
+  as a reason-coded :class:`~repro.targets.faults.Verdict`, never as an
+  exception out of ``Switch.process``;
+* **exact drop accounting** — for every packet,
+  ``emits + drops-by-reason == units`` (each created packet unit
+  terminates exactly once), and the switch-level ledger
+  ``units == out + dropped`` balances over the whole run.
+
+The run is fully deterministic: the packet generator and the
+:class:`~repro.targets.faults.FaultPlan` both derive from the
+configured seed, and the summary includes a SHA-256 digest of the
+verdict stream so two runs with the same seed can be compared
+bit-for-bit.  ``python -m repro soak`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TargetError
+from repro.lib.catalog import (
+    COMPOSITIONS,
+    EXTRA_COMPOSITIONS,
+    build_monolithic,
+    build_pipeline,
+)
+from repro.net.build import PacketBuilder
+from repro.net.packet import Packet
+from repro.targets.faults import FaultPlan, ResourceGuards
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.switch import Switch, SwitchConfig
+
+#: Baseline entries valid for every catalog composition (they all share
+#: the eth + l3 + ipv4 + ipv6 base tables).  Mirrors the integration
+#: test entry set so routable traffic exercises the full pipeline.
+_BASE_ENTRIES = [
+    # (table, matches, action_micro, action_mono, args) — the monolithic
+    # baseline renames the colliding v4/v6 ``process`` actions.
+    ("ipv4_lpm_tbl", [(0x0A000000, 8)], "process", "process_v4", [7]),
+    ("ipv4_lpm_tbl", [(0x0A010000, 16)], "process", "process_v4", [8]),
+    ("ipv6_lpm_tbl", [(0x20010DB8 << 96, 32)], "process", "process_v6", [9]),
+    ("forward_tbl", [7], "forward", "forward", [0x020000000001, 0x020000000002, 2]),
+    ("forward_tbl", [8], "forward", "forward", [0x020000000001, 0x020000000002, 3]),
+    ("forward_tbl", [9], "forward", "forward", [0x020000000001, 0x020000000002, 4]),
+]
+
+
+@dataclass
+class SoakConfig:
+    """One soak run: which programs, how many packets, which faults."""
+
+    programs: List[str] = field(default_factory=lambda: ["P4", "P7"])
+    packets: int = 50_000
+    seed: int = 1234
+    fault_rate: float = 0.1
+    fault_spec: Optional[dict] = None
+    mode: str = "micro"  # micro | mono
+    strict: bool = False
+    guards: Optional[ResourceGuards] = None
+
+
+def _fault_plan(config: SoakConfig, program: str) -> Optional[FaultPlan]:
+    """Per-program plan so each program's fault stream is independent."""
+    seed = f"{config.seed}:{program}"
+    if config.fault_spec is not None:
+        spec = dict(config.fault_spec)
+        spec.setdefault("seed", seed)
+        return FaultPlan.from_spec(spec)
+    if config.fault_rate <= 0:
+        return None
+    return FaultPlan.uniform(config.fault_rate, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Packet generation
+# ----------------------------------------------------------------------
+_V4_DSTS = ["10.0.0.5", "10.1.2.3", "172.16.0.1", "192.1.2.3", "10.255.0.1"]
+_V6_DSTS = ["2001:db8::5", "fe80::1", "2001:db8::1", "fd00::9"]
+
+
+def _gen_packet(rng: random.Random) -> Packet:
+    """One randomized packet: valid, short, garbage, or odd-typed."""
+    roll = rng.random()
+    if roll < 0.40:  # plausible IPv4
+        return (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4(
+                "192.168.0.1",
+                rng.choice(_V4_DSTS),
+                rng.choice((6, 17, 1)),
+                ttl=rng.choice((0, 1, 64, 255)),
+            )
+            .payload(bytes(rng.randrange(256) for _ in range(rng.randrange(32))))
+            .build()
+        )
+    if roll < 0.65:  # plausible IPv6
+        return (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x86DD)
+            .ipv6(
+                "fd00::1",
+                rng.choice(_V6_DSTS),
+                rng.choice((6, 17, 59)),
+                payload_len=8,
+                hop_limit=rng.choice((0, 1, 64)),
+            )
+            .payload(b"soakfuzz")
+            .build()
+        )
+    if roll < 0.80:  # valid packet truncated at a random byte
+        base = (
+            PacketBuilder()
+            .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+            .ipv4("192.168.0.1", rng.choice(_V4_DSTS), 6)
+            .payload(b"cutme")
+            .build()
+        )
+        data = base.tobytes()
+        return Packet(data[: rng.randrange(len(data))])
+    if roll < 0.90:  # unknown etherType
+        return (
+            PacketBuilder()
+            .ethernet(
+                "02:00:00:00:00:01", "02:00:00:00:00:02", rng.randrange(0x10000)
+            )
+            .payload(b"mystery")
+            .build()
+        )
+    # pure garbage bytes, possibly shorter than any header
+    return Packet(bytes(rng.randrange(256) for _ in range(rng.randrange(64))))
+
+
+# ----------------------------------------------------------------------
+# The run
+# ----------------------------------------------------------------------
+def _build_switch(config: SoakConfig, program: str) -> Switch:
+    if program not in COMPOSITIONS and program not in EXTRA_COMPOSITIONS:
+        known = ", ".join(sorted({*COMPOSITIONS, *EXTRA_COMPOSITIONS}))
+        raise TargetError(f"unknown soak program {program!r}; known: {known}")
+    composed = (
+        build_pipeline(program)
+        if config.mode == "micro"
+        else build_monolithic(program)
+    )
+    switch = Switch(
+        PipelineInstance(composed),
+        SwitchConfig(num_ports=16, multicast_groups={1: [2, 3]}),
+        guards=config.guards or ResourceGuards(),
+        faults=_fault_plan(config, program),
+        strict=config.strict,
+    )
+    for table, matches, act_micro, act_mono, args in _BASE_ENTRIES:
+        action = act_micro if config.mode == "micro" else act_mono
+        switch.api.add_entry(table, matches, action, args)
+    return switch
+
+
+def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
+    """Soak one program; returns its JSON-able summary block."""
+    switch = _build_switch(config, program)
+    rng = random.Random(f"{config.seed}:{program}:packets")
+    digest = hashlib.sha256()
+    uncaught: List[str] = []
+    unbalanced = 0
+    kinds = {"emit": 0, "drop": 0, "killed": 0}
+    start = time.perf_counter()
+    for index in range(config.packets):
+        packet = _gen_packet(rng)
+        in_port = rng.randrange(switch.config.num_ports)
+        try:
+            verdict = switch.process(packet, in_port)
+        except Exception as exc:  # noqa: BLE001 — the invariant under test
+            if len(uncaught) < 10:
+                uncaught.append(
+                    f"packet {index}: {type(exc).__name__}: {exc}"
+                )
+            else:
+                uncaught.append("...")
+                break
+            continue
+        if not verdict.balanced():
+            unbalanced += 1
+        kinds[verdict.kind] += 1
+        digest.update(
+            f"{index}|{verdict.kind}|{len(verdict.outputs)}|"
+            f"{sorted(verdict.reasons.items())}".encode()
+        )
+    elapsed = time.perf_counter() - start
+    stats = switch.stats
+    ledger_ok = stats["units"] == stats["out"] + stats["dropped"]
+    return {
+        "program": program,
+        "mode": config.mode,
+        "packets": stats["in"],
+        "emits": stats["out"],
+        "drops": stats["dropped"],
+        "units": stats["units"],
+        "replicated": stats["replicated"],
+        "killed": stats["killed"],
+        "verdicts": kinds,
+        "drops_by_reason": dict(sorted(switch.drops_by_reason.items())),
+        "fault_trips": (
+            dict(sorted(switch.faults.trips.items()))
+            if switch.faults is not None
+            else {}
+        ),
+        "uncaught": uncaught,
+        "unbalanced_verdicts": unbalanced,
+        "ledger_ok": ledger_ok and unbalanced == 0,
+        "digest": digest.hexdigest(),
+        "elapsed_s": round(elapsed, 3),
+        "pkts_per_sec": round(config.packets / elapsed, 1) if elapsed else None,
+    }
+
+
+def run_soak(config: SoakConfig) -> Dict[str, object]:
+    """Run the whole soak; ``ok`` is True iff every program held both
+    containment invariants (no uncaught exceptions, exact accounting)."""
+    programs = {name: soak_program(config, name) for name in config.programs}
+    ok = all(
+        not block["uncaught"] and block["ledger_ok"]
+        for block in programs.values()
+    )
+    combined = hashlib.sha256(
+        "".join(str(block["digest"]) for block in programs.values()).encode()
+    ).hexdigest()
+    return {
+        "soak": {
+            "packets_per_program": config.packets,
+            "seed": config.seed,
+            "fault_rate": config.fault_rate,
+            "fault_spec": config.fault_spec,
+            "mode": config.mode,
+            "guards": (config.guards or ResourceGuards()).to_dict(),
+        },
+        "programs": programs,
+        "digest": combined,
+        "ok": ok,
+    }
+
+
+def render_summary(summary: Dict[str, object]) -> str:
+    """Human-readable soak report."""
+    lines = []
+    meta = summary["soak"]
+    lines.append(
+        f"soak: {meta['packets_per_program']} packets/program, "
+        f"seed={meta['seed']}, fault_rate={meta['fault_rate']}, "
+        f"mode={meta['mode']}"
+    )
+    for name, block in summary["programs"].items():  # type: ignore[union-attr]
+        lines.append(
+            f"\n{name}: {block['packets']} in -> {block['emits']} out, "
+            f"{block['drops']} dropped, {block['killed']} killed "
+            f"({block['pkts_per_sec']} pkt/s)"
+        )
+        for reason, count in block["drops_by_reason"].items():
+            lines.append(f"  drop[{reason}]: {count}")
+        if block["fault_trips"]:
+            trips = ", ".join(
+                f"{site}={n}" for site, n in block["fault_trips"].items()
+            )
+            lines.append(f"  fault trips: {trips}")
+        lines.append(
+            f"  accounting: units={block['units']} "
+            f"emits+drops={block['emits'] + block['drops']} "
+            f"{'OK' if block['ledger_ok'] else 'MISMATCH'}"
+        )
+        if block["uncaught"]:
+            lines.append(f"  UNCAUGHT: {block['uncaught']}")
+    lines.append(f"\ndigest: {summary['digest']}")
+    lines.append("result: " + ("OK" if summary["ok"] else "FAILED"))
+    return "\n".join(lines)

@@ -3,19 +3,31 @@
 Adds the fixed-function pieces a pipeline alone does not model (Fig. 2):
 ports, the Packet Replication Engine (multicast groups), and
 recirculation.  This is the reproduction's ``simple_switch``.
+
+The switch is also the **fault-containment boundary**: every per-packet
+exception is caught here and converted into a structured
+:class:`~repro.targets.faults.Verdict` carrying a stable reason code,
+so one malformed packet or buggy module degrades into a counted drop
+instead of killing the run.  ``strict=True`` opts back into re-raising
+(used by tests that assert on the exact error).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import TargetError
+from repro.errors import ReproError, TargetError
 from repro.net.packet import Packet
+from repro.obs.metrics import METRICS
 from repro.obs.pkttrace import PacketTrace
+from repro.targets.faults import FaultError, FaultPlan, ResourceGuards, Verdict
 from repro.targets.pipeline import PacketOut, PipelineInstance
 from repro.targets.runtime_api import RuntimeAPI
 
+#: Kept for backwards compatibility; the live bound is
+#: ``ResourceGuards.max_recirculations``.
 MAX_RECIRCULATIONS = 8
 DROP_PORT = 0xFF
 
@@ -31,15 +43,50 @@ class SwitchConfig:
 
 
 class Switch:
-    """Ports + PRE + pipeline, processing one packet at a time."""
+    """Ports + PRE + pipeline, processing one packet at a time.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`PipelineInstance` to run packets through.
+    config:
+        Port count, multicast groups, recirculation port.
+    guards:
+        Resource bounds (recirculation depth, interpreter step budget,
+        multicast fan-out cap, ...); defaults are generous.
+    faults:
+        Optional :class:`FaultPlan` injecting deterministic faults —
+        soak/fuzz harness use.
+    strict:
+        When True, contained faults re-raise instead of becoming
+        reason-coded drops (the pre-containment behavior, for tests).
+    """
 
     def __init__(
-        self, pipeline: PipelineInstance, config: Optional[SwitchConfig] = None
+        self,
+        pipeline: PipelineInstance,
+        config: Optional[SwitchConfig] = None,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
+        strict: bool = False,
     ) -> None:
         self.pipeline = pipeline
         self.config = config or SwitchConfig()
         self.api = RuntimeAPI(pipeline)
-        self.stats: Dict[str, int] = {"in": 0, "out": 0, "dropped": 0, "replicated": 0}
+        self.guards = guards or ResourceGuards()
+        self.faults = faults
+        self.strict = strict
+        pipeline.configure_faults(guards=self.guards, faults=faults)
+        self.stats: Dict[str, int] = {
+            "in": 0,
+            "out": 0,
+            "dropped": 0,
+            "replicated": 0,
+            "killed": 0,
+            "units": 0,
+        }
+        #: Per-reason drop counters (reason -> count), always on.
+        self.drops_by_reason: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def set_multicast_group(self, group_id: int, ports: List[int]) -> None:
@@ -56,33 +103,107 @@ class Switch:
             )
 
     # ------------------------------------------------------------------
-    def inject(
-        self, packet: Packet, in_port: int = 0, trace: Optional["PacketTrace"] = None
-    ) -> List[PacketOut]:
-        """Process a packet, applying PRE replication and recirculation."""
+    # Verdict bookkeeping
+    # ------------------------------------------------------------------
+    def _drop(
+        self,
+        verdict: Verdict,
+        reason: str,
+        trace: Optional[PacketTrace],
+        traced: bool = True,
+    ) -> None:
+        verdict.reasons[reason] = verdict.reasons.get(reason, 0) + 1
+        self.stats["dropped"] += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if METRICS.enabled:
+            METRICS.inc(f"switch.drops.{reason}")
+        if traced and trace is not None:
+            trace.drop(reason)
+
+    def _kill(
+        self,
+        verdict: Verdict,
+        reason: str,
+        exc: BaseException,
+        trace: Optional[PacketTrace],
+    ) -> None:
+        """Contain an exception: the in-flight unit becomes a drop."""
+        if self.strict:
+            raise exc
+        verdict.killed = True
+        if verdict.error is None:
+            verdict.error = f"{type(exc).__name__}: {exc}"
+        self._drop(verdict, reason, trace)
+
+    def _emit(
+        self,
+        verdict: Verdict,
+        out: PacketOut,
+        trace: Optional[PacketTrace],
+    ) -> None:
+        if self.faults is not None and self.faults.trip("buffer"):
+            self._drop(verdict, "buffer-exhausted", trace)
+            return
+        verdict.outputs.append(out)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        packet: Packet,
+        in_port: int = 0,
+        trace: Optional["PacketTrace"] = None,
+    ) -> Verdict:
+        """Process one packet to a :class:`Verdict` — never raises for
+        packet-induced faults (unless ``strict``).
+
+        An invalid ``in_port`` is a caller error and always raises.
+        """
         self._check_port(in_port)
         self.stats["in"] += 1
-        outputs: List[PacketOut] = []
-        work = [(packet, in_port, 0)]
+        guards = self.guards
+        verdict = Verdict(outputs=[], reasons={}, units=1)
+        if self.faults is not None:
+            data, applied = self.faults.mutate(packet.tobytes())
+            if applied:
+                packet = Packet(data)
+                if trace is not None:
+                    for site in applied:
+                        trace.fault(site, bytes=len(data))
+        work = deque([(packet, in_port, 0)])
         while work:
-            pkt, port, depth = work.pop(0)
-            if depth > MAX_RECIRCULATIONS:
-                raise TargetError("recirculation limit exceeded")
-            results = self.pipeline.process(pkt, port, trace)
-            if not results:
-                self.stats["dropped"] += 1
+            pkt, port, depth = work.popleft()
+            if depth > guards.max_recirculations:
+                if self.strict:
+                    raise FaultError(
+                        "recirc-limit",
+                        f"recirculation limit "
+                        f"({guards.max_recirculations}) exceeded",
+                    )
+                self._drop(verdict, "recirc-limit", trace)
                 continue
-            for result in results:
+            try:
+                results = self.pipeline.process(pkt, port, trace)
+            except FaultError as exc:
+                self._kill(verdict, exc.reason, exc, trace)
+                continue
+            except ReproError as exc:
+                self._kill(verdict, "internal", exc, trace)
+                continue
+            except Exception as exc:  # noqa: BLE001 — containment boundary
+                self._kill(verdict, "internal", exc, trace)
+                continue
+            if not results:
+                reason = self.pipeline.last_drop_reason or "pipeline-drop"
+                # The pipeline already recorded its own drop event.
+                self._drop(verdict, reason, trace, traced=False)
+                continue
+            for index, result in enumerate(results):
+                if index:
+                    verdict.units += 1
                 if result.mcast_grp:
-                    group = self.config.multicast_groups.get(result.mcast_grp)
-                    if group is None:
-                        self.stats["dropped"] += 1
-                        continue
-                    for egress_port in group:
-                        self.stats["replicated"] += 1
-                        outputs.append(
-                            PacketOut(result.packet.copy(), egress_port)
-                        )
+                    self._replicate(verdict, result, trace)
                 elif result.recirculate:
                     work.append((result.packet, port, depth + 1))
                 elif (
@@ -91,11 +212,68 @@ class Switch:
                 ):
                     work.append((result.packet, result.port, depth + 1))
                 elif result.port == DROP_PORT:
-                    self.stats["dropped"] += 1
+                    self._drop(verdict, "drop-port", trace)
                 else:
-                    outputs.append(result)
-        self.stats["out"] += len(outputs)
-        return outputs
+                    self._emit(verdict, result, trace)
+        self.stats["out"] += len(verdict.outputs)
+        self.stats["units"] += verdict.units
+        if verdict.killed:
+            self.stats["killed"] += 1
+            if METRICS.enabled:
+                METRICS.inc("switch.killed")
+        if METRICS.enabled:
+            METRICS.inc("switch.emits", len(verdict.outputs))
+            METRICS.inc("switch.units", verdict.units)
+        return verdict
+
+    def _replicate(
+        self,
+        verdict: Verdict,
+        result: PacketOut,
+        trace: Optional[PacketTrace],
+    ) -> None:
+        """PRE replication with fan-out cap and misconfiguration drops."""
+        group = self.config.multicast_groups.get(result.mcast_grp)
+        if not group:
+            if self.strict:
+                raise FaultError(
+                    "mcast-no-group",
+                    f"no multicast group {result.mcast_grp}",
+                )
+            self._drop(verdict, "mcast-no-group", trace)
+            return
+        cap = self.guards.max_mcast_fanout
+        for index, egress_port in enumerate(group):
+            if index:
+                verdict.units += 1
+            if index >= cap:
+                self._drop(verdict, "mcast-fanout", trace)
+                continue
+            if not (0 <= egress_port < self.config.num_ports):
+                if self.strict:
+                    raise FaultError(
+                        "mcast-misconfig",
+                        f"multicast group {result.mcast_grp} names "
+                        f"out-of-range port {egress_port}",
+                    )
+                self._drop(verdict, "mcast-misconfig", trace)
+                continue
+            self.stats["replicated"] += 1
+            self._emit(
+                verdict, PacketOut(result.packet.copy(), egress_port), trace
+            )
+
+    # ------------------------------------------------------------------
+    def inject(
+        self, packet: Packet, in_port: int = 0, trace: Optional["PacketTrace"] = None
+    ) -> List[PacketOut]:
+        """Process a packet, returning only the emitted copies.
+
+        Contained faults become counted drops (see
+        ``drops_by_reason``); set ``strict=True`` on the switch to make
+        them raise as before.
+        """
+        return self.process(packet, in_port, trace).outputs
 
     # ------------------------------------------------------------------
     def inject_many(

@@ -239,3 +239,80 @@ class TestOptimizeFlag:
         out = capsys.readouterr().out
         # Fewer MATs than the unoptimized build (11 -> 6).
         assert "6 MATs" in out
+
+
+class TestSoak:
+    def test_soak_smoke_text(self, capsys):
+        rc = main(["soak", "--programs", "P4", "--packets", "300",
+                   "--fault-rate", "0.1", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+        assert "accounting:" in out
+
+    def test_soak_json_and_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "soak.json"
+        rc = main(["soak", "--programs", "P4", "--packets", "300",
+                   "--seed", "7", "--json", "--out", str(out_file)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        block = payload["programs"]["P4"]
+        assert block["units"] == block["emits"] + block["drops"]
+        assert json.loads(out_file.read_text())["digest"] == payload["digest"]
+
+    def test_soak_deterministic_digest(self, capsys):
+        digests = []
+        for _ in range(2):
+            assert main(["soak", "--programs", "P4", "--packets", "300",
+                         "--seed", "11", "--json"]) == 0
+            digests.append(json.loads(capsys.readouterr().out)["digest"])
+        assert digests[0] == digests[1]
+
+    def test_soak_fault_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps({"sites": {"table:ipv4_lpm_tbl": 0.5}}))
+        rc = main(["soak", "--programs", "P4", "--packets", "300",
+                   "--seed", "7", "--fault-spec", str(spec), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table:ipv4_lpm_tbl" in payload["programs"]["P4"]["fault_trips"]
+
+    def test_soak_bad_fault_spec_fails(self, tmp_path, capsys):
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps({"sites": {"warp-core": 1.0}}))
+        rc = main(["soak", "--programs", "P4", "--fault-spec", str(spec)])
+        assert rc != 0
+        assert "error[" in capsys.readouterr().err
+
+    def test_soak_unknown_program_fails(self, capsys):
+        rc = main(["soak", "--programs", "P99", "--packets", "10"])
+        assert rc != 0
+        assert "unknown soak program" in capsys.readouterr().err
+
+
+class TestFailureChannels:
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        # make_parser() binds func=cmd_soak at parser-build time, so
+        # patching the module attribute before main() is enough.
+        import repro.cli as cli_mod
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "cmd_soak", boom)
+        rc = cli_mod.main(["soak", "--packets", "1"])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_json_mode_reports_structured_error(self, tmp_path, capsys):
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps({"sites": {"warp-core": 1.0}}))
+        rc = main(["soak", "--programs", "P4", "--packets", "10",
+                   "--fault-spec", str(spec), "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert payload["code"] == "target-error"
+        assert payload["exit_code"] == rc
+        assert "error[target-error]:" in captured.err

@@ -1,0 +1,82 @@
+"""Property tests over the header codecs: never-crash and round-trip.
+
+Robustness complement to the unit tests in ``test_fields.py`` /
+``test_protocols.py``: hypothesis feeds every registered codec random
+short byte strings (decode must either succeed or raise the documented
+:class:`FieldError`, never anything else) and random in-range field
+values (encode/decode must round-trip exactly).  The dissector gets the
+same treatment — arbitrary bytes must dissect without crashing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.build import _CODECS, codec_for, dissect
+from repro.net.fields import FieldError
+from repro.net.packet import Packet
+
+LAYERS = sorted(_CODECS)
+MAX_WIDTH = max(codec.byte_width for codec in _CODECS.values())
+
+
+@pytest.mark.parametrize("layer", LAYERS)
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=MAX_WIDTH + 8))
+def test_decode_never_crashes(layer, data):
+    """decode() on arbitrary short bytes: a dict or FieldError, only."""
+    codec = codec_for(layer)
+    try:
+        fields = codec.decode(data)
+    except FieldError:
+        # Only legitimate for inputs shorter than the header.
+        assert len(data) < codec.byte_width
+    else:
+        assert set(fields) == set(codec.field_names())
+        for name, value in fields.items():
+            assert 0 <= value <= (1 << codec.width_of(name)) - 1
+
+
+@pytest.mark.parametrize("layer", LAYERS)
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**63 - 1))
+def test_encode_decode_round_trip(layer, seed):
+    """Random in-range values survive encode -> decode unchanged."""
+    import random
+
+    codec = codec_for(layer)
+    rng = random.Random(seed)
+    values = {
+        field.name: rng.randrange(field.max_value + 1) for field in codec.fields
+    }
+    wire = codec.encode(values)
+    assert len(wire) == codec.byte_width
+    assert codec.decode(wire) == values
+
+
+@pytest.mark.parametrize("layer", LAYERS)
+def test_decode_ignores_trailing_bytes(layer):
+    codec = codec_for(layer)
+    wire = codec.encode({})
+    assert codec.decode(wire + b"\xff" * 7) == codec.decode(wire)
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.binary(max_size=128))
+def test_dissect_never_crashes(data):
+    """The dissector is fed switch output; garbage must not raise."""
+    layers = dissect(Packet(data))
+    consumed = sum(
+        codec_for(name).byte_width
+        for name, _ in layers
+        if name not in ("payload",)
+        # srh_segment is fixed 16 bytes and registered as a codec
+    )
+    trailing = sum(len(f["raw"]) for n, f in layers if n == "payload")
+    assert consumed + trailing <= len(data) or not data
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=1, max_size=64), first=st.sampled_from(LAYERS))
+def test_dissect_any_first_layer(data, first):
+    dissect(Packet(data), first_layer=first)

@@ -1,0 +1,83 @@
+"""Soak harness: containment invariants hold under hostile traffic."""
+
+import json
+
+from repro.targets.soak import SoakConfig, render_summary, run_soak, soak_program
+
+
+def quick_config(**kw):
+    kw.setdefault("programs", ["P4"])
+    kw.setdefault("packets", 1500)
+    kw.setdefault("seed", 99)
+    kw.setdefault("fault_rate", 0.2)
+    return SoakConfig(**kw)
+
+
+class TestInvariants:
+    def test_no_uncaught_and_exact_ledger(self):
+        summary = run_soak(quick_config())
+        assert summary["ok"]
+        block = summary["programs"]["P4"]
+        assert block["uncaught"] == []
+        assert block["unbalanced_verdicts"] == 0
+        assert block["ledger_ok"]
+        assert block["units"] == block["emits"] + block["drops"]
+        assert block["packets"] == 1500
+
+    def test_fault_free_run_is_clean_too(self):
+        block = soak_program(quick_config(fault_rate=0.0), "P4")
+        assert block["uncaught"] == []
+        assert block["ledger_ok"]
+        assert block["fault_trips"] == {}
+
+    def test_mono_mode_surfaces_truncated_extract(self):
+        block = soak_program(quick_config(mode="mono"), "P4")
+        assert block["ledger_ok"]
+        # The corpus truncates valid packets; the native parser must
+        # contain those as truncated-extract drops, not exceptions.
+        assert block["drops_by_reason"].get("truncated-extract", 0) > 0
+
+    def test_faults_actually_fire(self):
+        block = soak_program(quick_config(), "P4")
+        assert sum(block["fault_trips"].values()) > 0
+        assert block["drops"] > 0
+
+    def test_summary_is_json_able(self):
+        summary = run_soak(quick_config(packets=200))
+        text = json.dumps(summary)
+        assert json.loads(text)["ok"] is True
+
+    def test_render_summary_mentions_result(self):
+        summary = run_soak(quick_config(packets=200))
+        text = render_summary(summary)
+        assert "result: OK" in text
+        assert "accounting:" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        a = run_soak(quick_config())
+        b = run_soak(quick_config())
+        assert a["digest"] == b["digest"]
+        assert (
+            a["programs"]["P4"]["drops_by_reason"]
+            == b["programs"]["P4"]["drops_by_reason"]
+        )
+        assert a["programs"]["P4"]["fault_trips"] == b["programs"]["P4"]["fault_trips"]
+
+    def test_different_seed_different_digest(self):
+        a = run_soak(quick_config(seed=99))
+        b = run_soak(quick_config(seed=100))
+        assert a["digest"] != b["digest"]
+
+    def test_fault_spec_overrides_rate(self):
+        config = quick_config(
+            fault_spec={"sites": {"table:ipv4_lpm_tbl": 1.0}}, packets=300
+        )
+        block = soak_program(config, "P4")
+        assert block["ledger_ok"]
+        trips = block["fault_trips"]
+        assert set(trips) == {"table:ipv4_lpm_tbl"}
+        assert block["drops_by_reason"].get("extern-fault", 0) == trips[
+            "table:ipv4_lpm_tbl"
+        ]

@@ -135,11 +135,23 @@ class TestRecirculate:
         outs = dp.inject(Packet(b"\x03payload"), in_port=1)
         assert outs[0].packet.read(0, 1) == b"\x03"
 
-    def test_recirculation_limit_enforced(self):
+    def test_recirculation_limit_contained(self):
+        from repro.net.packet import Packet
+
+        endless = RECIRC_SRC.replace("h.tag.hops < 3", "h.tag.hops < 255")
+        dp = build_dataplane(compile_module(endless, "endless.up4"))
+        verdict = dp.switch.process(Packet(b"\x00"), in_port=1)
+        assert verdict.outputs == []
+        assert verdict.reasons == {"recirc-limit": 1}
+        assert verdict.balanced()
+        assert dp.switch.drops_by_reason["recirc-limit"] == 1
+
+    def test_recirculation_limit_strict_raises(self):
         from repro.errors import TargetError
         from repro.net.packet import Packet
 
         endless = RECIRC_SRC.replace("h.tag.hops < 3", "h.tag.hops < 255")
         dp = build_dataplane(compile_module(endless, "endless.up4"))
+        dp.switch.strict = True
         with pytest.raises(TargetError):
             dp.inject(Packet(b"\x00"), in_port=1)
