@@ -21,6 +21,9 @@ Mirrors the paper's Fig. 4 usage of the compiler:
 
     # Soak the behavioral switch with randomized + injected faults
     python -m repro soak --programs P4,P7 --packets 50000 --fault-rate 0.1
+
+    # Same stream fanned over 4 switch replicas (sharded engine)
+    python -m repro soak --programs P4 --workers 4 --shard-policy flow-hash
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ from typing import List, Optional
 
 from repro.core.arch import describe_architecture
 from repro.core.driver import CompilerOptions, Up4Compiler
-from repro.errors import EXIT_INTERNAL_ERROR, ReproError
+from repro.errors import EXIT_INTERNAL_ERROR, EXIT_INTERRUPTED, ReproError
 from repro.frontend.json_ir import load_module
 from repro.obs.metrics import METRICS, collecting
 from repro.obs.trace import Tracer
@@ -296,38 +299,56 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_profile_packets(composed, count: int) -> dict:
-    """Push ``count`` synthetic packets through the behavioral target so
-    the ``interp.*`` lookup counters have something to report."""
-    import time
-
+def _profile_mix() -> List[bytes]:
+    """The profile run's 3-packet template mix (ipv4 / ipv6 / unknown)."""
     from repro.net.build import PacketBuilder
-    from repro.targets.pipeline import PipelineInstance
-    from repro.targets.runtime_api import RuntimeAPI
 
     def _eth(ethertype: int):
         return PacketBuilder().ethernet(
             "02:00:00:00:00:01", "02:00:00:00:00:02", ethertype
         )
 
-    mix = [
-        _eth(0x0800).ipv4("192.168.0.1", "10.0.0.5", 6).payload(b"profile").build(),
+    return [
+        _eth(0x0800)
+        .ipv4("192.168.0.1", "10.0.0.5", 6)
+        .payload(b"profile")
+        .build()
+        .tobytes(),
         _eth(0x86DD)
         .ipv6("fd00::1", "2001:db8::5", 59, payload_len=7)
         .payload(b"profile")
-        .build(),
-        _eth(0x9999).payload(b"profile").build(),
+        .build()
+        .tobytes(),
+        _eth(0x9999).payload(b"profile").build().tobytes(),
     ]
+
+
+def _table_strategies(composed) -> dict:
+    from repro.targets.pipeline import PipelineInstance
+    from repro.targets.runtime_api import RuntimeAPI
+
+    strategies: dict = {}
+    for info in RuntimeAPI(PipelineInstance(composed)).lookup_info().values():
+        name = str(info["strategy"])
+        strategies[name] = strategies.get(name, 0) + 1
+    return strategies
+
+
+def _run_profile_packets(composed, count: int) -> dict:
+    """Push ``count`` synthetic packets through the behavioral target so
+    the ``interp.*`` lookup counters have something to report."""
+    import time
+
+    from repro.net.packet import Packet
+    from repro.targets.pipeline import PipelineInstance
+
+    mix = _profile_mix()
     instance = PipelineInstance(composed)
     outputs = 0
     start = time.perf_counter()
     for i in range(count):
-        outputs += len(instance.process(mix[i % len(mix)].copy(), 1))
+        outputs += len(instance.process(Packet(mix[i % len(mix)]), 1))
     elapsed = time.perf_counter() - start
-    strategies: dict = {}
-    for info in RuntimeAPI(instance).lookup_info().values():
-        name = str(info["strategy"])
-        strategies[name] = strategies.get(name, 0) + 1
     return {
         "packets": count,
         "outputs": outputs,
@@ -339,8 +360,18 @@ def _run_profile_packets(composed, count: int) -> dict:
             "hits": METRICS.counter("interp.table_hits"),
             "misses": METRICS.counter("interp.table_misses"),
         },
-        "table_strategies": strategies,
+        "table_strategies": _table_strategies(composed),
     }
+
+
+def _run_profile_sharded(composed, count: int, workers: int, policy: str) -> dict:
+    """Fan the synthetic profile push over engine worker processes."""
+    from repro.targets.engine import EngineConfig, run_profile_shards
+
+    engine = EngineConfig(workers=workers, shard_policy=policy)
+    behavior = run_profile_shards(composed, _profile_mix(), count, engine)
+    behavior["table_strategies"] = _table_strategies(composed)
+    return behavior
 
 
 def cmd_soak(args: argparse.Namespace) -> int:
@@ -358,8 +389,14 @@ def cmd_soak(args: argparse.Namespace) -> int:
         fault_spec=fault_spec,
         mode=args.mode,
         strict=args.strict,
+        traffic=args.traffic,
     )
-    summary = run_soak(config)
+    engine = None
+    if args.workers:
+        from repro.targets.engine import EngineConfig
+
+        engine = EngineConfig(workers=args.workers, shard_policy=args.shard_policy)
+    summary = run_soak(config, engine=engine)
     text = json.dumps(summary, indent=2)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -402,11 +439,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
         else:
             modules = _read_modules([Path(p) for p in args.modules], compiler)
         result = compiler.compile_modules(modules[0], modules[1:])
-        behavior = (
-            _run_profile_packets(result.composed, args.packets)
-            if args.packets
-            else None
-        )
+        behavior = None
+        if args.packets:
+            if args.workers:
+                behavior = _run_profile_sharded(
+                    result.composed, args.packets,
+                    args.workers, args.shard_policy,
+                )
+            else:
+                behavior = _run_profile_packets(result.composed, args.packets)
 
     if args.json:
         payload = {
@@ -439,6 +480,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"{behavior['outputs']} outputs "
             f"({behavior['pkts_per_sec']:.0f} pkt/s)"
         )
+        if "workers" in behavior:
+            print(
+                f"  workers: {behavior['workers']} "
+                f"({behavior['shard_policy']}), aggregate "
+                f"{behavior['aggregate_pkts_per_sec']:.0f} pkt/s"
+            )
         print(
             f"  table lookups: indexed={lookups['indexed']} "
             f"scan={lookups['scan']} hits={lookups['hits']} "
@@ -529,6 +576,16 @@ def make_parser() -> argparse.ArgumentParser:
         "target and report table-lookup counters (indexed vs. scan)",
     )
     p_profile.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="shard the --packets push over N worker processes "
+        "(pipeline replicas) and merge the lookup counters",
+    )
+    p_profile.add_argument(
+        "--shard-policy", choices=("flow-hash", "round-robin"),
+        default="flow-hash",
+        help="how --workers assigns packets to shards (default: flow-hash)",
+    )
+    p_profile.add_argument(
         "--metrics",
         nargs="?",
         const="-",
@@ -564,6 +621,22 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_soak.add_argument("--mode", choices=("micro", "mono"), default="micro")
     p_soak.add_argument(
+        "--traffic", choices=("mixed", "routable"), default="mixed",
+        help="packet mix: hostile fuzz corpus (mixed, default) or "
+        "well-formed fast-path traffic (routable)",
+    )
+    p_soak.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan each program's stream over N worker processes "
+        "(switch replicas); the merged digest is a pure function of "
+        "(seed, workers, shard-policy)",
+    )
+    p_soak.add_argument(
+        "--shard-policy", choices=("flow-hash", "round-robin"),
+        default="flow-hash",
+        help="how --workers assigns packets to shards (default: flow-hash)",
+    )
+    p_soak.add_argument(
         "--strict", action="store_true",
         help="disable containment: re-raise the first per-packet fault",
     )
@@ -582,8 +655,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except KeyboardInterrupt:
+        if json_mode:
+            print(
+                json.dumps(
+                    {
+                        "ok": False,
+                        "error": "interrupted",
+                        "code": "interrupted",
+                        "exit_code": EXIT_INTERRUPTED,
+                    },
+                    indent=2,
+                )
+            )
         print("interrupted", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         if json_mode:
             print(json.dumps({"ok": False, **exc.to_dict()}, indent=2))

@@ -28,6 +28,7 @@ EXIT_COMPILE_ERROR = 2
 EXIT_RESOURCE_ERROR = 3
 EXIT_TARGET_ERROR = 4
 EXIT_INTERNAL_ERROR = 70
+EXIT_INTERRUPTED = 130
 
 
 class ReproError(Exception):

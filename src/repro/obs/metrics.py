@@ -20,6 +20,13 @@ tables and the reference path).
 
 Snapshots are plain dicts that round-trip through JSON losslessly:
 histograms store ``count``/``sum``/``min``/``max`` rather than samples.
+
+Snapshots are also **mergeable**: :meth:`MetricsRegistry.merge` folds a
+snapshot into a registry with commutative semantics (counters and
+histogram count/sum add; histogram min/max take extrema; gauges take the
+max), so N worker processes can each report a local snapshot and the
+parent can fold them in any order — the sharded traffic engine
+(`repro.targets.engine`) relies on this.
 """
 
 from __future__ import annotations
@@ -119,6 +126,36 @@ class MetricsRegistry:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Commutative and associative, so per-worker snapshots can be
+        folded in any order: counters add; histograms add count/sum and
+        take min/max extrema; gauges take the max (the only commutative
+        choice for a last-value metric).  Merging is explicit
+        aggregation, not hot-path reporting, so it applies even while
+        the registry is disabled.  Returns ``self`` for chaining.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            current = self.gauges.get(key)
+            self.gauges[key] = (
+                value if current is None else max(current, value)
+            )
+        for key, h in snapshot.get("histograms", {}).items():
+            hist = self._hists.get(key)
+            if hist is None:
+                self._hists[key] = [h["count"], h["sum"], h["min"], h["max"]]
+            else:
+                hist[0] += h["count"]
+                hist[1] += h["sum"]
+                if h["min"] < hist[2]:
+                    hist[2] = h["min"]
+                if h["max"] > hist[3]:
+                    hist[3] = h["max"]
+        return self
 
     @classmethod
     def from_snapshot(cls, data: Dict[str, Dict[str, object]]) -> "MetricsRegistry":

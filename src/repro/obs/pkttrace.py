@@ -48,10 +48,16 @@ class TraceEvent:
 
 
 class PacketTrace:
-    """Ordered event log for one packet's trip through a pipeline."""
+    """Ordered event log for one packet's trip through a pipeline.
 
-    def __init__(self) -> None:
+    ``shard`` tags the trace with the engine shard that processed the
+    packet (None outside sharded runs), so traces collected from
+    parallel workers stay attributable after merging.
+    """
+
+    def __init__(self, shard: Optional[int] = None) -> None:
         self.events: List[TraceEvent] = []
+        self.shard = shard
 
     # ------------------------------------------------------------------
     # Recording (called by the interpreter/pipeline)
@@ -154,6 +160,9 @@ class PacketTrace:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "events": [{"kind": e.kind, **e.data} for e in self.events],
         }
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out

@@ -18,6 +18,9 @@ composed IR produced by the midend/backends directly.
   :class:`FaultPlan` injector.
 * :mod:`~repro.targets.soak` — the soak/fuzz harness behind
   ``python -m repro soak``.
+* :mod:`~repro.targets.engine` — the sharded traffic engine: fans a
+  soak stream over N worker processes, each owning a switch replica,
+  with deterministic shard seeds and mergeable results.
 """
 
 from repro.targets.tables import TableRuntime, Entry
@@ -31,8 +34,20 @@ from repro.targets.pipeline import PipelineInstance, PacketOut
 from repro.targets.switch import Switch
 from repro.targets.runtime_api import RuntimeAPI
 from repro.targets.orchestration import OrchestrationRunner
+from repro.targets.engine import (
+    EngineConfig,
+    EngineError,
+    assign_shard,
+    run_sharded_program,
+    shard_seed,
+)
 
 __all__ = [
+    "EngineConfig",
+    "EngineError",
+    "assign_shard",
+    "run_sharded_program",
+    "shard_seed",
     "TableRuntime",
     "Entry",
     "FaultError",

@@ -1,0 +1,614 @@
+"""Sharded parallel traffic engine: N switch replicas, one stream.
+
+RMT dataplanes scale by replicating the pipeline (Bosshart et al.,
+P4's "multiple parallel pipes"); this module does the same in software.
+A run fans one deterministic packet stream out over ``workers``
+processes, each owning an independent :class:`~repro.targets.switch
+.Switch` replica built from the same compiled pipeline, and folds the
+per-shard results back into one summary.
+
+The determinism contract (DESIGN.md §9):
+
+* every worker replays the *same* generator stream
+  (:func:`repro.targets.soak.iter_stream`) and keeps only the packets
+  its shard owns, so the union over shards is bit-identical to a
+  single-process run;
+* shard assignment is a pure function of the packet: ``flow-hash``
+  (crc32 of the packet bytes mod workers — a software RSS) or
+  ``round-robin`` (global packet index mod workers);
+* each shard's fault stream is seeded ``{seed}:{program}:shard{i}``,
+  independent of every other shard;
+* each shard digests its verdict sub-stream keyed by *global* packet
+  index; the merged digest is the SHA-256 of the per-shard digests in
+  shard order.
+
+Hence ``merged digest = f(seed, workers, shard_policy)`` — replayable
+exactly, whether the workers run concurrently or one at a time.
+
+Workers report a local :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot; the parent folds them with the registry's commutative
+``merge``.  Every worker starts from a **reset** registry — a forked
+child inherits the parent's process-wide counters, and folding those
+inherited counts back into the parent would double-count everything
+recorded before the fork.
+
+Failure containment mirrors the switch's: a worker that raises posts a
+structured error the parent re-raises as :class:`EngineError`; a worker
+that dies without reporting (crash, ``os._exit``) is detected by exit
+code; ``KeyboardInterrupt`` anywhere tears every worker down (no
+orphans) and propagates so the CLI exits 130.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TargetError
+from repro.net.packet import Packet
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.soak import (
+    SoakConfig,
+    build_switch,
+    compose_program,
+    iter_stream,
+    update_digest,
+)
+
+#: Shard-assignment policies.
+SHARD_POLICIES = ("flow-hash", "round-robin")
+
+#: Packets a worker hands to ``Switch.process_batch`` at a time.
+BATCH_SIZE = 256
+
+
+class EngineError(TargetError):
+    """A worker process failed or died mid-run.
+
+    ``site`` carries ``shard{i}`` and ``worker_error`` the structured
+    error dict the worker posted (when it managed to post one), so the
+    CLI's ``--json`` failure output stays machine-readable.
+    """
+
+    code = "engine-error"
+
+    def __init__(
+        self,
+        message: str,
+        shard: Optional[int] = None,
+        worker_error: Optional[dict] = None,
+    ) -> None:
+        self.shard = shard
+        self.site = f"shard{shard}" if shard is not None else None
+        self.worker_error = worker_error
+        super().__init__(message)
+
+    def to_dict(self) -> Dict[str, object]:
+        out = super().to_dict()
+        if self.shard is not None:
+            out["shard"] = self.shard
+        if self.worker_error is not None:
+            out["worker_error"] = self.worker_error
+        return out
+
+
+@dataclass
+class EngineConfig:
+    """How to shard one run across worker processes."""
+
+    workers: int = 2
+    shard_policy: str = "flow-hash"  # flow-hash | round-robin
+    #: Run the shard workers one at a time instead of concurrently.
+    #: Results and digests are identical either way; sequential mode
+    #: exists so per-shard busy time can be measured without CPU
+    #: timesharing noise on machines with fewer cores than workers
+    #: (the engine-scaling benchmark uses it to model throughput).
+    sequential: bool = False
+    #: Enable each worker's metrics registry and fold the snapshots
+    #: into the merged block (``switch.*`` / ``interp.*`` counters).
+    collect_metrics: bool = True
+    #: Give up if a worker reports nothing for this long (safety net
+    #: against a hung worker; generous because workers compile the
+    #: pipeline if the parent's compiled copy was not inherited).
+    watchdog_s: float = 600.0
+    #: Test-only fault injection for the engine's own failure paths:
+    #: shard 0's worker exits hard ("exit"), raises ("error"), or
+    #: raises KeyboardInterrupt ("interrupt").
+    sabotage: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise TargetError(f"engine workers must be >= 1, got {self.workers}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise TargetError(
+                f"unknown shard policy {self.shard_policy!r}; "
+                f"known: {', '.join(SHARD_POLICIES)}"
+            )
+
+
+def shard_seed(seed: object, program: str, shard: int) -> str:
+    """The derived per-shard seed: ``{seed}:{program}:shard{i}``."""
+    return f"{seed}:{program}:shard{shard}"
+
+
+def assign_shard(index: int, data: bytes, workers: int, policy: str) -> int:
+    """Pure shard assignment for packet ``index`` with bytes ``data``.
+
+    ``flow-hash`` uses crc32 (stable across processes and Python
+    versions, unlike the salted builtin ``hash``) so all copies of one
+    flow land on one replica; ``round-robin`` balances by index.
+    """
+    if workers <= 1:
+        return 0
+    if policy == "round-robin":
+        return index % workers
+    return zlib.crc32(data) % workers
+
+
+# ----------------------------------------------------------------------
+# Parent->child state handoff
+# ----------------------------------------------------------------------
+# Compiled pipelines are handed to workers by fork inheritance: the
+# parent compiles once, stashes the result here, and forked children
+# find it without pickling an AST.  Under a non-fork start method the
+# dict comes up empty and each worker compiles its own copy (slower,
+# same results).
+_SHARED_PIPELINES: Dict[Tuple[str, str], object] = {}
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_init(engine: EngineConfig) -> None:
+    """Per-worker initialization.
+
+    The registry reset is load-bearing: a forked child starts with a
+    copy of the parent's ``METRICS`` — counters recorded before the
+    fork included — and reporting a snapshot of that would double-count
+    them after the parent's merge.
+    """
+    METRICS.reset()
+    if engine.collect_metrics:
+        METRICS.enable()
+    else:
+        METRICS.disable()
+
+
+def _run_shard(
+    config: SoakConfig, program: str, engine: EngineConfig, shard: int
+) -> Dict[str, object]:
+    """One worker's whole job: replay, filter, process, summarize."""
+    composed = _SHARED_PIPELINES.get((program, config.mode))
+    if composed is None:
+        composed = compose_program(config, program)
+    switch = build_switch(
+        config,
+        program,
+        composed,
+        fault_seed=shard_seed(config.seed, program, shard),
+    )
+    workers, policy = engine.workers, engine.shard_policy
+    digest = hashlib.sha256()
+    uncaught: List[str] = []
+    unbalanced = 0
+    kinds = {"emit": 0, "drop": 0, "killed": 0}
+    batch: List[Tuple[int, Packet, int]] = []
+    start = time.perf_counter()
+
+    def flush() -> None:
+        nonlocal unbalanced
+        if not batch:
+            return
+        try:
+            verdicts = switch.process_batch(
+                (packet, in_port) for _, packet, in_port in batch
+            )
+        except Exception as exc:  # noqa: BLE001 — the invariant under test
+            # A packet escaped containment.  The switch's stats already
+            # reflect whatever it processed before raising, so do NOT
+            # re-run the batch (that would double-count the ledger) —
+            # record the escape and move on; ``uncaught`` being
+            # non-empty fails the run regardless.
+            if len(uncaught) < 10:
+                uncaught.append(
+                    f"batch [{batch[0][0]}..{batch[-1][0]}]: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            batch.clear()
+            return
+        for (index, _, _), verdict in zip(batch, verdicts):
+            if not verdict.balanced():
+                unbalanced += 1
+            kinds[verdict.kind] += 1
+            update_digest(digest, index, verdict)
+        batch.clear()
+
+    for index, packet, in_port in iter_stream(
+        config, program, switch.config.num_ports
+    ):
+        if assign_shard(index, packet.tobytes(), workers, policy) != shard:
+            continue
+        batch.append((index, packet, in_port))
+        if len(batch) >= BATCH_SIZE:
+            flush()
+    flush()
+    elapsed = time.perf_counter() - start
+
+    stats = switch.stats
+    ledger_ok = stats["units"] == stats["out"] + stats["dropped"]
+    block: Dict[str, object] = {
+        "shard": shard,
+        "seed": shard_seed(config.seed, program, shard),
+        "packets": stats["in"],
+        "emits": stats["out"],
+        "drops": stats["dropped"],
+        "units": stats["units"],
+        "replicated": stats["replicated"],
+        "killed": stats["killed"],
+        "verdicts": kinds,
+        "drops_by_reason": dict(sorted(switch.drops_by_reason.items())),
+        "fault_trips": (
+            dict(sorted(switch.faults.trips.items()))
+            if switch.faults is not None
+            else {}
+        ),
+        "uncaught": uncaught,
+        "unbalanced_verdicts": unbalanced,
+        "ledger_ok": ledger_ok and unbalanced == 0,
+        "digest": digest.hexdigest(),
+        "elapsed_s": round(elapsed, 3),
+        "pkts_per_sec": round(stats["in"] / elapsed, 1) if elapsed else None,
+    }
+    if engine.collect_metrics:
+        block["metrics"] = METRICS.snapshot()
+    return block
+
+
+def _shard_worker(
+    out_queue,
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    shard: int,
+) -> None:
+    """Process entry point: run one shard, post ``(kind, shard, payload)``."""
+    try:
+        _worker_init(engine)
+        if shard == 0 and engine.sabotage == "exit":
+            os._exit(17)
+        if shard == 0 and engine.sabotage == "error":
+            raise RuntimeError("sabotaged worker (test hook)")
+        if shard == 0 and engine.sabotage == "interrupt":
+            raise KeyboardInterrupt
+        out_queue.put(("ok", shard, _run_shard(config, program, engine, shard)))
+    except KeyboardInterrupt:
+        out_queue.put(
+            ("error", shard, {"error": "interrupted", "code": "interrupted"})
+        )
+    except BaseException as exc:  # noqa: BLE001 — report, never hang the pool
+        detail = {
+            "error": f"{type(exc).__name__}: {exc}",
+            "code": getattr(exc, "code", "worker-error"),
+            "traceback": traceback.format_exc(limit=8),
+        }
+        out_queue.put(("error", shard, detail))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _collect(
+    procs: Dict[int, multiprocessing.Process],
+    out_queue,
+    engine: EngineConfig,
+) -> Dict[int, Dict[str, object]]:
+    """Gather one result per shard; raise on worker failure or death."""
+    results: Dict[int, Dict[str, object]] = {}
+    pending = set(procs)
+    deadline = time.monotonic() + engine.watchdog_s
+
+    def handle(kind: str, shard: int, payload: Dict[str, object]) -> None:
+        if kind == "error":
+            if payload.get("code") == "interrupted":
+                raise KeyboardInterrupt
+            raise EngineError(
+                f"shard {shard} worker failed: {payload.get('error')}",
+                shard=shard,
+                worker_error=payload,
+            )
+        results[shard] = payload
+        pending.discard(shard)
+
+    while pending:
+        try:
+            handle(*out_queue.get(timeout=0.2))
+            continue
+        except queue_mod.Empty:
+            pass
+        dead = [s for s in pending if not procs[s].is_alive()]
+        if dead:
+            # A result may have raced the exit — drain before deciding.
+            try:
+                while True:
+                    handle(*out_queue.get_nowait())
+            except queue_mod.Empty:
+                pass
+            dead = [s for s in dead if s in pending]
+            if dead:
+                shard = dead[0]
+                raise EngineError(
+                    f"shard {shard} worker died (exit code "
+                    f"{procs[shard].exitcode}) before reporting a result",
+                    shard=shard,
+                )
+        if time.monotonic() > deadline:
+            raise EngineError(
+                f"engine watchdog: shards {sorted(pending)} reported "
+                f"nothing within {engine.watchdog_s}s"
+            )
+    return results
+
+
+def _merge_blocks(
+    program: str,
+    config: SoakConfig,
+    engine: EngineConfig,
+    shards: List[Dict[str, object]],
+    wall_s: float,
+) -> Dict[str, object]:
+    """Fold per-shard blocks into one program block (same shape as
+    ``soak_program``'s, plus sharding fields)."""
+
+    def total(key: str) -> int:
+        return sum(int(block[key]) for block in shards)
+
+    def fold_counts(key: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for block in shards:
+            for name, count in block[key].items():  # type: ignore[union-attr]
+                out[name] = out.get(name, 0) + count
+        return dict(sorted(out.items()))
+
+    uncaught: List[str] = []
+    for block in shards:
+        uncaught.extend(block["uncaught"])  # type: ignore[arg-type]
+    merged_digest = hashlib.sha256(
+        "".join(str(block["digest"]) for block in shards).encode()
+    ).hexdigest()
+    busiest = max(float(block["elapsed_s"]) for block in shards)
+    merged: Dict[str, object] = {
+        "program": program,
+        "mode": config.mode,
+        "workers": engine.workers,
+        "shard_policy": engine.shard_policy,
+        "packets": total("packets"),
+        "emits": total("emits"),
+        "drops": total("drops"),
+        "units": total("units"),
+        "replicated": total("replicated"),
+        "killed": total("killed"),
+        "verdicts": fold_counts("verdicts"),
+        "drops_by_reason": fold_counts("drops_by_reason"),
+        "fault_trips": fold_counts("fault_trips"),
+        "uncaught": uncaught[:10],
+        "unbalanced_verdicts": total("unbalanced_verdicts"),
+        "ledger_ok": (
+            all(block["ledger_ok"] for block in shards)
+            and total("units") == total("emits") + total("drops")
+        ),
+        "digest": merged_digest,
+        "elapsed_s": round(wall_s, 3),
+        "pkts_per_sec": (
+            round(total("packets") / wall_s, 1) if wall_s else None
+        ),
+        # Modeled aggregate: every shard's busy time measured on its own
+        # packets; with one core per worker the run completes in
+        # max(shard busy time).  Equals the wall-clock rate when the
+        # machine really has `workers` free cores.
+        "aggregate_pkts_per_sec": (
+            round(total("packets") / busiest, 1) if busiest else None
+        ),
+        "shards": [
+            {k: v for k, v in block.items() if k != "metrics"}
+            for block in shards
+        ],
+    }
+    if engine.collect_metrics:
+        registry = MetricsRegistry()
+        for block in shards:
+            registry.merge(block.get("metrics", {}))  # type: ignore[arg-type]
+        merged["metrics"] = registry.snapshot()
+    return merged
+
+
+def run_sharded_program(
+    config: SoakConfig, program: str, engine: EngineConfig
+) -> Dict[str, object]:
+    """Soak one program across ``engine.workers`` switch replicas.
+
+    Returns a merged program block shaped like ``soak_program``'s, with
+    per-shard sub-blocks under ``"shards"``.  Compile problems surface
+    from the parent (before any fork); worker failures raise
+    :class:`EngineError`; ``KeyboardInterrupt`` tears all workers down
+    and propagates.
+    """
+    engine.validate()
+    # Compile once in the parent: a bad program fails here, cleanly and
+    # single-process; forked workers inherit the compiled pipeline.
+    _SHARED_PIPELINES[(program, config.mode)] = compose_program(config, program)
+    ctx = _mp_context()
+    out_queue = ctx.Queue()
+    procs: Dict[int, multiprocessing.Process] = {
+        shard: ctx.Process(
+            target=_shard_worker,
+            args=(out_queue, config, program, engine, shard),
+            daemon=True,
+        )
+        for shard in range(engine.workers)
+    }
+    start = time.perf_counter()
+    try:
+        if engine.sequential:
+            results: Dict[int, Dict[str, object]] = {}
+            for shard, proc in procs.items():
+                proc.start()
+                results.update(_collect({shard: proc}, out_queue, engine))
+                proc.join()
+        else:
+            for proc in procs.values():
+                proc.start()
+            results = _collect(procs, out_queue, engine)
+    finally:
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs.values():
+            if proc.pid is not None:
+                proc.join(timeout=5)
+        out_queue.close()
+        out_queue.cancel_join_thread()
+        _SHARED_PIPELINES.pop((program, config.mode), None)
+    wall_s = time.perf_counter() - start
+    shards = [results[shard] for shard in sorted(results)]
+    return _merge_blocks(program, config, engine, shards, wall_s)
+
+
+# ----------------------------------------------------------------------
+# Sharded profile runs (`repro profile --packets N --workers W`)
+# ----------------------------------------------------------------------
+_SHARED_PROFILE: Dict[str, object] = {}
+
+
+def _profile_worker(out_queue, count: int, workers: int, policy: str,
+                    shard: int) -> None:
+    try:
+        METRICS.reset()
+        METRICS.enable()
+        composed = _SHARED_PROFILE["composed"]
+        mix: List[bytes] = _SHARED_PROFILE["mix"]  # type: ignore[assignment]
+        instance = PipelineInstance(composed)
+        mine = [
+            (i, mix[i % len(mix)])
+            for i in range(count)
+            if assign_shard(i, mix[i % len(mix)], workers, policy) == shard
+        ]
+        outputs = 0
+        start = time.perf_counter()
+        for _, data in mine:
+            outputs += len(instance.process(Packet(data), 1))
+        elapsed = time.perf_counter() - start
+        out_queue.put(
+            (
+                "ok",
+                shard,
+                {
+                    "shard": shard,
+                    "packets": len(mine),
+                    "outputs": outputs,
+                    "elapsed_s": elapsed,
+                    "metrics": METRICS.snapshot(),
+                },
+            )
+        )
+    except BaseException as exc:  # noqa: BLE001
+        out_queue.put(
+            ("error", shard, {"error": f"{type(exc).__name__}: {exc}",
+                              "code": getattr(exc, "code", "worker-error")})
+        )
+
+
+def run_profile_shards(
+    composed,
+    mix: List[bytes],
+    count: int,
+    engine: EngineConfig,
+) -> Dict[str, object]:
+    """Shard a synthetic ``count``-packet push over pipeline replicas.
+
+    ``mix`` is a list of template packet byte-strings cycled by index.
+    Returns merged lookup counters and throughput; the aggregate rate is
+    ``count / max(shard busy time)`` (see ``_merge_blocks`` note).
+    """
+    engine.validate()
+    _SHARED_PROFILE["composed"] = composed
+    _SHARED_PROFILE["mix"] = list(mix)
+    ctx = _mp_context()
+    out_queue = ctx.Queue()
+    procs: Dict[int, multiprocessing.Process] = {
+        shard: ctx.Process(
+            target=_profile_worker,
+            args=(out_queue, count, engine.workers, engine.shard_policy, shard),
+            daemon=True,
+        )
+        for shard in range(engine.workers)
+    }
+    start = time.perf_counter()
+    try:
+        if engine.sequential:
+            results: Dict[int, Dict[str, object]] = {}
+            for shard, proc in procs.items():
+                proc.start()
+                results.update(_collect({shard: proc}, out_queue, engine))
+                proc.join()
+        else:
+            for proc in procs.values():
+                proc.start()
+            results = _collect(procs, out_queue, engine)
+    finally:
+        for proc in procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs.values():
+            if proc.pid is not None:
+                proc.join(timeout=5)
+        out_queue.close()
+        out_queue.cancel_join_thread()
+        _SHARED_PROFILE.clear()
+    wall_s = time.perf_counter() - start
+    shards = [results[shard] for shard in sorted(results)]
+    registry = MetricsRegistry()
+    for block in shards:
+        registry.merge(block["metrics"])  # type: ignore[arg-type]
+    busiest = max(float(block["elapsed_s"]) for block in shards)
+    return {
+        "packets": count,
+        "outputs": sum(int(block["outputs"]) for block in shards),
+        "workers": engine.workers,
+        "shard_policy": engine.shard_policy,
+        "elapsed_ms": round(wall_s * 1000, 3),
+        "pkts_per_sec": round(count / wall_s, 1) if wall_s else None,
+        "aggregate_pkts_per_sec": (
+            round(count / busiest, 1) if busiest else None
+        ),
+        "lookups": {
+            "indexed": registry.counter("interp.lookup.indexed"),
+            "scan": registry.counter("interp.lookup.scan"),
+            "hits": registry.counter("interp.table_hits"),
+            "misses": registry.counter("interp.table_misses"),
+        },
+        "shards": [
+            {
+                "shard": block["shard"],
+                "packets": block["packets"],
+                "outputs": block["outputs"],
+                "elapsed_s": round(float(block["elapsed_s"]), 3),
+            }
+            for block in shards
+        ],
+        "metrics": registry.snapshot(),
+    }

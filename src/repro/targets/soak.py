@@ -16,7 +16,11 @@ The run is fully deterministic: the packet generator and the
 :class:`~repro.targets.faults.FaultPlan` both derive from the
 configured seed, and the summary includes a SHA-256 digest of the
 verdict stream so two runs with the same seed can be compared
-bit-for-bit.  ``python -m repro soak`` is the CLI entry point.
+bit-for-bit.  The digest covers **only** the verdict stream — never
+wall-clock timings or other per-run metadata — so it is a pure function
+of the configuration.  ``python -m repro soak`` is the CLI entry point;
+``--workers N`` fans the same stream out over switch replicas via
+:mod:`repro.targets.engine`.
 """
 
 from __future__ import annotations
@@ -25,7 +29,10 @@ import hashlib
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
+    from repro.targets.engine import EngineConfig
 
 from repro.errors import TargetError
 from repro.lib.catalog import (
@@ -55,6 +62,10 @@ _BASE_ENTRIES = [
 ]
 
 
+#: Recognized packet-mix names (``SoakConfig.traffic``).
+TRAFFIC_MIXES = ("mixed", "routable")
+
+
 @dataclass
 class SoakConfig:
     """One soak run: which programs, how many packets, which faults."""
@@ -67,11 +78,22 @@ class SoakConfig:
     mode: str = "micro"  # micro | mono
     strict: bool = False
     guards: Optional[ResourceGuards] = None
+    #: ``mixed`` is the hostile fuzz corpus; ``routable`` is a cheap
+    #: well-formed v4/v6 mix that keeps every packet on the exact/lpm
+    #: fast path (the engine-scaling benchmark's exact-heavy workload).
+    traffic: str = "mixed"
 
 
-def _fault_plan(config: SoakConfig, program: str) -> Optional[FaultPlan]:
-    """Per-program plan so each program's fault stream is independent."""
-    seed = f"{config.seed}:{program}"
+def _fault_plan(
+    config: SoakConfig, program: str, seed: Optional[str] = None
+) -> Optional[FaultPlan]:
+    """Per-program plan so each program's fault stream is independent.
+
+    ``seed`` overrides the derived ``{seed}:{program}`` seed — the
+    sharded engine passes ``{seed}:{program}:shard{i}`` so each shard
+    owns an independent, replayable fault stream.
+    """
+    seed = seed if seed is not None else f"{config.seed}:{program}"
     if config.fault_spec is not None:
         spec = dict(config.fault_spec)
         spec.setdefault("seed", seed)
@@ -141,23 +163,111 @@ def _gen_packet(rng: random.Random) -> Packet:
     return Packet(bytes(rng.randrange(256) for _ in range(rng.randrange(64))))
 
 
+#: Prebuilt routable packets for ``traffic="routable"``: every v4/v6
+#: destination in the soak pools with a sane TTL, built once so stream
+#: generation costs one choice + one bytearray copy per packet.  Keeps
+#: generation overhead negligible next to pipeline execution — the
+#: property the engine-scaling benchmark depends on.
+_ROUTABLE_TEMPLATES: List[bytes] = []
+
+
+def _routable_templates() -> List[bytes]:
+    if not _ROUTABLE_TEMPLATES:
+        for dst in _V4_DSTS:
+            _ROUTABLE_TEMPLATES.append(
+                PacketBuilder()
+                .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x0800)
+                .ipv4("192.168.0.1", dst, 6, ttl=64)
+                .payload(b"engine!!")
+                .build()
+                .tobytes()
+            )
+        for dst in _V6_DSTS:
+            _ROUTABLE_TEMPLATES.append(
+                PacketBuilder()
+                .ethernet("02:00:00:00:00:01", "02:00:00:00:00:02", 0x86DD)
+                .ipv6("fd00::1", dst, 6, payload_len=8, hop_limit=64)
+                .payload(b"engine!!")
+                .build()
+                .tobytes()
+            )
+    return _ROUTABLE_TEMPLATES
+
+
+def iter_stream(
+    config: SoakConfig, program: str, num_ports: int
+) -> Iterator[Tuple[int, Packet, int]]:
+    """The run's deterministic ``(index, packet, in_port)`` stream.
+
+    Derived purely from ``(config.seed, program, config.traffic)`` —
+    engine workers replay this exact stream and keep only their shard's
+    packets, so the union over shards is bit-identical to a
+    single-process run.
+    """
+    if config.traffic not in TRAFFIC_MIXES:
+        raise TargetError(
+            f"unknown traffic mix {config.traffic!r}; "
+            f"known: {', '.join(TRAFFIC_MIXES)}"
+        )
+    rng = random.Random(f"{config.seed}:{program}:packets")
+    if config.traffic == "routable":
+        templates = _routable_templates()
+        for index in range(config.packets):
+            packet = Packet(rng.choice(templates))
+            yield index, packet, rng.randrange(num_ports)
+    else:
+        for index in range(config.packets):
+            packet = _gen_packet(rng)
+            yield index, packet, rng.randrange(num_ports)
+
+
+def update_digest(digest, index: int, verdict) -> None:
+    """Fold one verdict into a verdict-stream digest.
+
+    The digest input is strictly ``(global packet index, verdict kind,
+    emit count, reason counts)`` — no timings, no stats, no per-run
+    metadata — so same seed (and same sharding parameters) always means
+    the same digest.
+    """
+    digest.update(
+        f"{index}|{verdict.kind}|{len(verdict.outputs)}|"
+        f"{sorted(verdict.reasons.items())}".encode()
+    )
+
+
 # ----------------------------------------------------------------------
 # The run
 # ----------------------------------------------------------------------
-def _build_switch(config: SoakConfig, program: str) -> Switch:
+def compose_program(config: SoakConfig, program: str):
+    """Compile one catalog program for this run's mode.
+
+    Raises the compiler's own error for unknown or non-compiling
+    programs — the CLI surfaces it as a structured failure.  The engine
+    calls this in the parent before forking workers so a compile failure
+    is reported exactly once, from a single process.
+    """
     if program not in COMPOSITIONS and program not in EXTRA_COMPOSITIONS:
         known = ", ".join(sorted({*COMPOSITIONS, *EXTRA_COMPOSITIONS}))
         raise TargetError(f"unknown soak program {program!r}; known: {known}")
-    composed = (
+    return (
         build_pipeline(program)
         if config.mode == "micro"
         else build_monolithic(program)
     )
+
+
+def build_switch(
+    config: SoakConfig,
+    program: str,
+    composed,
+    fault_seed: Optional[str] = None,
+) -> Switch:
+    """A fully-programmed switch replica around a compiled pipeline."""
     switch = Switch(
         PipelineInstance(composed),
         SwitchConfig(num_ports=16, multicast_groups={1: [2, 3]}),
         guards=config.guards or ResourceGuards(),
-        faults=_fault_plan(config, program),
+        faults=_fault_plan(config, program, seed=fault_seed),
         strict=config.strict,
     )
     for table, matches, act_micro, act_mono, args in _BASE_ENTRIES:
@@ -166,18 +276,21 @@ def _build_switch(config: SoakConfig, program: str) -> Switch:
     return switch
 
 
+def _build_switch(config: SoakConfig, program: str) -> Switch:
+    return build_switch(config, program, compose_program(config, program))
+
+
 def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
     """Soak one program; returns its JSON-able summary block."""
     switch = _build_switch(config, program)
-    rng = random.Random(f"{config.seed}:{program}:packets")
     digest = hashlib.sha256()
     uncaught: List[str] = []
     unbalanced = 0
     kinds = {"emit": 0, "drop": 0, "killed": 0}
     start = time.perf_counter()
-    for index in range(config.packets):
-        packet = _gen_packet(rng)
-        in_port = rng.randrange(switch.config.num_ports)
+    for index, packet, in_port in iter_stream(
+        config, program, switch.config.num_ports
+    ):
         try:
             verdict = switch.process(packet, in_port)
         except Exception as exc:  # noqa: BLE001 — the invariant under test
@@ -192,10 +305,7 @@ def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
         if not verdict.balanced():
             unbalanced += 1
         kinds[verdict.kind] += 1
-        digest.update(
-            f"{index}|{verdict.kind}|{len(verdict.outputs)}|"
-            f"{sorted(verdict.reasons.items())}".encode()
-        )
+        update_digest(digest, index, verdict)
     elapsed = time.perf_counter() - start
     stats = switch.stats
     ledger_ok = stats["units"] == stats["out"] + stats["dropped"]
@@ -224,10 +334,29 @@ def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
     }
 
 
-def run_soak(config: SoakConfig) -> Dict[str, object]:
+def run_soak(
+    config: SoakConfig, engine: Optional["EngineConfig"] = None
+) -> Dict[str, object]:
     """Run the whole soak; ``ok`` is True iff every program held both
-    containment invariants (no uncaught exceptions, exact accounting)."""
-    programs = {name: soak_program(config, name) for name in config.programs}
+    containment invariants (no uncaught exceptions, exact accounting).
+
+    With an :class:`~repro.targets.engine.EngineConfig`, each program's
+    stream fans out over that many worker processes (switch replicas);
+    the merged digest is then a pure function of
+    ``(seed, workers, shard_policy)``.
+    """
+    if engine is not None:
+        from repro.targets.engine import run_sharded_program
+
+        engine.validate()  # reject workers < 1 / unknown policy up front
+        programs = {
+            name: run_sharded_program(config, name, engine)
+            for name in config.programs
+        }
+    else:
+        programs = {
+            name: soak_program(config, name) for name in config.programs
+        }
     ok = all(
         not block["uncaught"] and block["ledger_ok"]
         for block in programs.values()
@@ -235,15 +364,20 @@ def run_soak(config: SoakConfig) -> Dict[str, object]:
     combined = hashlib.sha256(
         "".join(str(block["digest"]) for block in programs.values()).encode()
     ).hexdigest()
+    meta: Dict[str, object] = {
+        "packets_per_program": config.packets,
+        "seed": config.seed,
+        "fault_rate": config.fault_rate,
+        "fault_spec": config.fault_spec,
+        "mode": config.mode,
+        "traffic": config.traffic,
+        "guards": (config.guards or ResourceGuards()).to_dict(),
+    }
+    if engine is not None:
+        meta["workers"] = engine.workers
+        meta["shard_policy"] = engine.shard_policy
     return {
-        "soak": {
-            "packets_per_program": config.packets,
-            "seed": config.seed,
-            "fault_rate": config.fault_rate,
-            "fault_spec": config.fault_spec,
-            "mode": config.mode,
-            "guards": (config.guards or ResourceGuards()).to_dict(),
-        },
+        "soak": meta,
         "programs": programs,
         "digest": combined,
         "ok": ok,
@@ -258,6 +392,11 @@ def render_summary(summary: Dict[str, object]) -> str:
         f"soak: {meta['packets_per_program']} packets/program, "
         f"seed={meta['seed']}, fault_rate={meta['fault_rate']}, "
         f"mode={meta['mode']}"
+        + (
+            f", workers={meta['workers']} ({meta['shard_policy']})"
+            if "workers" in meta
+            else ""
+        )
     )
     for name, block in summary["programs"].items():  # type: ignore[union-attr]
         lines.append(
@@ -265,6 +404,12 @@ def render_summary(summary: Dict[str, object]) -> str:
             f"{block['drops']} dropped, {block['killed']} killed "
             f"({block['pkts_per_sec']} pkt/s)"
         )
+        for shard in block.get("shards", ()):
+            lines.append(
+                f"  shard {shard['shard']}: {shard['packets']} pkts -> "
+                f"{shard['emits']} out, {shard['drops']} dropped "
+                f"[{shard['digest'][:12]}...]"
+            )
         for reason, count in block["drops_by_reason"].items():
             lines.append(f"  drop[{reason}]: {count}")
         if block["fault_trips"]:

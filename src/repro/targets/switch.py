@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError, TargetError
 from repro.net.packet import Packet
@@ -276,7 +276,26 @@ class Switch:
         return self.process(packet, in_port, trace).outputs
 
     # ------------------------------------------------------------------
+    def process_batch(
+        self, items: Iterable[Tuple[Packet, int]]
+    ) -> List[Verdict]:
+        """Process ``(packet, in_port)`` pairs to one Verdict each.
+
+        The batched entry point the sharded traffic engine's workers
+        drive: it amortizes the per-packet call overhead (attribute and
+        method resolution happen once per batch, not per packet) while
+        keeping per-packet containment semantics identical to
+        :meth:`process` — the ledger and drop accounting are the same as
+        processing the items one by one.
+        """
+        process = self.process
+        return [process(packet, in_port) for packet, in_port in items]
+
+    # ------------------------------------------------------------------
     def inject_many(
         self, packets: List[Packet], in_port: int = 0
     ) -> List[List[PacketOut]]:
-        return [self.inject(p, in_port) for p in packets]
+        return [
+            verdict.outputs
+            for verdict in self.process_batch((p, in_port) for p in packets)
+        ]

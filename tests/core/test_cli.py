@@ -214,6 +214,28 @@ class TestProfile:
         assert "table lookups: indexed=" in out
         assert "lookup strategies:" in out
 
+    def test_profile_sharded_matches_inline_lookups(self, capsys):
+        rc = main(["profile", "P4", "--packets", "30", "--json"])
+        assert rc == 0
+        inline = json.loads(capsys.readouterr().out)["behavior"]
+        rc = main(["profile", "P4", "--packets", "30", "--workers", "2",
+                   "--shard-policy", "round-robin", "--json"])
+        assert rc == 0
+        sharded = json.loads(capsys.readouterr().out)["behavior"]
+        assert sharded["workers"] == 2
+        assert len(sharded["shards"]) == 2
+        # Sharding never changes what the pipeline does, only where:
+        # merged lookup counters equal the single-process run.
+        assert sharded["lookups"] == inline["lookups"]
+        assert sharded["outputs"] == inline["outputs"]
+        assert sharded["table_strategies"] == inline["table_strategies"]
+
+    def test_profile_sharded_text_mentions_workers(self, capsys):
+        rc = main(["profile", "P4", "--packets", "30", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workers: 2 (flow-hash)" in out
+
     def test_profile_packets_json(self, capsys):
         rc = main(["profile", "P4", "--packets", "30", "--json"])
         assert rc == 0
@@ -290,6 +312,46 @@ class TestSoak:
         assert rc != 0
         assert "unknown soak program" in capsys.readouterr().err
 
+    def test_soak_workers_json_ok_and_deterministic(self, capsys):
+        digests = []
+        for _ in range(2):
+            rc = main(["soak", "--programs", "P4", "--packets", "300",
+                       "--seed", "7", "--workers", "2", "--json"])
+            assert rc == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["ok"] is True
+            block = payload["programs"]["P4"]
+            assert block["workers"] == 2
+            assert block["units"] == block["emits"] + block["drops"]
+            assert len(block["shards"]) == 2
+            digests.append(payload["digest"])
+        assert digests[0] == digests[1]
+
+    def test_soak_workers_text_lists_shards(self, capsys):
+        rc = main(["soak", "--programs", "P4", "--packets", "200",
+                   "--seed", "7", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workers=2 (flow-hash)" in out
+        assert "shard 0:" in out
+        assert "shard 1:" in out
+
+    def test_soak_negative_workers_rejected(self, capsys):
+        # Regression: -3 must not silently fall back to the inline path.
+        rc = main(["soak", "--programs", "P4", "--packets", "10",
+                   "--workers", "-3"])
+        assert rc == 4
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_soak_workers_unknown_program_structured_error(self, capsys):
+        rc = main(["soak", "--programs", "P99", "--packets", "10",
+                   "--workers", "2", "--json"])
+        captured = capsys.readouterr()
+        assert rc != 0
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert "unknown soak program" in payload["error"]
+
 
 class TestFailureChannels:
     def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
@@ -304,6 +366,49 @@ class TestFailureChannels:
         rc = cli_mod.main(["soak", "--packets", "1"])
         assert rc == 130
         assert "interrupted" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_json_is_structured(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "cmd_soak", boom)
+        rc = cli_mod.main(["soak", "--packets", "1", "--json"])
+        captured = capsys.readouterr()
+        assert rc == 130
+        payload = json.loads(captured.out)
+        assert payload == {
+            "ok": False,
+            "error": "interrupted",
+            "code": "interrupted",
+            "exit_code": 130,
+        }
+        assert "interrupted" in captured.err
+
+    def test_worker_failure_reports_engine_error(self, capsys, monkeypatch):
+        # Force a worker crash through the real pool: the CLI must exit
+        # non-zero with the engine's structured error in --json mode.
+        from repro.targets import engine as engine_mod
+
+        original = engine_mod.EngineConfig
+
+        def sabotaged(**kw):
+            kw["sabotage"] = "error"
+            return original(**kw)
+
+        monkeypatch.setattr(engine_mod, "EngineConfig", sabotaged)
+        import repro.cli as cli_mod
+
+        rc = cli_mod.main(["soak", "--programs", "P4", "--packets", "50",
+                           "--workers", "2", "--json"])
+        captured = capsys.readouterr()
+        assert rc == 4
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert payload["code"] == "engine-error"
+        assert payload["shard"] == 0
+        assert "error[engine-error]:" in captured.err
 
     def test_json_mode_reports_structured_error(self, tmp_path, capsys):
         spec = tmp_path / "faults.json"

@@ -1,0 +1,156 @@
+"""Property tests for the RFC 1071/1624 checksum helpers.
+
+Complements the unit vectors in ``test_checksum.py`` with the algebraic
+properties a NAT dataplane actually relies on:
+
+* odd-length inputs checksum identically to their zero-padded form
+  (RFC 1071 padding rule);
+* carry wrap-around at 0xffff folds correctly, however many carries
+  stack up;
+* word order is irrelevant (one's-complement addition commutes);
+* verification: appending a message's checksum makes the whole sum
+  verify to zero;
+* :func:`incremental_update` (RFC 1624 Eqn 3) agrees with a full
+  recompute for every single-word rewrite — except the documented -0
+  ambiguity when the rewritten data sums to zero, which is pinned as a
+  unit test below rather than papered over.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net.checksum import incremental_update, internet_checksum
+
+words = st.integers(0, 0xFFFF)
+payloads = st.binary(min_size=0, max_size=64)
+
+
+def pad(data: bytes) -> bytes:
+    return data + b"\x00" if len(data) % 2 else data
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=payloads)
+def test_checksum_is_16_bits(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=1, max_size=63).filter(lambda d: len(d) % 2))
+def test_odd_length_equals_zero_padded(data):
+    """RFC 1071: odd-length data is summed as if zero-padded."""
+    assert internet_checksum(data) == internet_checksum(data + b"\x00")
+
+
+@settings(max_examples=200, deadline=None)
+@given(n=st.integers(1, 512))
+def test_carry_wraparound_at_ffff(n):
+    """n words of 0xffff sum to 0xffff however many carries fold: each
+    0xffff is -0 in one's complement, so the total stays -0 and the
+    final complement is 0."""
+    assert internet_checksum(b"\xff\xff" * n) == 0x0000
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=payloads, seed=st.integers(0, 2**32 - 1))
+def test_word_order_is_irrelevant(data, seed):
+    """One's-complement addition commutes, so shuffling the 16-bit
+    words of a message never changes its checksum."""
+    import random
+
+    data = pad(data)
+    word_list = [data[i : i + 2] for i in range(0, len(data), 2)]
+    random.Random(seed).shuffle(word_list)
+    assert internet_checksum(b"".join(word_list)) == internet_checksum(data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=payloads)
+def test_appending_checksum_verifies_to_zero(data):
+    """The receiver-side check: sum(message + checksum) == 0."""
+    data = pad(data)
+    csum = internet_checksum(data)
+    assert internet_checksum(data + csum.to_bytes(2, "big")) == 0
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    data=st.binary(min_size=2, max_size=64).map(pad),
+    position=st.integers(0, 31),
+    new_word=words,
+)
+def test_incremental_update_matches_full_recompute(data, position, new_word):
+    """Rewriting one aligned 16-bit word: RFC 1624 Eqn 3 must agree
+    with recomputing the checksum from scratch.
+
+    The all-zero result is excluded: when the updated message sums to
+    zero the two legitimately differ (-0 vs +0; see the pinned unit
+    test below), and no word-local update rule can tell them apart.
+    """
+    offset = (position * 2) % len(data)
+    old_word = int.from_bytes(data[offset : offset + 2], "big")
+    updated = (
+        data[:offset] + new_word.to_bytes(2, "big") + data[offset + 2 :]
+    )
+    assume(any(updated))
+    old_csum = internet_checksum(data)
+    assert incremental_update(old_csum, old_word, new_word) == (
+        internet_checksum(updated)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=st.binary(min_size=4, max_size=64).map(pad),
+    first=words,
+    second=words,
+)
+def test_incremental_updates_compose(data, first, second):
+    """Two successive single-word updates equal doing them in one pass
+    over the final message."""
+    updated = (
+        first.to_bytes(2, "big")
+        + second.to_bytes(2, "big")
+        + data[4:]
+    )
+    assume(any(updated))
+    csum = internet_checksum(data)
+    csum = incremental_update(csum, int.from_bytes(data[0:2], "big"), first)
+    csum = incremental_update(csum, int.from_bytes(data[2:4], "big"), second)
+    assert csum == internet_checksum(updated)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=2, max_size=64).map(pad), position=st.integers(0, 31))
+def test_incremental_noop_update_is_identity(data, position):
+    """Rewriting a word to its own value never changes the checksum
+    (modulo the same -0 corner: an all-zero message's 0xffff checksum
+    normalizes to the 0x0000 representation through Eqn 3)."""
+    assume(any(data))
+    offset = (position * 2) % len(data)
+    word = int.from_bytes(data[offset : offset + 2], "big")
+    csum = internet_checksum(data)
+    assert incremental_update(csum, word, word) == csum
+
+
+def test_documented_negative_zero_divergence():
+    """The one input class where RFC 1624 Eqn 3 and a full recompute
+    legitimately disagree: an updated message that sums to zero.
+
+    Eqn 3 computes over one's-complement sums, where the all-zero
+    message is -0 (0xffff as a sum, 0x0000 as a stored checksum), while
+    a from-scratch RFC 1071 recompute of all-zero bytes yields +0
+    stored as 0xffff.  Both checksums *verify* correctly; they are
+    simply different representations of zero.
+    """
+    data = b"\x12\x34\x00\x00"
+    old = internet_checksum(data)
+    assert old == 0xEDCB
+    # Rewrite the first word 0x1234 -> 0x0000: the message is now all
+    # zeros.
+    assert incremental_update(old, 0x1234, 0x0000) == 0x0000
+    assert internet_checksum(b"\x00\x00\x00\x00") == 0xFFFF
+    # Only the +0 (0xffff) form passes the sum-to-zero receiver check —
+    # the reason protocols like UDP reserve the 0x0000 encoding.
+    assert internet_checksum(b"\x00\x00\x00\x00" + b"\xff\xff") == 0
+    assert internet_checksum(b"\x00\x00\x00\x00" + b"\x00\x00") != 0

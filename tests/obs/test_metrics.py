@@ -110,6 +110,80 @@ class TestCollecting:
         assert reg.counter("kept") == 2
 
 
+class TestMerge:
+    @staticmethod
+    def _loaded(counters=(), gauges=(), observations=()):
+        reg = MetricsRegistry(enabled=True)
+        for key, n in counters:
+            reg.inc(key, n)
+        for key, v in gauges:
+            reg.set_gauge(key, v)
+        for key, v in observations:
+            reg.observe(key, v)
+        return reg
+
+    def test_counters_add(self):
+        reg = self._loaded(counters=[("a", 3), ("b", 1)])
+        reg.merge(self._loaded(counters=[("a", 4), ("c", 2)]).snapshot())
+        assert reg.counter("a") == 7
+        assert reg.counter("b") == 1
+        assert reg.counter("c") == 2
+
+    def test_gauges_take_max(self):
+        reg = self._loaded(gauges=[("stages", 5)])
+        reg.merge(self._loaded(gauges=[("stages", 3), ("phv", 9)]).snapshot())
+        assert reg.gauge("stages") == 5
+        assert reg.gauge("phv") == 9
+
+    def test_histograms_fold(self):
+        reg = self._loaded(observations=[("lat", 2), ("lat", 8)])
+        reg.merge(self._loaded(observations=[("lat", 1), ("lat", 5)]).snapshot())
+        assert reg.histogram("lat") == {"count": 4, "sum": 16, "min": 1, "max": 8}
+
+    def test_merge_is_commutative(self):
+        def snaps():
+            return [
+                self._loaded(
+                    counters=[("c", i)],
+                    gauges=[("g", float(i))],
+                    observations=[("h", i), ("h", 10 - i)],
+                ).snapshot()
+                for i in (1, 2, 3)
+            ]
+
+        forward = MetricsRegistry()
+        for snap in snaps():
+            forward.merge(snap)
+        backward = MetricsRegistry()
+        for snap in reversed(snaps()):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_works_while_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.merge(self._loaded(counters=[("a", 5)]).snapshot())
+        assert reg.counter("a") == 5
+
+    def test_merge_into_from_snapshot_round_trip(self):
+        base = self._loaded(counters=[("a", 2)], observations=[("h", 4)])
+        clone = MetricsRegistry.from_snapshot(base.snapshot())
+        clone.merge(base.snapshot())
+        assert clone.counter("a") == 4
+        assert clone.histogram("h") == {"count": 2, "sum": 8, "min": 4, "max": 4}
+
+    def test_merge_returns_self_for_chaining(self):
+        reg = MetricsRegistry()
+        a = self._loaded(counters=[("a", 1)]).snapshot()
+        b = self._loaded(counters=[("a", 1)]).snapshot()
+        assert reg.merge(a).merge(b).counter("a") == 2
+
+    def test_merge_empty_snapshot_is_identity(self):
+        reg = self._loaded(counters=[("a", 1)], gauges=[("g", 2.0)])
+        before = reg.snapshot()
+        reg.merge({})
+        assert reg.snapshot() == before
+
+
 class TestCompilerPopulation:
     def test_build_populates_all_layers(self):
         from repro.backend.tna import TnaBackend

@@ -1,0 +1,246 @@
+"""Sharded traffic engine: determinism, merging, and failure handling.
+
+The load-bearing properties:
+
+* a 1-worker engine run reproduces the inline ``soak_program`` digest
+  bit-for-bit (at fault_rate=0, where fault-seed derivation is moot);
+* the merged digest is a pure function of ``(seed, workers,
+  shard_policy)`` — replayable, and independent of whether the workers
+  ran concurrently or one at a time;
+* merged accounting is exact: shard ledgers balance individually and
+  the totals balance after the fold;
+* worker metrics start from a reset registry (fork-inheritance
+  double-count regression) and fold to exactly the single-process
+  counters;
+* a failing or dying worker surfaces as a structured
+  :class:`EngineError` and never leaves orphan processes.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import TargetError
+from repro.obs.metrics import METRICS, collecting
+from repro.targets.engine import (
+    EngineConfig,
+    EngineError,
+    assign_shard,
+    run_sharded_program,
+    shard_seed,
+)
+from repro.targets.soak import SoakConfig, run_soak, soak_program
+
+
+def quick_config(**kw):
+    kw.setdefault("programs", ["P4"])
+    kw.setdefault("packets", 400)
+    kw.setdefault("seed", 99)
+    kw.setdefault("fault_rate", 0.2)
+    return SoakConfig(**kw)
+
+
+def no_orphans():
+    return multiprocessing.active_children() == []
+
+
+class TestShardAssignment:
+    def test_round_robin_partitions_by_index(self):
+        for index in range(40):
+            assert assign_shard(index, b"x", 4, "round-robin") == index % 4
+
+    def test_flow_hash_ignores_index(self):
+        a = assign_shard(0, b"same packet", 4, "flow-hash")
+        b = assign_shard(17, b"same packet", 4, "flow-hash")
+        assert a == b
+
+    def test_single_worker_gets_everything(self):
+        assert assign_shard(123, b"anything", 1, "flow-hash") == 0
+
+    def test_shard_seed_derivation(self):
+        assert shard_seed(99, "P4", 2) == "99:P4:shard2"
+
+
+class TestConfigValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(TargetError):
+            EngineConfig(workers=0).validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(TargetError):
+            EngineConfig(shard_policy="modulo-11").validate()
+
+    def test_unknown_program_fails_in_parent(self):
+        with pytest.raises(TargetError, match="unknown soak program"):
+            run_sharded_program(quick_config(), "P99", EngineConfig(workers=2))
+        assert no_orphans()
+
+
+class TestDeterminism:
+    def test_one_worker_matches_inline_digest(self):
+        config = quick_config(fault_rate=0.0)
+        inline = soak_program(config, "P4")
+        merged = run_sharded_program(config, "P4", EngineConfig(workers=1))
+        assert merged["shards"][0]["digest"] == inline["digest"]
+        assert merged["packets"] == inline["packets"]
+        assert merged["emits"] == inline["emits"]
+        assert merged["drops"] == inline["drops"]
+        assert merged["units"] == inline["units"]
+        assert merged["drops_by_reason"] == inline["drops_by_reason"]
+
+    def test_same_parameters_replay_exactly(self):
+        config = quick_config()
+        engine = EngineConfig(workers=3)
+        a = run_sharded_program(config, "P4", engine)
+        b = run_sharded_program(config, "P4", engine)
+        assert a["digest"] == b["digest"]
+        assert [s["digest"] for s in a["shards"]] == [
+            s["digest"] for s in b["shards"]
+        ]
+
+    def test_digest_is_a_function_of_workers_and_policy(self):
+        config = quick_config()
+        w2 = run_sharded_program(config, "P4", EngineConfig(workers=2))
+        w3 = run_sharded_program(config, "P4", EngineConfig(workers=3))
+        rr = run_sharded_program(
+            config, "P4", EngineConfig(workers=2, shard_policy="round-robin")
+        )
+        assert w2["digest"] != w3["digest"]
+        assert w2["digest"] != rr["digest"]
+
+    def test_sequential_equals_concurrent(self):
+        config = quick_config()
+        conc = run_sharded_program(config, "P4", EngineConfig(workers=2))
+        seq = run_sharded_program(
+            config, "P4", EngineConfig(workers=2, sequential=True)
+        )
+        assert seq["digest"] == conc["digest"]
+        assert seq["drops_by_reason"] == conc["drops_by_reason"]
+
+    def test_run_soak_engine_summary_is_deterministic(self):
+        config = quick_config(packets=300)
+        engine = EngineConfig(workers=2)
+        a = run_soak(config, engine=engine)
+        b = run_soak(config, engine=engine)
+        assert a["ok"] and b["ok"]
+        assert a["digest"] == b["digest"]
+        assert a["soak"]["workers"] == 2
+
+
+class TestAccounting:
+    def test_merged_ledger_is_exact_under_faults(self):
+        merged = run_sharded_program(
+            quick_config(), "P4", EngineConfig(workers=4)
+        )
+        assert merged["uncaught"] == []
+        assert merged["ledger_ok"]
+        assert merged["units"] == merged["emits"] + merged["drops"]
+        for shard in merged["shards"]:
+            assert shard["ledger_ok"]
+            assert shard["units"] == shard["emits"] + shard["drops"]
+
+    def test_shards_partition_the_stream(self):
+        config = quick_config(packets=400)
+        merged = run_sharded_program(
+            config, "P4", EngineConfig(workers=4, shard_policy="round-robin")
+        )
+        assert [s["packets"] for s in merged["shards"]] == [100, 100, 100, 100]
+        assert merged["packets"] == 400
+
+    def test_totals_match_single_process_run(self):
+        # Same stream, same per-shard fault rate of zero: the sharded
+        # totals must equal the inline run exactly, not approximately.
+        config = quick_config(fault_rate=0.0)
+        inline = soak_program(config, "P4")
+        merged = run_sharded_program(config, "P4", EngineConfig(workers=4))
+        for key in ("packets", "emits", "drops", "units", "killed"):
+            assert merged[key] == inline[key]
+        assert merged["verdicts"] == inline["verdicts"]
+
+
+class TestMetricsMerging:
+    def test_worker_registries_start_clean(self):
+        """Fork-inheritance regression: counters recorded in the parent
+        before the fork must not reappear in worker snapshots."""
+        config = quick_config(fault_rate=0.0)
+        try:
+            METRICS.reset()
+            METRICS.enable()
+            METRICS.inc("test.sentinel", 7)
+            merged = run_sharded_program(config, "P4", EngineConfig(workers=2))
+        finally:
+            METRICS.disable()
+            METRICS.reset()
+        counters = merged["metrics"]["counters"]
+        assert "test.sentinel" not in counters
+        assert counters.get("switch.units", 0) > 0
+
+    def test_merged_counters_equal_single_process(self):
+        config = quick_config(fault_rate=0.0)
+        with collecting() as reg:
+            inline = soak_program(config, "P4")
+        single = {
+            k: v
+            for k, v in reg.counters.items()
+            if k.startswith(("switch.", "interp."))
+        }
+        merged = run_sharded_program(config, "P4", EngineConfig(workers=3))
+        sharded = {
+            k: v
+            for k, v in merged["metrics"]["counters"].items()
+            if k.startswith(("switch.", "interp."))
+        }
+        assert sharded == single
+        assert inline["ledger_ok"]
+
+    def test_metrics_can_be_disabled(self):
+        merged = run_sharded_program(
+            quick_config(packets=100),
+            "P4",
+            EngineConfig(workers=2, collect_metrics=False),
+        )
+        assert "metrics" not in merged
+
+
+class TestFailureHandling:
+    def test_worker_exception_raises_engine_error(self):
+        with pytest.raises(EngineError) as info:
+            run_sharded_program(
+                quick_config(packets=100),
+                "P4",
+                EngineConfig(workers=2, sabotage="error"),
+            )
+        err = info.value.to_dict()
+        assert err["code"] == "engine-error"
+        assert err["shard"] == 0
+        assert "sabotaged" in str(err["worker_error"]["error"])
+        assert no_orphans()
+
+    def test_dead_worker_raises_engine_error(self):
+        with pytest.raises(EngineError, match="died"):
+            run_sharded_program(
+                quick_config(packets=100),
+                "P4",
+                EngineConfig(workers=2, sabotage="exit"),
+            )
+        assert no_orphans()
+
+    def test_worker_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_sharded_program(
+                quick_config(packets=100),
+                "P4",
+                EngineConfig(workers=2, sabotage="interrupt"),
+            )
+        assert no_orphans()
+
+    def test_surviving_workers_are_torn_down(self):
+        # The non-sabotaged shard is mid-run when shard 0 fails; the
+        # parent must not leave it running.
+        with pytest.raises(EngineError):
+            run_sharded_program(
+                quick_config(packets=2000),
+                "P4",
+                EngineConfig(workers=2, sabotage="error"),
+            )
+        assert no_orphans()

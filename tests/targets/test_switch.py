@@ -49,6 +49,43 @@ class TestStats:
         assert all(len(r) == 1 for r in results)
 
 
+class TestProcessBatch:
+    def test_batch_equals_sequential_process(self):
+        """process_batch must be observationally identical to calling
+        process per packet: same verdicts, same stats, same ledger."""
+        items = [
+            (eth_ipv4(), 1),
+            (eth_ipv4(dst="172.16.0.1"), 1),  # lpm miss -> drop
+            (eth_ipv4(), 3),
+        ]
+        batched = Switch(make_instance("P4", "micro"), SwitchConfig(num_ports=8))
+        sequential = Switch(
+            make_instance("P4", "micro"), SwitchConfig(num_ports=8)
+        )
+        batch_verdicts = batched.process_batch(
+            (p.copy(), port) for p, port in items
+        )
+        seq_verdicts = [sequential.process(p, port) for p, port in items]
+        assert batched.stats == sequential.stats
+        assert batched.drops_by_reason == sequential.drops_by_reason
+        for a, b in zip(batch_verdicts, seq_verdicts):
+            assert a.kind == b.kind
+            assert a.units == b.units
+            assert a.reasons == b.reasons
+            assert [o.port for o in a.outputs] == [o.port for o in b.outputs]
+
+    def test_empty_batch(self, switch):
+        assert switch.process_batch([]) == []
+        assert switch.stats["in"] == 0
+
+    def test_batch_accepts_any_iterable(self, switch):
+        verdicts = switch.process_batch(
+            (eth_ipv4(), port) for port in (1, 2)
+        )
+        assert len(verdicts) == 2
+        assert switch.stats["in"] == 2
+
+
 class TestRuntimeApiExtras:
     def test_entry_counts(self):
         instance = make_instance("P4", "micro")
