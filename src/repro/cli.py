@@ -334,16 +334,17 @@ def _table_strategies(composed) -> dict:
     return strategies
 
 
-def _run_profile_packets(composed, count: int) -> dict:
+def _run_profile_packets(composed, count: int, exec_backend: str = "interp") -> dict:
     """Push ``count`` synthetic packets through the behavioral target so
-    the ``interp.*`` lookup counters have something to report."""
+    the ``interp.*``/``compiled.*`` lookup counters have something to
+    report."""
     import time
 
     from repro.net.packet import Packet
-    from repro.targets.pipeline import PipelineInstance
+    from repro.targets.backends import make_pipeline
 
     mix = _profile_mix()
-    instance = PipelineInstance(composed)
+    instance = make_pipeline(composed, exec_backend=exec_backend)
     outputs = 0
     start = time.perf_counter()
     for i in range(count):
@@ -352,24 +353,33 @@ def _run_profile_packets(composed, count: int) -> dict:
     return {
         "packets": count,
         "outputs": outputs,
+        "exec": exec_backend,
         "elapsed_ms": round(elapsed * 1000, 3),
         "pkts_per_sec": round(count / elapsed, 1) if elapsed > 0 else None,
         "lookups": {
+            # TableRuntime counts lookups under interp.lookup.* for both
+            # backends (it is runtime-layer state, not backend code);
+            # hit/miss counters are per-backend.
             "indexed": METRICS.counter("interp.lookup.indexed"),
             "scan": METRICS.counter("interp.lookup.scan"),
-            "hits": METRICS.counter("interp.table_hits"),
-            "misses": METRICS.counter("interp.table_misses"),
+            "hits": METRICS.counter(f"{exec_backend}.table_hits"),
+            "misses": METRICS.counter(f"{exec_backend}.table_misses"),
         },
         "table_strategies": _table_strategies(composed),
     }
 
 
-def _run_profile_sharded(composed, count: int, workers: int, policy: str) -> dict:
+def _run_profile_sharded(
+    composed, count: int, workers: int, policy: str,
+    exec_backend: str = "interp",
+) -> dict:
     """Fan the synthetic profile push over engine worker processes."""
     from repro.targets.engine import EngineConfig, run_profile_shards
 
     engine = EngineConfig(workers=workers, shard_policy=policy)
-    behavior = run_profile_shards(composed, _profile_mix(), count, engine)
+    behavior = run_profile_shards(
+        composed, _profile_mix(), count, engine, exec_backend=exec_backend
+    )
     behavior["table_strategies"] = _table_strategies(composed)
     return behavior
 
@@ -390,6 +400,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
         mode=args.mode,
         strict=args.strict,
         traffic=args.traffic,
+        exec_backend=args.exec,
     )
     engine = None
     if args.workers:
@@ -445,9 +456,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 behavior = _run_profile_sharded(
                     result.composed, args.packets,
                     args.workers, args.shard_policy,
+                    exec_backend=args.exec,
                 )
             else:
-                behavior = _run_profile_packets(result.composed, args.packets)
+                behavior = _run_profile_packets(
+                    result.composed, args.packets, exec_backend=args.exec
+                )
 
     if args.json:
         payload = {
@@ -586,6 +600,11 @@ def make_parser() -> argparse.ArgumentParser:
         help="how --workers assigns packets to shards (default: flow-hash)",
     )
     p_profile.add_argument(
+        "--exec", choices=("interp", "compiled"), default="interp",
+        help="execution backend for the --packets push: tree-walking "
+        "interpreter (default) or the closure-compiled pipeline",
+    )
+    p_profile.add_argument(
         "--metrics",
         nargs="?",
         const="-",
@@ -635,6 +654,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--shard-policy", choices=("flow-hash", "round-robin"),
         default="flow-hash",
         help="how --workers assigns packets to shards (default: flow-hash)",
+    )
+    p_soak.add_argument(
+        "--exec", choices=("interp", "compiled"), default="interp",
+        help="execution backend (interp default); the verdict-stream "
+        "digest is backend-independent by construction",
     )
     p_soak.add_argument(
         "--strict", action="store_true",

@@ -9,6 +9,10 @@ composed IR produced by the midend/backends directly.
 * :mod:`~repro.targets.interpreter` — expression/statement evaluator.
 * :mod:`~repro.targets.pipeline` — packet-in/packet-out execution of a
   :class:`~repro.midend.inline.ComposedPipeline`.
+* :mod:`~repro.targets.compiled` — the closure-compiled execution
+  backend: same semantics, pre-bound closures instead of tree-walking.
+* :mod:`~repro.targets.backends` — the ``ExecBackend`` seam mapping
+  backend names (``interp`` / ``compiled``) to executors.
 * :mod:`~repro.targets.switch` — a V1Model-style switch: ports, packet
   replication engine (multicast groups), recirculation.
 * :mod:`~repro.targets.runtime_api` — the "control API" of the paper's
@@ -31,6 +35,8 @@ from repro.targets.faults import (
     Verdict,
 )
 from repro.targets.pipeline import PipelineInstance, PacketOut
+from repro.targets.compiled import CompiledPipeline
+from repro.targets.backends import EXEC_BACKENDS, make_pipeline
 from repro.targets.switch import Switch
 from repro.targets.runtime_api import RuntimeAPI
 from repro.targets.orchestration import OrchestrationRunner
@@ -55,6 +61,9 @@ __all__ = [
     "ResourceGuards",
     "Verdict",
     "PipelineInstance",
+    "CompiledPipeline",
+    "EXEC_BACKENDS",
+    "make_pipeline",
     "PacketOut",
     "Switch",
     "RuntimeAPI",

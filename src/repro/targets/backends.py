@@ -1,0 +1,70 @@
+"""The ``ExecBackend`` seam: one place that maps a backend name to a
+pipeline executor.
+
+Two backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
+
+* ``interp`` — :class:`~repro.targets.pipeline.PipelineInstance`, the
+  reference tree-walking interpreter.  Default everywhere.
+* ``compiled`` — :class:`~repro.targets.compiled.CompiledPipeline`, the
+  closure-compiled specialization (see ``DESIGN.md`` §10).
+
+Both expose the same execution surface (``process``/``process_traced``,
+``tables``, ``composed``, ``configure_faults``, ``guards``,
+``last_drop_reason``, ``persistent``), so the switch, control API, soak
+harness, and sharded engine are backend-agnostic.  Callers select a
+backend by name — ``Switch(exec_backend=...)``, ``SoakConfig(exec_backend
+=...)``, or CLI ``--exec {interp,compiled}`` — and this module is the
+only spot that knows the names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TargetError
+from repro.midend.inline import ComposedPipeline
+from repro.targets.compiled import CompiledPipeline
+from repro.targets.faults import FaultPlan, ResourceGuards
+from repro.targets.pipeline import PipelineInstance
+
+#: Recognized execution backend names, in preference-display order.
+EXEC_BACKENDS = ("interp", "compiled")
+
+DEFAULT_EXEC_BACKEND = "interp"
+
+
+def make_pipeline(
+    composed: ComposedPipeline,
+    exec_backend: str = DEFAULT_EXEC_BACKEND,
+    use_table_index: bool = True,
+    guards: Optional[ResourceGuards] = None,
+    faults: Optional[FaultPlan] = None,
+):
+    """Build a pipeline executor for ``composed`` under the named
+    backend.  Unknown names raise a reason-coded :class:`TargetError`
+    instead of silently falling back."""
+    if exec_backend == "interp":
+        return PipelineInstance(
+            composed,
+            use_table_index=use_table_index,
+            guards=guards,
+            faults=faults,
+        )
+    if exec_backend == "compiled":
+        return CompiledPipeline(
+            composed,
+            use_table_index=use_table_index,
+            guards=guards,
+            faults=faults,
+        )
+    err = TargetError(
+        f"unknown exec backend {exec_backend!r}; "
+        f"known: {', '.join(EXEC_BACKENDS)}"
+    )
+    err.code = "unknown-backend"
+    raise err
+
+
+def backend_of(pipeline) -> str:
+    """The backend name an executor instance was built under."""
+    return getattr(pipeline, "backend", DEFAULT_EXEC_BACKEND)

@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import TargetError
 from repro.net.packet import Packet
 from repro.obs.metrics import METRICS, MetricsRegistry
-from repro.targets.pipeline import PipelineInstance
+from repro.targets.backends import make_pipeline
 from repro.targets.soak import (
     SoakConfig,
     build_switch,
@@ -501,7 +501,8 @@ def _profile_worker(out_queue, count: int, workers: int, policy: str,
         METRICS.enable()
         composed = _SHARED_PROFILE["composed"]
         mix: List[bytes] = _SHARED_PROFILE["mix"]  # type: ignore[assignment]
-        instance = PipelineInstance(composed)
+        exec_backend = str(_SHARED_PROFILE.get("exec", "interp"))
+        instance = make_pipeline(composed, exec_backend=exec_backend)
         mine = [
             (i, mix[i % len(mix)])
             for i in range(count)
@@ -537,16 +538,19 @@ def run_profile_shards(
     mix: List[bytes],
     count: int,
     engine: EngineConfig,
+    exec_backend: str = "interp",
 ) -> Dict[str, object]:
     """Shard a synthetic ``count``-packet push over pipeline replicas.
 
     ``mix`` is a list of template packet byte-strings cycled by index.
     Returns merged lookup counters and throughput; the aggregate rate is
     ``count / max(shard busy time)`` (see ``_merge_blocks`` note).
+    ``exec_backend`` selects the pipeline executor each worker builds.
     """
     engine.validate()
     _SHARED_PROFILE["composed"] = composed
     _SHARED_PROFILE["mix"] = list(mix)
+    _SHARED_PROFILE["exec"] = exec_backend
     ctx = _mp_context()
     out_queue = ctx.Queue()
     procs: Dict[int, multiprocessing.Process] = {
@@ -595,11 +599,14 @@ def run_profile_shards(
         "aggregate_pkts_per_sec": (
             round(count / busiest, 1) if busiest else None
         ),
+        "exec": exec_backend,
         "lookups": {
+            # TableRuntime counts under interp.lookup.* for both
+            # backends; hit/miss counters are per-backend.
             "indexed": registry.counter("interp.lookup.indexed"),
             "scan": registry.counter("interp.lookup.scan"),
-            "hits": registry.counter("interp.table_hits"),
-            "misses": registry.counter("interp.table_misses"),
+            "hits": registry.counter(f"{exec_backend}.table_hits"),
+            "misses": registry.counter(f"{exec_backend}.table_misses"),
         },
         "shards": [
             {

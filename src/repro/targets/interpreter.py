@@ -202,11 +202,27 @@ def default_value(t: ast.Type):
 
 
 class Env:
-    """Scoped variable environment."""
+    """Scoped variable environment.
 
-    def __init__(self, parent: Optional["Env"] = None) -> None:
+    ``label`` names the enclosing block for diagnostics (the pipeline
+    root, an action frame, a parser frame); child frames inherit their
+    parent's label unless given their own.  A lookup miss raises a
+    :class:`~repro.errors.TargetError` with the stable machine-readable
+    code ``undefined-name`` naming both the identifier and the block, so
+    the containment boundary reports a precise ``internal`` drop instead
+    of a bare ``KeyError`` masquerading as a generic fault.
+    """
+
+    __slots__ = ("parent", "values", "label")
+
+    def __init__(
+        self, parent: Optional["Env"] = None, label: Optional[str] = None
+    ) -> None:
         self.parent = parent
         self.values: Dict[str, object] = {}
+        if label is None:
+            label = parent.label if parent is not None else "pipeline"
+        self.label = label
 
     def define(self, name: str, value: object) -> None:
         self.values[name] = value
@@ -219,16 +235,24 @@ class Env:
             env = env.parent
         return None
 
+    def _undefined(self, name: str, doing: str) -> TargetError:
+        err = TargetError(
+            f"{doing} undefined name {name!r} at runtime "
+            f"(in {self.label})"
+        )
+        err.code = "undefined-name"
+        return err
+
     def get(self, name: str) -> object:
         frame = self._frame_of(name)
         if frame is None:
-            raise TargetError(f"undefined name {name!r} at runtime")
+            raise self._undefined(name, "read of")
         return frame.values[name]
 
     def set(self, name: str, value: object) -> None:
         frame = self._frame_of(name)
         if frame is None:
-            raise TargetError(f"assignment to undefined name {name!r}")
+            raise self._undefined(name, "assignment to")
         frame.values[name] = value
 
 
@@ -240,6 +264,32 @@ def _width(t: Optional[ast.Type], what: str = "expression") -> int:
     if isinstance(t, ast.BitType):
         return t.width
     raise TargetError(f"{what} has no bit width at runtime (type {t})")
+
+
+def _node_mask(expr: ast.Expr, t: Optional[ast.Type], what: str) -> int:
+    """The ``(1 << width) - 1`` mask for ``expr``, memoized on the node.
+
+    Widths are static properties of the typed AST, so both the width
+    check and the mask construction happen once per node instead of once
+    per packet — the interpreter's honest baseline for the compiled
+    backend's build-time specialization.
+    """
+    try:
+        return expr._mask_cache  # type: ignore[attr-defined]
+    except AttributeError:
+        mask = (1 << _width(t, what)) - 1
+        expr._mask_cache = mask  # type: ignore[attr-defined]
+        return mask
+
+
+def _node_width(expr: ast.Expr, t: Optional[ast.Type], what: str) -> int:
+    """Bit width of ``expr``, memoized on the node (see :func:`_node_mask`)."""
+    try:
+        return expr._width_cache  # type: ignore[attr-defined]
+    except AttributeError:
+        width = _width(t, what)
+        expr._width_cache = width  # type: ignore[attr-defined]
+        return width
 
 
 class Interpreter:
@@ -357,11 +407,13 @@ class Interpreter:
             operand = self.eval(expr.operand, env)
             if expr.op == "!":
                 return not operand
-            width = _width(expr.type if expr.type else expr.operand.type, "unary")
+            mask = _node_mask(
+                expr, expr.type if expr.type else expr.operand.type, "unary"
+            )
             if expr.op == "~":
-                return _mask(~operand, width)
+                return ~operand & mask
             if expr.op == "-":
-                return _mask(-operand, width)
+                return -operand & mask
             raise TargetError(f"unknown unary op {expr.op!r}")
         if isinstance(expr, ast.CastExpr):
             value = self.eval(expr.operand, env)
@@ -414,33 +466,36 @@ class Interpreter:
                 ">=": left >= right,
             }[op]
         if op == "++":
-            rwidth = _width(expr.right.type, "concat operand")
+            rwidth = _node_width(expr.right, expr.right.type, "concat operand")
             return (int(left) << rwidth) | int(right)
-        width = _width(expr.type, f"result of {op!r}")
-        if op == "+":
-            return _mask(int(left) + int(right), width)
-        if op == "-":
-            return _mask(int(left) - int(right), width)
-        if op == "*":
-            return _mask(int(left) * int(right), width)
-        if op == "/":
-            if right == 0:
-                raise TargetError("division by zero in dataplane expression")
-            return _mask(int(left) // int(right), width)
-        if op == "%":
-            if right == 0:
-                raise TargetError("modulo by zero in dataplane expression")
-            return _mask(int(left) % int(right), width)
         if op == "&":
             return int(left) & int(right)
         if op == "|":
             return int(left) | int(right)
         if op == "^":
             return int(left) ^ int(right)
-        if op == "<<":
-            return _mask(int(left) << int(right), width)
         if op == ">>":
             return int(left) >> int(right)
+        # Width-truncating ops: the result mask is a static property of
+        # the typed node, so it is computed once and memoized there
+        # rather than rebuilt (f-string and all) on every packet.
+        mask = _node_mask(expr, expr.type, f"result of {op!r}")
+        if op == "+":
+            return (int(left) + int(right)) & mask
+        if op == "-":
+            return (int(left) - int(right)) & mask
+        if op == "*":
+            return (int(left) * int(right)) & mask
+        if op == "/":
+            if right == 0:
+                raise TargetError("division by zero in dataplane expression")
+            return (int(left) // int(right)) & mask
+        if op == "%":
+            if right == 0:
+                raise TargetError("modulo by zero in dataplane expression")
+            return (int(left) % int(right)) & mask
+        if op == "<<":
+            return (int(left) << int(right)) & mask
         raise TargetError(f"unknown binary op {op!r}")
 
     # ==================================================================
@@ -536,7 +591,7 @@ class Interpreter:
         return None
 
     def _invoke_action(self, decl: ast.ActionDecl, args: List, env: Env) -> None:
-        frame = Env(env)
+        frame = Env(env, label=f"action {decl.name!r}")
         if len(args) != len(decl.params):
             raise TargetError(
                 f"action {decl.name!r} expects {len(decl.params)} args, "

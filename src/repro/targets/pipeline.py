@@ -77,6 +77,9 @@ class PipelineInstance:
     benchmark use it to compare against the indexed fast path.
     """
 
+    #: Execution-backend identifier (see repro.targets.backends).
+    backend = "interp"
+
     def __init__(
         self,
         composed: ComposedPipeline,
@@ -351,7 +354,7 @@ class PipelineInstance:
 
         self.interp.extract_hook = extract_hook
         # Parser locals live in a dedicated frame.
-        frame = Env(env)
+        frame = Env(env, label=f"parser {parser.name!r}")
         for local in parser.locals:
             if isinstance(local, ast.VarLocal):
                 frame.define(

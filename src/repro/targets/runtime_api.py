@@ -18,7 +18,14 @@ from repro.targets.pipeline import PipelineInstance
 
 
 class RuntimeAPI:
-    """Thin facade over a pipeline's table runtimes."""
+    """Thin facade over a pipeline's table runtimes.
+
+    ``instance`` is any execution backend exposing ``tables`` and
+    ``composed`` — a :class:`PipelineInstance` or a
+    :class:`~repro.targets.compiled.CompiledPipeline`; both share the
+    same :class:`~repro.targets.tables.TableRuntime` state model, so
+    control-plane programming is backend-agnostic.
+    """
 
     def __init__(self, instance: PipelineInstance) -> None:
         self.instance = instance

@@ -43,8 +43,8 @@ from repro.lib.catalog import (
 )
 from repro.net.build import PacketBuilder
 from repro.net.packet import Packet
+from repro.targets.backends import make_pipeline
 from repro.targets.faults import FaultPlan, ResourceGuards
-from repro.targets.pipeline import PipelineInstance
 from repro.targets.switch import Switch, SwitchConfig
 
 #: Baseline entries valid for every catalog composition (they all share
@@ -82,6 +82,10 @@ class SoakConfig:
     #: well-formed v4/v6 mix that keeps every packet on the exact/lpm
     #: fast path (the engine-scaling benchmark's exact-heavy workload).
     traffic: str = "mixed"
+    #: Execution backend (``interp`` / ``compiled``).  The verdict
+    #: stream — and therefore the digest — must not depend on it; the
+    #: differential suite pins that equivalence.
+    exec_backend: str = "interp"
 
 
 def _fault_plan(
@@ -264,7 +268,7 @@ def build_switch(
 ) -> Switch:
     """A fully-programmed switch replica around a compiled pipeline."""
     switch = Switch(
-        PipelineInstance(composed),
+        make_pipeline(composed, exec_backend=config.exec_backend),
         SwitchConfig(num_ports=16, multicast_groups={1: [2, 3]}),
         guards=config.guards or ResourceGuards(),
         faults=_fault_plan(config, program, seed=fault_seed),
@@ -371,6 +375,7 @@ def run_soak(
         "fault_spec": config.fault_spec,
         "mode": config.mode,
         "traffic": config.traffic,
+        "exec": config.exec_backend,
         "guards": (config.guards or ResourceGuards()).to_dict(),
     }
     if engine is not None:

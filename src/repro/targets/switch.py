@@ -48,7 +48,9 @@ class Switch:
     Parameters
     ----------
     pipeline:
-        The :class:`PipelineInstance` to run packets through.
+        The pipeline executor to run packets through — a
+        :class:`PipelineInstance` or any execution backend built by
+        :func:`repro.targets.backends.make_pipeline`.
     config:
         Port count, multicast groups, recirculation port.
     guards:
@@ -60,6 +62,12 @@ class Switch:
     strict:
         When True, contained faults re-raise instead of becoming
         reason-coded drops (the pre-containment behavior, for tests).
+    exec_backend:
+        Optional backend name (``"interp"`` / ``"compiled"``).  When it
+        differs from the backend ``pipeline`` was built under, the
+        switch rebuilds the executor for the same composed program.
+        Pass it *before* installing table entries — a rebuild starts
+        from the program's const entries only.
     """
 
     def __init__(
@@ -69,7 +77,14 @@ class Switch:
         guards: Optional[ResourceGuards] = None,
         faults: Optional[FaultPlan] = None,
         strict: bool = False,
+        exec_backend: Optional[str] = None,
     ) -> None:
+        if exec_backend is not None and exec_backend != getattr(
+            pipeline, "backend", "interp"
+        ):
+            from repro.targets.backends import make_pipeline
+
+            pipeline = make_pipeline(pipeline.composed, exec_backend)
         self.pipeline = pipeline
         self.config = config or SwitchConfig()
         self.api = RuntimeAPI(pipeline)

@@ -1,0 +1,126 @@
+"""The ``ExecBackend`` seam and the reason-coded ``Env`` lookup errors.
+
+The seam (:mod:`repro.targets.backends`) is the single place that maps a
+backend name to an executor class; everything downstream — the switch,
+soak harness, CLI — goes through it.  These tests pin the seam's
+contract: known names build the right class, unknown names fail with a
+stable machine-readable code, and ``Switch(exec_backend=...)`` rebuilds
+the executor for the same composed program.
+"""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.lib.catalog import build_pipeline
+from repro.targets.backends import (
+    DEFAULT_EXEC_BACKEND,
+    EXEC_BACKENDS,
+    backend_of,
+    make_pipeline,
+)
+from repro.targets.compiled import CompiledPipeline
+from repro.targets.interpreter import Env
+from repro.targets.pipeline import PipelineInstance
+from repro.targets.switch import Switch
+
+
+@pytest.fixture(scope="module")
+def composed():
+    return build_pipeline("P1")
+
+
+class TestMakePipeline:
+    def test_backend_names(self):
+        assert EXEC_BACKENDS == ("interp", "compiled")
+        assert DEFAULT_EXEC_BACKEND == "interp"
+
+    def test_interp_backend(self, composed):
+        instance = make_pipeline(composed, "interp")
+        assert isinstance(instance, PipelineInstance)
+        assert backend_of(instance) == "interp"
+
+    def test_compiled_backend(self, composed):
+        instance = make_pipeline(composed, "compiled")
+        assert isinstance(instance, CompiledPipeline)
+        assert backend_of(instance) == "compiled"
+
+    def test_default_is_interp(self, composed):
+        assert backend_of(make_pipeline(composed)) == "interp"
+
+    def test_unknown_backend_reason_coded(self, composed):
+        with pytest.raises(TargetError) as exc:
+            make_pipeline(composed, "jit")
+        assert exc.value.code == "unknown-backend"
+        assert "jit" in str(exc.value)
+        assert "compiled" in str(exc.value)  # names the known backends
+
+    def test_shared_surface(self, composed):
+        """Both executors expose the surface the switch/API relies on."""
+        for backend in EXEC_BACKENDS:
+            instance = make_pipeline(composed, backend)
+            for attr in (
+                "process",
+                "process_traced",
+                "tables",
+                "composed",
+                "configure_faults",
+                "guards",
+                "last_drop_reason",
+                "persistent",
+            ):
+                assert hasattr(instance, attr), f"{backend} lacks {attr}"
+
+
+class TestSwitchSeam:
+    def test_rebuild_on_mismatch(self, composed):
+        switch = Switch(PipelineInstance(composed), exec_backend="compiled")
+        assert isinstance(switch.pipeline, CompiledPipeline)
+        assert switch.pipeline.composed is composed
+
+    def test_no_rebuild_on_match(self, composed):
+        instance = PipelineInstance(composed)
+        switch = Switch(instance, exec_backend="interp")
+        assert switch.pipeline is instance
+
+    def test_no_rebuild_by_default(self, composed):
+        instance = CompiledPipeline(composed)
+        switch = Switch(instance)
+        assert switch.pipeline is instance
+
+    def test_rebuild_rejects_unknown(self, composed):
+        with pytest.raises(TargetError) as exc:
+            Switch(PipelineInstance(composed), exec_backend="jit")
+        assert exc.value.code == "unknown-backend"
+
+
+class TestEnvUndefinedName:
+    def test_read_miss_is_reason_coded(self):
+        env = Env(label="action frame")
+        with pytest.raises(TargetError) as exc:
+            env.get("meta_x")
+        assert exc.value.code == "undefined-name"
+        assert "meta_x" in str(exc.value)
+        assert "action frame" in str(exc.value)
+
+    def test_write_miss_is_reason_coded(self):
+        env = Env()
+        with pytest.raises(TargetError) as exc:
+            env.set("ghost", 1)
+        assert exc.value.code == "undefined-name"
+        assert "ghost" in str(exc.value)
+        assert "pipeline" in str(exc.value)  # root label default
+
+    def test_child_inherits_label(self):
+        parent = Env(label="parser frame")
+        child = Env(parent)
+        with pytest.raises(TargetError) as exc:
+            child.get("nope")
+        assert "parser frame" in str(exc.value)
+
+    def test_hit_through_chain(self):
+        parent = Env(label="pipeline")
+        parent.define("x", 7)
+        child = Env(parent, label="action frame")
+        assert child.get("x") == 7
+        child.set("x", 9)
+        assert parent.get("x") == 9
