@@ -24,6 +24,17 @@ Mirrors the paper's Fig. 4 usage of the compiler:
 
     # Same stream fanned over 4 switch replicas (sharded engine)
     python -m repro soak --programs P4 --workers 4 --shard-policy flow-hash
+
+    # Long run with a live /stats.json + /metrics endpoint and a final
+    # JSON telemetry artifact
+    python -m repro soak --workers 2 --stats-port 9200 --metrics-out final.json
+
+    # Read a running endpoint (URL, host:port, bare port, or a file)
+    python -m repro stats 9200
+    python -m repro stats http://127.0.0.1:9200 --json
+
+    # Stream per-packet traces as JSON lines
+    python -m repro soak --packets 2000 --trace-out traces.jsonl
 """
 
 from __future__ import annotations
@@ -92,6 +103,25 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--json",
         action="store_true",
         help="emit a machine-readable JSON object instead of text",
+    )
+
+
+def _add_live_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared live-telemetry export flags (soak and profile)."""
+    parser.add_argument(
+        "--stats-port", type=int, default=None, metavar="PORT",
+        help="serve the rolling merged telemetry snapshot over HTTP on "
+        "127.0.0.1:PORT while the run is live (/stats.json, /metrics; "
+        "0 binds an ephemeral port, printed to stderr)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the final merged telemetry snapshot as JSON to FILE",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="stream one schema-versioned JSON line of pkttrace events "
+        "per packet to FILE (single-process runs only)",
     )
 
 
@@ -334,7 +364,13 @@ def _table_strategies(composed) -> dict:
     return strategies
 
 
-def _run_profile_packets(composed, count: int, exec_backend: str = "interp") -> dict:
+def _run_profile_packets(
+    composed,
+    count: int,
+    exec_backend: str = "interp",
+    telemetry=None,
+    trace_writer=None,
+) -> dict:
     """Push ``count`` synthetic packets through the behavioral target so
     the ``interp.*``/``compiled.*`` lookup counters have something to
     report."""
@@ -345,11 +381,33 @@ def _run_profile_packets(composed, count: int, exec_backend: str = "interp") -> 
 
     mix = _profile_mix()
     instance = make_pipeline(composed, exec_backend=exec_backend)
+    program = str(getattr(composed, "name", "profile"))
+    epoch = 0
+    next_publish = time.monotonic() + 0.5
     outputs = 0
     start = time.perf_counter()
     for i in range(count):
-        outputs += len(instance.process(Packet(mix[i % len(mix)]), 1))
+        if trace_writer is not None:
+            from repro.obs.pkttrace import PacketTrace
+
+            trace = PacketTrace()
+            outputs += len(instance.process(Packet(mix[i % len(mix)]), 1, trace))
+            trace_writer.write(trace, i, program=program)
+        else:
+            outputs += len(instance.process(Packet(mix[i % len(mix)]), 1))
+        if telemetry is not None and time.monotonic() >= next_publish:
+            epoch += 1
+            telemetry.publish(
+                program, 0, epoch, METRICS.snapshot(),
+                ledger={"in": i + 1, "out": outputs},
+            )
+            next_publish = time.monotonic() + 0.5
     elapsed = time.perf_counter() - start
+    if telemetry is not None:
+        telemetry.publish(
+            program, 0, epoch + 1, METRICS.snapshot(),
+            ledger={"in": count, "out": outputs}, final=True,
+        )
     return {
         "packets": count,
         "outputs": outputs,
@@ -372,16 +430,65 @@ def _run_profile_packets(composed, count: int, exec_backend: str = "interp") -> 
 def _run_profile_sharded(
     composed, count: int, workers: int, policy: str,
     exec_backend: str = "interp",
+    telemetry=None,
 ) -> dict:
     """Fan the synthetic profile push over engine worker processes."""
     from repro.targets.engine import EngineConfig, run_profile_shards
 
-    engine = EngineConfig(workers=workers, shard_policy=policy)
+    engine = EngineConfig(
+        workers=workers,
+        shard_policy=policy,
+        publish_interval_s=0.5 if telemetry is not None else 0.0,
+    )
     behavior = run_profile_shards(
-        composed, _profile_mix(), count, engine, exec_backend=exec_backend
+        composed, _profile_mix(), count, engine, exec_backend=exec_backend,
+        telemetry=telemetry,
     )
     behavior["table_strategies"] = _table_strategies(composed)
     return behavior
+
+
+def _setup_telemetry(args: argparse.Namespace):
+    """Build (telemetry, server, trace_writer) from the shared live-export
+    flags; server (when requested) is already started and announced."""
+    telemetry = server = trace_writer = None
+    if args.stats_port is not None or args.metrics_out:
+        from repro.obs.telemetry import LiveTelemetry, StatsServer
+
+        telemetry = LiveTelemetry()
+        if args.stats_port is not None:
+            server = StatsServer(telemetry, port=args.stats_port).start()
+            print(
+                f"stats: {server.url}/stats.json (Prometheus: /metrics)",
+                file=sys.stderr,
+            )
+    if args.trace_out:
+        from repro.obs.telemetry import TraceWriter
+
+        trace_writer = TraceWriter(args.trace_out)
+    return telemetry, server, trace_writer
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, telemetry, server, trace_writer,
+    announce: bool = True,
+) -> None:
+    if trace_writer is not None:
+        trace_writer.close()
+        if announce:
+            print(
+                f"wrote {trace_writer.lines} trace lines to {args.trace_out}",
+                file=sys.stderr,
+            )
+    if server is not None:
+        server.close()
+    if args.metrics_out and telemetry is not None:
+        Path(args.metrics_out).write_text(telemetry.to_json() + "\n")
+        if announce:
+            print(
+                f"wrote telemetry snapshot to {args.metrics_out}",
+                file=sys.stderr,
+            )
 
 
 def cmd_soak(args: argparse.Namespace) -> int:
@@ -401,13 +508,35 @@ def cmd_soak(args: argparse.Namespace) -> int:
         strict=args.strict,
         traffic=args.traffic,
         exec_backend=args.exec,
+        flight_recorder=args.flight_recorder,
     )
+    telemetry, server, trace_writer = _setup_telemetry(args)
     engine = None
     if args.workers:
         from repro.targets.engine import EngineConfig
 
-        engine = EngineConfig(workers=args.workers, shard_policy=args.shard_policy)
-    summary = run_soak(config, engine=engine)
+        engine = EngineConfig(
+            workers=args.workers,
+            shard_policy=args.shard_policy,
+            publish_interval_s=(
+                args.publish_interval if telemetry is not None else 0.0
+            ),
+        )
+    try:
+        # Single-process runs need the parent registry live for the
+        # published snapshots; sharded workers enable their own.
+        live_local = telemetry is not None and engine is None
+        with collecting() if live_local else _nullcontext():
+            summary = run_soak(
+                config,
+                engine=engine,
+                telemetry=telemetry,
+                trace_writer=trace_writer,
+            )
+    finally:
+        _finish_telemetry(
+            args, telemetry, server, trace_writer, announce=not args.json
+        )
     text = json.dumps(summary, indent=2)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -418,6 +547,22 @@ def cmd_soak(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote JSON summary to {args.out}")
     return 0 if summary["ok"] else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Read a live ``/stats.json`` endpoint or a saved snapshot file."""
+    from repro.obs.telemetry import fetch_snapshot, render_stats
+
+    try:
+        snapshot = fetch_snapshot(args.source, timeout=args.timeout)
+    except OSError as exc:
+        print(f"error[stats-unreachable]: {args.source}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_stats(snapshot))
+    return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -451,17 +596,32 @@ def cmd_profile(args: argparse.Namespace) -> int:
             modules = _read_modules([Path(p) for p in args.modules], compiler)
         result = compiler.compile_modules(modules[0], modules[1:])
         behavior = None
-        if args.packets:
-            if args.workers:
-                behavior = _run_profile_sharded(
-                    result.composed, args.packets,
-                    args.workers, args.shard_policy,
-                    exec_backend=args.exec,
-                )
-            else:
-                behavior = _run_profile_packets(
-                    result.composed, args.packets, exec_backend=args.exec
-                )
+        if args.trace_out and args.workers:
+            from repro.errors import TargetError
+
+            raise TargetError(
+                "--trace-out requires a single-process run (no --workers)"
+            )
+        telemetry, server, trace_writer = _setup_telemetry(args)
+        try:
+            if args.packets:
+                if args.workers:
+                    behavior = _run_profile_sharded(
+                        result.composed, args.packets,
+                        args.workers, args.shard_policy,
+                        exec_backend=args.exec,
+                        telemetry=telemetry,
+                    )
+                else:
+                    behavior = _run_profile_packets(
+                        result.composed, args.packets, exec_backend=args.exec,
+                        telemetry=telemetry, trace_writer=trace_writer,
+                    )
+        finally:
+            _finish_telemetry(
+                args, telemetry, server, trace_writer,
+                announce=not args.json,
+            )
 
     if args.json:
         payload = {
@@ -613,6 +773,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument("--json", action="store_true",
                            help="emit spans and metrics as one JSON object")
+    _add_live_flags(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_soak = sub.add_parser(
@@ -668,7 +829,34 @@ def make_parser() -> argparse.ArgumentParser:
                         help="also write the JSON summary to FILE")
     p_soak.add_argument("--json", action="store_true",
                         help="print the JSON summary instead of text")
+    _add_live_flags(p_soak)
+    p_soak.add_argument(
+        "--publish-interval", type=float, default=0.5, metavar="S",
+        help="seconds between live telemetry publishes from each worker "
+        "(default: 0.5; only active with --stats-port/--metrics-out)",
+    )
+    p_soak.add_argument(
+        "--flight-recorder", type=int, default=64, metavar="N",
+        help="keep the last N verdicts per shard for post-mortem dumps "
+        "on uncaught escapes or ledger mismatch (default: 64; 0 disables)",
+    )
     p_soak.set_defaults(func=cmd_soak)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="read a live telemetry endpoint (/stats.json) or a saved "
+        "snapshot file and render it",
+    )
+    p_stats.add_argument(
+        "source",
+        help="URL, host:port, bare port (assumes 127.0.0.1), or a "
+        "JSON snapshot file written by --metrics-out",
+    )
+    p_stats.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                         help="HTTP timeout in seconds (default: 5)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the raw snapshot JSON instead of text")
+    p_stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -12,13 +12,29 @@ path stays zero-cost:
   log (extract → MAT hit/miss → deparse/emit) the behavioral
   interpreter fills in when asked.
 
+A fourth primitive builds on the first three:
+
+* :mod:`repro.obs.telemetry` — the live telemetry plane:
+  :class:`LiveTelemetry` (rolling merged per-shard snapshots),
+  :class:`StatsServer` (``/stats.json`` + ``/metrics`` HTTP export),
+  :class:`FlightRecorder` (bounded post-mortem verdict ring), and
+  :class:`TraceWriter` (JSONL pkttrace streaming).
+
 Metric key naming convention: ``<layer>.<component>.<what>`` with the
 layer one of ``frontend``, ``linker``, ``analysis``, ``compose``,
-``optimize``, ``tna``, ``v1model``, ``interp``.
+``optimize``, ``tna``, ``v1model``, ``interp``, ``compiled``,
+``pipeline``, ``switch``.
 """
 
 from repro.obs.metrics import METRICS, MetricsRegistry, collecting
-from repro.obs.pkttrace import PacketTrace, TraceEvent
+from repro.obs.pkttrace import TRACE_SCHEMA_VERSION, PacketTrace, TraceEvent
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    FlightRecorder,
+    LiveTelemetry,
+    StatsServer,
+    TraceWriter,
+)
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -27,6 +43,12 @@ __all__ = [
     "collecting",
     "PacketTrace",
     "TraceEvent",
+    "TRACE_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "FlightRecorder",
+    "LiveTelemetry",
+    "StatsServer",
+    "TraceWriter",
     "NULL_TRACER",
     "Span",
     "Tracer",

@@ -15,8 +15,13 @@ check per event site.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+#: Version stamp for machine-readable trace exports (``to_json_line``,
+#: ``--trace-out``); bump when the event schema changes shape.
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -166,3 +171,16 @@ class PacketTrace:
         if self.shard is not None:
             out["shard"] = self.shard
         return out
+
+    def to_json_line(
+        self, index: Optional[int] = None, program: Optional[str] = None
+    ) -> str:
+        """One compact, schema-versioned JSON line for this trace —
+        the ``--trace-out FILE.jsonl`` record format."""
+        record: Dict[str, object] = {"schema": TRACE_SCHEMA_VERSION}
+        if index is not None:
+            record["packet"] = index
+        if program is not None:
+            record["program"] = program
+        record.update(self.to_dict())
+        return json.dumps(record, separators=(",", ":"))

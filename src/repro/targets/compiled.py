@@ -48,6 +48,7 @@ Metrics are emitted under ``compiled.*`` (``compiled.packets``,
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TargetError
@@ -56,7 +57,7 @@ from repro.frontend.typecheck import Symbol
 from repro.midend.bytestack import BS_INSTANCE, BS_LEN_VAR, PARSER_ERR_VAR
 from repro.midend.inline import IM_VAR, PKT_VAR, ComposedPipeline
 from repro.net.packet import Packet
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import LATENCY_SAMPLE_EVERY, METRICS
 from repro.obs.pkttrace import PacketTrace
 from repro.targets.faults import (
     DEFAULT_STEP_BUDGET,
@@ -94,6 +95,9 @@ class _Ctx:
         "data",
         "cursor",
         "table_trace",
+        "lat_on",
+        "hits",
+        "misses",
     )
 
 
@@ -877,8 +881,16 @@ class _Compiler:
                     f"injected lookup failure in table {_name!r}",
                     site=_site,
                 )
+            lat_on = ctx.lat_on
+            if lat_on:
+                t0 = _perf_counter()
             key_values = tuple(int(k(ctx)) for k in _keys)
             action_name, args, hit, entry = _lookup(key_values)
+            if lat_on:
+                METRICS.observe(
+                    "pipeline.latency_us.lookup",
+                    (_perf_counter() - t0) * 1e6,
+                )
             ctx.table_trace.append(_prefix + action_name)
             ptrace = ctx.ptrace
             if ptrace is not None:
@@ -891,10 +903,13 @@ class _Compiler:
                     const=entry.is_const if entry is not None else None,
                     args=args,
                 )
-            if METRICS.enabled:
-                METRICS.inc(
-                    "compiled.table_hits" if hit else "compiled.table_misses"
-                )
+            # Accumulated on the per-packet ctx and reported as two incs
+            # in process() — per-table METRICS calls cost more than the
+            # telemetry overhead budget allows on the compiled backend.
+            if hit:
+                ctx.hits += 1
+            else:
+                ctx.misses += 1
             if action_name != "NoAction":
                 invoker = _dispatch.get(action_name)
                 if invoker is None:
@@ -902,7 +917,14 @@ class _Compiler:
                         f"table {_name!r} selected unknown action "
                         f"{action_name!r}"
                     )
+                if lat_on:
+                    t0 = _perf_counter()
                 invoker(ctx, args)
+                if lat_on:
+                    METRICS.observe(
+                        "pipeline.latency_us.action",
+                        (_perf_counter() - t0) * 1e6,
+                    )
             return hit
 
         return apply_table
@@ -1268,6 +1290,9 @@ class CompiledPipeline:
         self.persistent: Dict[str, object] = {}
         self.last_drop_reason: Optional[str] = None
         self.table_trace: List[str] = []
+        # Packet counter driving deterministic stage-latency sampling
+        # (see LATENCY_SAMPLE_EVERY); only advances while metrics are on.
+        self._lat_tick = 0
         self.step_limit = DEFAULT_STEP_BUDGET
         self.faults: Optional[FaultPlan] = None
         self.guards = ResourceGuards()
@@ -1353,6 +1378,9 @@ class CompiledPipeline:
         ctx.table_trace = self.table_trace
         ctx.data = packet.tobytes()
         ctx.cursor = 0
+        ctx.lat_on = False
+        ctx.hits = 0
+        ctx.misses = 0
         return ctx
 
     # ------------------------------------------------------------------
@@ -1363,13 +1391,27 @@ class CompiledPipeline:
         trace: Optional[PacketTrace] = None,
     ) -> List[PacketOut]:
         """Run one packet through the compiled program; [] means dropped."""
+        lat_on = False
         if METRICS.enabled:
             METRICS.inc("compiled.packets")
+            tick = self._lat_tick
+            self._lat_tick = tick + 1
+            lat_on = tick % LATENCY_SAMPLE_EVERY == 0
         self.last_drop_reason = None
         ctx = self._fresh_ctx(packet, in_port, trace)
-        if self.composed.mode == "micro":
-            return self._process_micro(ctx, trace)
-        return self._process_monolithic(ctx, trace)
+        ctx.lat_on = lat_on
+        try:
+            if self.composed.mode == "micro":
+                return self._process_micro(ctx, trace)
+            return self._process_monolithic(ctx, trace)
+        finally:
+            # Faulted packets still report the lookups they completed,
+            # matching the interpreter's inline counting.
+            if METRICS.enabled:
+                if ctx.hits:
+                    METRICS.inc("compiled.table_hits", ctx.hits)
+                if ctx.misses:
+                    METRICS.inc("compiled.table_misses", ctx.misses)
 
     def process_traced(self, packet: Packet, in_port: int = 0):
         """Convenience: run one packet with tracing on; returns
@@ -1384,6 +1426,9 @@ class CompiledPipeline:
     ) -> List[PacketOut]:
         regs = ctx.regs
         data = ctx.data
+        lat_on = ctx.lat_on
+        if lat_on:
+            t0 = _perf_counter()
         extract_len = self._extract_len
         loaded = min(len(data), extract_len)
         stack = regs[self._bs_slot]
@@ -1394,6 +1439,10 @@ class CompiledPipeline:
             fields[bnames[i]] = data[i]
         regs[self._bslen_slot] = loaded
         payload = data[extract_len:]
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.parse", (_perf_counter() - t0) * 1e6
+            )
         if trace is not None:
             trace.extract("byte_stack", loaded, extract_length=extract_len)
 
@@ -1419,7 +1468,13 @@ class CompiledPipeline:
                 f"byte-stack length {out_len} outside stack size "
                 f"{self._bs_size}",
             )
+        if lat_on:
+            t0 = _perf_counter()
         out_bytes = bytes(map(fields.__getitem__, bnames[:out_len])) + payload
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.deparse", (_perf_counter() - t0) * 1e6
+            )
         if trace is not None:
             trace.deparse(out_len, len(payload))
             trace.output(
@@ -1442,7 +1497,10 @@ class CompiledPipeline:
         self, ctx: _Ctx, trace: Optional[PacketTrace]
     ) -> List[PacketOut]:
         data = ctx.data
+        lat_on = ctx.lat_on
         if self._pstates is not None:
+            if lat_on:
+                t0 = _perf_counter()
             try:
                 self._run_parser(ctx, trace)
             except ParserErrorSignal as sig:
@@ -1450,6 +1508,12 @@ class CompiledPipeline:
                 if trace is not None:
                     trace.drop(sig.reason)
                 return []
+            finally:
+                if lat_on:
+                    METRICS.observe(
+                        "pipeline.latency_us.parse",
+                        (_perf_counter() - t0) * 1e6,
+                    )
         payload = data[ctx.cursor:]
 
         try:
@@ -1464,6 +1528,8 @@ class CompiledPipeline:
             if trace is not None:
                 trace.drop("pipeline-drop")
             return []
+        if lat_on:
+            t0 = _perf_counter()
         out = bytearray()
         for getter, name, nbytes, plan in self._emits:
             value = getter(ctx)
@@ -1480,6 +1546,10 @@ class CompiledPipeline:
                 trace.emit(name, len(packed))
             out.extend(packed)
         out.extend(payload)
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.deparse", (_perf_counter() - t0) * 1e6
+            )
         if trace is not None:
             trace.output(
                 im.out_port,

@@ -115,6 +115,12 @@ class EngineConfig:
     #: Enable each worker's metrics registry and fold the snapshots
     #: into the merged block (``switch.*`` / ``interp.*`` counters).
     collect_metrics: bool = True
+    #: Seconds between live telemetry publishes from each worker
+    #: (epoch-stamped cumulative registry snapshot + switch ledger on
+    #: the result queue).  0 disables mid-run publishing entirely — the
+    #: default, so runs without a live consumer pay nothing.  Requires
+    #: ``collect_metrics``.
+    publish_interval_s: float = 0.0
     #: Give up if a worker reports nothing for this long (safety net
     #: against a hung worker; generous because workers compile the
     #: pipeline if the parent's compiled copy was not inherited).
@@ -190,9 +196,21 @@ def _worker_init(engine: EngineConfig) -> None:
 
 
 def _run_shard(
-    config: SoakConfig, program: str, engine: EngineConfig, shard: int
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    shard: int,
+    publish=None,
+    recorder=None,
 ) -> Dict[str, object]:
-    """One worker's whole job: replay, filter, process, summarize."""
+    """One worker's whole job: replay, filter, process, summarize.
+
+    ``publish(epoch, ledger)`` (when given) posts a mid-run telemetry
+    message on the result queue every ``engine.publish_interval_s``
+    seconds; ``recorder`` (a :class:`~repro.obs.telemetry
+    .FlightRecorder`) remembers the last N verdicts for post-mortem
+    dumps.  Neither touches the verdict stream or the digest.
+    """
     composed = _SHARED_PIPELINES.get((program, config.mode))
     if composed is None:
         composed = compose_program(config, program)
@@ -208,6 +226,12 @@ def _run_shard(
     unbalanced = 0
     kinds = {"emit": 0, "drop": 0, "killed": 0}
     batch: List[Tuple[int, Packet, int]] = []
+    epoch = 0
+    next_publish = (
+        time.monotonic() + engine.publish_interval_s
+        if publish is not None and engine.publish_interval_s > 0
+        else None
+    )
     start = time.perf_counter()
 
     def flush() -> None:
@@ -224,6 +248,10 @@ def _run_shard(
             # re-run the batch (that would double-count the ledger) —
             # record the escape and move on; ``uncaught`` being
             # non-empty fails the run regardless.
+            if recorder is not None:
+                recorder.note(
+                    batch[0][0], "uncaught", f"{type(exc).__name__}: {exc}"
+                )
             if len(uncaught) < 10:
                 uncaught.append(
                     f"batch [{batch[0][0]}..{batch[-1][0]}]: "
@@ -232,6 +260,8 @@ def _run_shard(
             batch.clear()
             return
         for (index, _, _), verdict in zip(batch, verdicts):
+            if recorder is not None:
+                recorder.record(index, verdict)
             if not verdict.balanced():
                 unbalanced += 1
             kinds[verdict.kind] += 1
@@ -246,6 +276,10 @@ def _run_shard(
         batch.append((index, packet, in_port))
         if len(batch) >= BATCH_SIZE:
             flush()
+            if next_publish is not None and time.monotonic() >= next_publish:
+                epoch += 1
+                publish(epoch, dict(switch.stats))
+                next_publish = time.monotonic() + engine.publish_interval_s
     flush()
     elapsed = time.perf_counter() - start
 
@@ -276,6 +310,9 @@ def _run_shard(
     }
     if engine.collect_metrics:
         block["metrics"] = METRICS.snapshot()
+    block["telemetry_epochs"] = epoch
+    if recorder is not None and (uncaught or not block["ledger_ok"]):
+        block["flight_recorder"] = recorder.dump()
     return block
 
 
@@ -287,6 +324,30 @@ def _shard_worker(
     shard: int,
 ) -> None:
     """Process entry point: run one shard, post ``(kind, shard, payload)``."""
+    from repro.obs.telemetry import FlightRecorder
+
+    recorder = (
+        FlightRecorder(config.flight_recorder, shard=shard)
+        if config.flight_recorder > 0
+        else None
+    )
+
+    def publish(epoch: int, ledger: Dict[str, int]) -> None:
+        # Cumulative snapshot + ledger; the parent folds it into the
+        # live view.  Never blocks the dataplane beyond the queue put.
+        out_queue.put(
+            (
+                "telemetry",
+                shard,
+                {
+                    "epoch": epoch,
+                    "metrics": METRICS.snapshot(),
+                    "ledger": ledger,
+                    "final": False,
+                },
+            )
+        )
+
     try:
         _worker_init(engine)
         if shard == 0 and engine.sabotage == "exit":
@@ -295,7 +356,20 @@ def _shard_worker(
             raise RuntimeError("sabotaged worker (test hook)")
         if shard == 0 and engine.sabotage == "interrupt":
             raise KeyboardInterrupt
-        out_queue.put(("ok", shard, _run_shard(config, program, engine, shard)))
+        out_queue.put(
+            (
+                "ok",
+                shard,
+                _run_shard(
+                    config,
+                    program,
+                    engine,
+                    shard,
+                    publish=publish if engine.collect_metrics else None,
+                    recorder=recorder,
+                ),
+            )
+        )
     except KeyboardInterrupt:
         out_queue.put(
             ("error", shard, {"error": "interrupted", "code": "interrupted"})
@@ -306,6 +380,8 @@ def _shard_worker(
             "code": getattr(exc, "code", "worker-error"),
             "traceback": traceback.format_exc(limit=8),
         }
+        if recorder is not None and len(recorder):
+            detail["flight_recorder"] = recorder.dump()
         out_queue.put(("error", shard, detail))
 
 
@@ -316,13 +392,23 @@ def _collect(
     procs: Dict[int, multiprocessing.Process],
     out_queue,
     engine: EngineConfig,
+    on_telemetry=None,
 ) -> Dict[int, Dict[str, object]]:
-    """Gather one result per shard; raise on worker failure or death."""
+    """Gather one result per shard; raise on worker failure or death.
+
+    Mid-run ``("telemetry", shard, payload)`` messages are forwarded to
+    ``on_telemetry(shard, payload)`` (or dropped when no consumer is
+    wired) without affecting result accounting.
+    """
     results: Dict[int, Dict[str, object]] = {}
     pending = set(procs)
     deadline = time.monotonic() + engine.watchdog_s
 
     def handle(kind: str, shard: int, payload: Dict[str, object]) -> None:
+        if kind == "telemetry":
+            if on_telemetry is not None:
+                on_telemetry(shard, payload)
+            return
         if kind == "error":
             if payload.get("code") == "interrupted":
                 raise KeyboardInterrupt
@@ -437,7 +523,10 @@ def _merge_blocks(
 
 
 def run_sharded_program(
-    config: SoakConfig, program: str, engine: EngineConfig
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    telemetry=None,
 ) -> Dict[str, object]:
     """Soak one program across ``engine.workers`` switch replicas.
 
@@ -446,8 +535,29 @@ def run_sharded_program(
     from the parent (before any fork); worker failures raise
     :class:`EngineError`; ``KeyboardInterrupt`` tears all workers down
     and propagates.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.LiveTelemetry`)
+    receives each worker's mid-run publishes (when
+    ``engine.publish_interval_s > 0``) and, after join, one final
+    epoch-stamped snapshot per shard — so the rolling view always ends
+    exactly at the merged result.
     """
     engine.validate()
+    epochs_seen: Dict[int, int] = {}
+
+    def on_telemetry(shard: int, payload: Dict[str, object]) -> None:
+        epoch = int(payload.get("epoch", 0))  # type: ignore[arg-type]
+        epochs_seen[shard] = max(epochs_seen.get(shard, 0), epoch)
+        if telemetry is not None:
+            telemetry.publish(
+                program,
+                shard,
+                epoch,
+                payload.get("metrics", {}),
+                ledger=payload.get("ledger"),
+                final=bool(payload.get("final", False)),
+            )
+
     # Compile once in the parent: a bad program fails here, cleanly and
     # single-process; forked workers inherit the compiled pipeline.
     _SHARED_PIPELINES[(program, config.mode)] = compose_program(config, program)
@@ -467,12 +577,19 @@ def run_sharded_program(
             results: Dict[int, Dict[str, object]] = {}
             for shard, proc in procs.items():
                 proc.start()
-                results.update(_collect({shard: proc}, out_queue, engine))
+                results.update(
+                    _collect(
+                        {shard: proc}, out_queue, engine,
+                        on_telemetry=on_telemetry,
+                    )
+                )
                 proc.join()
         else:
             for proc in procs.values():
                 proc.start()
-            results = _collect(procs, out_queue, engine)
+            results = _collect(
+                procs, out_queue, engine, on_telemetry=on_telemetry
+            )
     finally:
         for proc in procs.values():
             if proc.is_alive():
@@ -485,6 +602,26 @@ def run_sharded_program(
         _SHARED_PIPELINES.pop((program, config.mode), None)
     wall_s = time.perf_counter() - start
     shards = [results[shard] for shard in sorted(results)]
+    if telemetry is not None and engine.collect_metrics:
+        # Final fold: the authoritative end-of-run snapshot per shard,
+        # one epoch past anything published mid-run so it always wins.
+        for block in shards:
+            shard = int(block["shard"])  # type: ignore[arg-type]
+            telemetry.publish(
+                program,
+                shard,
+                epochs_seen.get(shard, 0) + 1,
+                block.get("metrics", {}),
+                ledger={
+                    "in": block["packets"],
+                    "out": block["emits"],
+                    "dropped": block["drops"],
+                    "replicated": block["replicated"],
+                    "killed": block["killed"],
+                    "units": block["units"],
+                },
+                final=True,
+            )
     return _merge_blocks(program, config, engine, shards, wall_s)
 
 
@@ -494,7 +631,7 @@ def run_sharded_program(
 _SHARED_PROFILE: Dict[str, object] = {}
 
 
-def _profile_worker(out_queue, count: int, workers: int, policy: str,
+def _profile_worker(out_queue, count: int, engine: EngineConfig,
                     shard: int) -> None:
     try:
         METRICS.reset()
@@ -502,6 +639,7 @@ def _profile_worker(out_queue, count: int, workers: int, policy: str,
         composed = _SHARED_PROFILE["composed"]
         mix: List[bytes] = _SHARED_PROFILE["mix"]  # type: ignore[assignment]
         exec_backend = str(_SHARED_PROFILE.get("exec", "interp"))
+        workers, policy = engine.workers, engine.shard_policy
         instance = make_pipeline(composed, exec_backend=exec_backend)
         mine = [
             (i, mix[i % len(mix)])
@@ -509,9 +647,31 @@ def _profile_worker(out_queue, count: int, workers: int, policy: str,
             if assign_shard(i, mix[i % len(mix)], workers, policy) == shard
         ]
         outputs = 0
+        epoch = 0
+        interval = engine.publish_interval_s
+        next_publish = time.monotonic() + interval if interval > 0 else None
         start = time.perf_counter()
-        for _, data in mine:
+        for done, (_, data) in enumerate(mine, 1):
             outputs += len(instance.process(Packet(data), 1))
+            if (
+                next_publish is not None
+                and done % BATCH_SIZE == 0
+                and time.monotonic() >= next_publish
+            ):
+                epoch += 1
+                out_queue.put(
+                    (
+                        "telemetry",
+                        shard,
+                        {
+                            "epoch": epoch,
+                            "metrics": METRICS.snapshot(),
+                            "ledger": {"in": done, "out": outputs},
+                            "final": False,
+                        },
+                    )
+                )
+                next_publish = time.monotonic() + interval
         elapsed = time.perf_counter() - start
         out_queue.put(
             (
@@ -539,6 +699,7 @@ def run_profile_shards(
     count: int,
     engine: EngineConfig,
     exec_backend: str = "interp",
+    telemetry=None,
 ) -> Dict[str, object]:
     """Shard a synthetic ``count``-packet push over pipeline replicas.
 
@@ -546,8 +707,26 @@ def run_profile_shards(
     Returns merged lookup counters and throughput; the aggregate rate is
     ``count / max(shard busy time)`` (see ``_merge_blocks`` note).
     ``exec_backend`` selects the pipeline executor each worker builds.
+    ``telemetry`` receives mid-run publishes (when
+    ``engine.publish_interval_s > 0``) and a final snapshot per shard.
     """
     engine.validate()
+    program = str(getattr(composed, "name", "profile"))
+    epochs_seen: Dict[int, int] = {}
+
+    def on_telemetry(shard: int, payload: Dict[str, object]) -> None:
+        epoch = int(payload.get("epoch", 0))  # type: ignore[arg-type]
+        epochs_seen[shard] = max(epochs_seen.get(shard, 0), epoch)
+        if telemetry is not None:
+            telemetry.publish(
+                program,
+                shard,
+                epoch,
+                payload.get("metrics", {}),
+                ledger=payload.get("ledger"),
+                final=bool(payload.get("final", False)),
+            )
+
     _SHARED_PROFILE["composed"] = composed
     _SHARED_PROFILE["mix"] = list(mix)
     _SHARED_PROFILE["exec"] = exec_backend
@@ -556,7 +735,7 @@ def run_profile_shards(
     procs: Dict[int, multiprocessing.Process] = {
         shard: ctx.Process(
             target=_profile_worker,
-            args=(out_queue, count, engine.workers, engine.shard_policy, shard),
+            args=(out_queue, count, engine, shard),
             daemon=True,
         )
         for shard in range(engine.workers)
@@ -567,12 +746,19 @@ def run_profile_shards(
             results: Dict[int, Dict[str, object]] = {}
             for shard, proc in procs.items():
                 proc.start()
-                results.update(_collect({shard: proc}, out_queue, engine))
+                results.update(
+                    _collect(
+                        {shard: proc}, out_queue, engine,
+                        on_telemetry=on_telemetry,
+                    )
+                )
                 proc.join()
         else:
             for proc in procs.values():
                 proc.start()
-            results = _collect(procs, out_queue, engine)
+            results = _collect(
+                procs, out_queue, engine, on_telemetry=on_telemetry
+            )
     finally:
         for proc in procs.values():
             if proc.is_alive():
@@ -585,6 +771,17 @@ def run_profile_shards(
         _SHARED_PROFILE.clear()
     wall_s = time.perf_counter() - start
     shards = [results[shard] for shard in sorted(results)]
+    if telemetry is not None:
+        for block in shards:
+            shard = int(block["shard"])  # type: ignore[arg-type]
+            telemetry.publish(
+                program,
+                shard,
+                epochs_seen.get(shard, 0) + 1,
+                block.get("metrics", {}),
+                ledger={"in": block["packets"], "out": block["outputs"]},
+                final=True,
+            )
     registry = MetricsRegistry()
     for block in shards:
         registry.merge(block["metrics"])  # type: ignore[arg-type]

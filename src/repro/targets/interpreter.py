@@ -8,6 +8,7 @@ through the control API.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import TargetError
@@ -315,6 +316,10 @@ class Interpreter:
         self.step_limit = DEFAULT_STEP_BUDGET
         # Fault injection plan (None on the production path).
         self.faults: Optional[FaultPlan] = None
+        # Stage-latency sampling flag for the current packet; set by the
+        # pipeline (every LATENCY_SAMPLE_EVERY-th packet while metrics
+        # are enabled) so per-table timing stays off the common path.
+        self.lat_sample = False
 
     # ==================================================================
     # Statements
@@ -557,11 +562,19 @@ class Interpreter:
         # Evaluate the key expressions once into a tuple; the runtime's
         # key_exprs/key_widths vectors are cached at construction so the
         # per-packet cost is just the expression evaluations.
+        metrics_on = METRICS.enabled
+        lat_on = self.lat_sample
+        if lat_on:
+            t0 = _perf_counter()
         evaluate = self.eval
         key_values = tuple(
             int(evaluate(expr, env)) for expr in runtime.key_exprs
         )
         action_name, args, hit, entry = runtime.lookup_full(key_values)
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.lookup", (_perf_counter() - t0) * 1e6
+            )
         self.table_trace.append(f"{decl.name}:{action_name}")
         if self.ptrace is not None:
             self.ptrace.table(
@@ -573,7 +586,7 @@ class Interpreter:
                 const=entry.is_const if entry is not None else None,
                 args=args,
             )
-        if METRICS.enabled:
+        if metrics_on:
             METRICS.inc("interp.table_hits" if hit else "interp.table_misses")
         if action_name != "NoAction":
             action = self.actions.get(action_name)
@@ -582,7 +595,14 @@ class Interpreter:
                     f"table {decl.name!r} selected unknown action "
                     f"{action_name!r}"
                 )
+            if lat_on:
+                t0 = _perf_counter()
             self._invoke_action(action, args, env)
+            if lat_on:
+                METRICS.observe(
+                    "pipeline.latency_us.action",
+                    (_perf_counter() - t0) * 1e6,
+                )
         return hit
 
     def _call_action(self, decl: ast.ActionDecl, args: List[ast.Expr], env: Env):

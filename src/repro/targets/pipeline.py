@@ -15,6 +15,7 @@ for one compiled program and processes packets through it:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.errors import TargetError
@@ -22,7 +23,7 @@ from repro.frontend import astnodes as ast
 from repro.midend.bytestack import BS_INSTANCE, BS_LEN_VAR, PARSER_ERR_VAR
 from repro.midend.inline import IM_VAR, PKT_VAR, ComposedPipeline
 from repro.net.packet import Packet
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import LATENCY_SAMPLE_EVERY, METRICS
 from repro.obs.pkttrace import PacketTrace
 from repro.targets.faults import FaultError, FaultPlan, ResourceGuards
 from repro.targets.interpreter import (
@@ -100,6 +101,9 @@ class PipelineInstance:
         # Reason code for the last []-returning process() call; the
         # switch folds it into the packet's Verdict.
         self.last_drop_reason: Optional[str] = None
+        # Packet counter driving deterministic stage-latency sampling
+        # (see LATENCY_SAMPLE_EVERY); only advances while metrics are on.
+        self._lat_tick = 0
         self.guards = ResourceGuards()
         self.configure_faults(guards=guards, faults=faults)
 
@@ -113,6 +117,21 @@ class PipelineInstance:
             self.guards = guards
         self.interp.step_limit = self.guards.interp_step_budget
         self.interp.faults = faults
+
+    # ------------------------------------------------------------------
+    def _lat_sample(self) -> bool:
+        """Decide whether this packet's stage latencies are timed, and
+        propagate the decision to the interpreter's table-apply path.
+        Deterministic (packet-counter stride), so the compiled backend
+        samples the identical packets and reports identical counts."""
+        if METRICS.enabled:
+            tick = self._lat_tick
+            self._lat_tick = tick + 1
+            lat_on = tick % LATENCY_SAMPLE_EVERY == 0
+        else:
+            lat_on = False
+        self.interp.lat_sample = lat_on
+        return lat_on
 
     # ------------------------------------------------------------------
     # Environment setup
@@ -206,6 +225,9 @@ class PipelineInstance:
     ) -> List[PacketOut]:
         bs = self.composed.byte_stack
         assert bs is not None
+        lat_on = self._lat_sample()
+        if lat_on:
+            t0 = perf_counter()
         extract_len = self.composed.region.extract_length
         loaded = min(len(packet), extract_len)
         stack: HeaderValue = env.get(BS_INSTANCE)  # type: ignore[assignment]
@@ -217,6 +239,10 @@ class PipelineInstance:
         payload = data[extract_len:]
         if trace is not None:
             trace.extract("byte_stack", loaded, extract_length=extract_len)
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.parse", (perf_counter() - t0) * 1e6
+            )
 
         try:
             self.interp.exec_block(self.composed.statements, env)
@@ -234,6 +260,8 @@ class PipelineInstance:
             if trace is not None:
                 trace.drop(reason)
             return []
+        if lat_on:
+            t0 = perf_counter()
         out_len = int(env.get(BS_LEN_VAR))  # type: ignore[arg-type]
         if out_len > bs.size or out_len < 0:
             raise FaultError(
@@ -243,6 +271,10 @@ class PipelineInstance:
         out_bytes = bytes(
             stack.fields[f"b{i}"] for i in range(out_len)
         ) + payload
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.deparse", (perf_counter() - t0) * 1e6
+            )
         if trace is not None:
             trace.deparse(out_len, len(payload))
             trace.output(
@@ -272,7 +304,10 @@ class PipelineInstance:
         parser = self.composed.native_parser
         data = packet.tobytes()
         cursor = 0
+        lat_on = self._lat_sample()
         if parser is not None:
+            if lat_on:
+                t0 = perf_counter()
             try:
                 cursor = self._run_native_parser(parser, data, env, trace)
             except ParserErrorSignal as sig:
@@ -280,6 +315,12 @@ class PipelineInstance:
                 if trace is not None:
                     trace.drop(sig.reason)
                 return []
+            finally:
+                if lat_on:
+                    METRICS.observe(
+                        "pipeline.latency_us.parse",
+                        (perf_counter() - t0) * 1e6,
+                    )
         payload = data[cursor:]
 
         try:
@@ -293,6 +334,8 @@ class PipelineInstance:
             if trace is not None:
                 trace.drop("pipeline-drop")
             return []
+        if lat_on:
+            t0 = perf_counter()
         out = bytearray()
         for emit in self.composed.native_emits or []:
             value = self.interp.eval(emit, env)
@@ -307,6 +350,10 @@ class PipelineInstance:
                 trace.emit(_expr_name(emit), len(packed))
             out.extend(packed)
         out.extend(payload)
+        if lat_on:
+            METRICS.observe(
+                "pipeline.latency_us.deparse", (perf_counter() - t0) * 1e6
+            )
         if trace is not None:
             trace.output(
                 im.out_port,

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses us)
+    from repro.obs.telemetry import LiveTelemetry, TraceWriter
     from repro.targets.engine import EngineConfig
 
 from repro.errors import TargetError
@@ -86,6 +87,10 @@ class SoakConfig:
     #: stream — and therefore the digest — must not depend on it; the
     #: differential suite pins that equivalence.
     exec_backend: str = "interp"
+    #: Flight-recorder capacity: the last N verdicts kept per shard for
+    #: post-mortem dumps (on uncaught escapes, ledger mismatch, or
+    #: worker death).  0 disables the recorder.
+    flight_recorder: int = 64
 
 
 def _fault_plan(
@@ -284,9 +289,48 @@ def _build_switch(config: SoakConfig, program: str) -> Switch:
     return build_switch(config, program, compose_program(config, program))
 
 
-def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
-    """Soak one program; returns its JSON-able summary block."""
+def soak_program(
+    config: SoakConfig,
+    program: str,
+    telemetry: Optional["LiveTelemetry"] = None,
+    trace_writer: Optional["TraceWriter"] = None,
+    publish_interval_s: float = 1.0,
+) -> Dict[str, object]:
+    """Soak one program; returns its JSON-able summary block.
+
+    ``telemetry`` receives periodic epoch-stamped cumulative snapshots
+    (registry + switch ledger) while the run is in flight;
+    ``trace_writer`` streams one JSONL pkttrace record per packet.
+    Both are observation-only: they never alter the verdict stream, so
+    the digest is identical with or without them.
+    """
+    from repro.obs.metrics import METRICS
+    from repro.obs.pkttrace import PacketTrace
+    from repro.obs.telemetry import FlightRecorder
+
     switch = _build_switch(config, program)
+    recorder = (
+        FlightRecorder(config.flight_recorder)
+        if config.flight_recorder > 0
+        else None
+    )
+    epoch = 0
+    next_publish = time.monotonic() + publish_interval_s
+
+    def publish(final: bool = False) -> None:
+        nonlocal epoch
+        if telemetry is None:
+            return
+        epoch += 1
+        telemetry.publish(
+            program,
+            0,
+            epoch,
+            METRICS.snapshot(),
+            ledger=dict(switch.stats),
+            final=final,
+        )
+
     digest = hashlib.sha256()
     uncaught: List[str] = []
     unbalanced = 0
@@ -295,9 +339,12 @@ def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
     for index, packet, in_port in iter_stream(
         config, program, switch.config.num_ports
     ):
+        trace = PacketTrace() if trace_writer is not None else None
         try:
-            verdict = switch.process(packet, in_port)
+            verdict = switch.process(packet, in_port, trace)
         except Exception as exc:  # noqa: BLE001 — the invariant under test
+            if recorder is not None:
+                recorder.note(index, "uncaught", f"{type(exc).__name__}: {exc}")
             if len(uncaught) < 10:
                 uncaught.append(
                     f"packet {index}: {type(exc).__name__}: {exc}"
@@ -306,14 +353,22 @@ def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
                 uncaught.append("...")
                 break
             continue
+        if recorder is not None:
+            recorder.record(index, verdict, trace)
+        if trace_writer is not None:
+            trace_writer.write(trace, index, program=program, verdict=verdict.kind)
         if not verdict.balanced():
             unbalanced += 1
         kinds[verdict.kind] += 1
         update_digest(digest, index, verdict)
+        if telemetry is not None and time.monotonic() >= next_publish:
+            publish()
+            next_publish = time.monotonic() + publish_interval_s
     elapsed = time.perf_counter() - start
+    publish(final=True)
     stats = switch.stats
     ledger_ok = stats["units"] == stats["out"] + stats["dropped"]
-    return {
+    block: Dict[str, object] = {
         "program": program,
         "mode": config.mode,
         "packets": stats["in"],
@@ -336,10 +391,16 @@ def soak_program(config: SoakConfig, program: str) -> Dict[str, object]:
         "elapsed_s": round(elapsed, 3),
         "pkts_per_sec": round(config.packets / elapsed, 1) if elapsed else None,
     }
+    if recorder is not None and (uncaught or not block["ledger_ok"]):
+        block["flight_recorder"] = recorder.dump()
+    return block
 
 
 def run_soak(
-    config: SoakConfig, engine: Optional["EngineConfig"] = None
+    config: SoakConfig,
+    engine: Optional["EngineConfig"] = None,
+    telemetry: Optional["LiveTelemetry"] = None,
+    trace_writer: Optional["TraceWriter"] = None,
 ) -> Dict[str, object]:
     """Run the whole soak; ``ok`` is True iff every program held both
     containment invariants (no uncaught exceptions, exact accounting).
@@ -348,18 +409,32 @@ def run_soak(
     stream fans out over that many worker processes (switch replicas);
     the merged digest is then a pure function of
     ``(seed, workers, shard_policy)``.
+
+    ``telemetry`` wires a live rolling view over the run (per-shard in
+    the engine case); ``trace_writer`` streams per-packet JSONL traces
+    and is single-process only — worker processes cannot share one
+    output file without interleaving corruption.
     """
     if engine is not None:
         from repro.targets.engine import run_sharded_program
 
+        if trace_writer is not None:
+            raise TargetError(
+                "--trace-out requires a single-process run (workers=1 "
+                "without an engine); per-worker trace files are not "
+                "supported"
+            )
         engine.validate()  # reject workers < 1 / unknown policy up front
         programs = {
-            name: run_sharded_program(config, name, engine)
+            name: run_sharded_program(config, name, engine, telemetry=telemetry)
             for name in config.programs
         }
     else:
         programs = {
-            name: soak_program(config, name) for name in config.programs
+            name: soak_program(
+                config, name, telemetry=telemetry, trace_writer=trace_writer
+            )
+            for name in config.programs
         }
     ok = all(
         not block["uncaught"] and block["ledger_ok"]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError, TargetError
@@ -176,6 +177,9 @@ class Switch:
         An invalid ``in_port`` is a caller error and always raises.
         """
         self._check_port(in_port)
+        metrics_on = METRICS.enabled
+        if metrics_on:
+            t0 = perf_counter()
         self.stats["in"] += 1
         guards = self.guards
         verdict = Verdict(outputs=[], reasons={}, units=1)
@@ -234,11 +238,15 @@ class Switch:
         self.stats["units"] += verdict.units
         if verdict.killed:
             self.stats["killed"] += 1
-            if METRICS.enabled:
+            if metrics_on:
                 METRICS.inc("switch.killed")
-        if METRICS.enabled:
+        if metrics_on:
+            METRICS.inc("switch.packets")
             METRICS.inc("switch.emits", len(verdict.outputs))
             METRICS.inc("switch.units", verdict.units)
+            METRICS.observe(
+                "switch.latency_us.packet", (perf_counter() - t0) * 1e6
+            )
         return verdict
 
     def _replicate(

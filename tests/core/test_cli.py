@@ -421,3 +421,120 @@ class TestFailureChannels:
         assert payload["code"] == "target-error"
         assert payload["exit_code"] == rc
         assert "error[target-error]:" in captured.err
+
+
+class TestTelemetryCli:
+    def test_soak_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "final.json"
+        rc = main(["soak", "--programs", "P4", "--packets", "300",
+                   "--seed", "7", "--workers", "2",
+                   "--metrics-out", str(out), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        snap = json.loads(out.read_text())
+        assert snap["schema"] == 1
+        assert len(snap["shards"]) == 2
+        assert all(s["final"] for s in snap["shards"])
+        assert snap["ledger"]["in"] == payload["programs"]["P4"]["packets"]
+        assert "switch.latency_us.packet" in snap["latency_us"]
+
+    def test_soak_metrics_out_single_process(self, tmp_path, capsys):
+        out = tmp_path / "final.json"
+        rc = main(["soak", "--programs", "P4", "--packets", "200",
+                   "--seed", "7", "--metrics-out", str(out), "--json"])
+        assert rc == 0
+        snap = json.loads(out.read_text())
+        assert snap["shards"][0]["ledger"]["in"] == 200
+
+    def test_soak_stats_port_serves_while_running(self, tmp_path, capsys):
+        # Ephemeral port; the endpoint must at least serve the final
+        # rolling view before the CLI tears the server down — mid-run
+        # polling is exercised by the CI smoke job with a real subprocess.
+        import urllib.request
+        from unittest import mock
+
+        from repro.obs import telemetry as telemetry_mod
+
+        polled = {}
+        original_close = telemetry_mod.StatsServer.close
+
+        def close_after_poll(self):
+            with urllib.request.urlopen(f"{self.url}/stats.json") as resp:
+                polled["snap"] = json.loads(resp.read().decode())
+            with urllib.request.urlopen(f"{self.url}/metrics") as resp:
+                polled["prom"] = resp.read().decode()
+            original_close(self)
+
+        with mock.patch.object(
+            telemetry_mod.StatsServer, "close", close_after_poll
+        ):
+            rc = main(["soak", "--programs", "P4", "--packets", "200",
+                       "--seed", "7", "--workers", "2",
+                       "--stats-port", "0", "--json"])
+        assert rc == 0
+        assert polled["snap"]["ledger"]["in"] == 200
+        assert "repro_switch_packets 200" in polled["prom"]
+
+    def test_soak_trace_out_streams_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        rc = main(["soak", "--programs", "P4", "--packets", "50",
+                   "--seed", "7", "--trace-out", str(path), "--json"])
+        assert rc == 0
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 50
+        assert lines[0]["schema"] == 1
+        assert lines[0]["program"] == "P4"
+        assert {line["packet"] for line in lines} == set(range(50))
+        assert all("events" in line for line in lines)
+
+    def test_soak_trace_out_rejected_with_workers(self, capsys):
+        rc = main(["soak", "--programs", "P4", "--packets", "50",
+                   "--workers", "2", "--trace-out", "/tmp/x.jsonl"])
+        assert rc != 0
+        assert "single-process" in capsys.readouterr().err
+
+    def test_soak_telemetry_does_not_change_digest(self, tmp_path, capsys):
+        base_args = ["soak", "--programs", "P4", "--packets", "300",
+                     "--seed", "7", "--workers", "2", "--json"]
+        assert main(base_args) == 0
+        plain = json.loads(capsys.readouterr().out)["digest"]
+        out = tmp_path / "final.json"
+        assert main(base_args + ["--metrics-out", str(out)]) == 0
+        live = json.loads(capsys.readouterr().out)["digest"]
+        assert plain == live
+
+    def test_stats_reads_snapshot_file(self, tmp_path, capsys):
+        out = tmp_path / "final.json"
+        assert main(["soak", "--programs", "P4", "--packets", "200",
+                     "--seed", "7", "--metrics-out", str(out), "--json"]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "telemetry snapshot (schema 1" in text
+        assert "P4/shard0" in text
+        assert main(["stats", str(out), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["schema"] == 1
+
+    def test_stats_unreachable_endpoint_fails_cleanly(self, capsys):
+        rc = main(["stats", "http://127.0.0.1:1/stats.json",
+                   "--timeout", "0.2"])
+        assert rc == 1
+        assert "stats-unreachable" in capsys.readouterr().err
+
+    def test_profile_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        rc = main(["profile", "P4", "--packets", "200",
+                   "--metrics-out", str(out), "--json"])
+        assert rc == 0
+        snap = json.loads(out.read_text())
+        assert snap["shards"][0]["final"] is True
+        assert snap["ledger"]["in"] == 200
+
+    def test_profile_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "prof.jsonl"
+        rc = main(["profile", "P4", "--packets", "30",
+                   "--trace-out", str(path), "--json"])
+        assert rc == 0
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 30
+        assert lines[0]["schema"] == 1

@@ -27,7 +27,11 @@ class TestRegistry:
         for v in (4, 2, 9, 1):
             reg.observe("tna.schedule.stage_occupancy", v)
         hist = reg.histogram("tna.schedule.stage_occupancy")
-        assert hist == {"count": 4, "sum": 16, "min": 1, "max": 9}
+        # log2 buckets [2^(e-1), 2^e): 1 -> e1, 2 -> e2, 4 -> e3, 9 -> e4
+        assert hist == {
+            "count": 4, "sum": 16, "min": 1, "max": 9,
+            "buckets": {"1": 1, "2": 1, "3": 1, "4": 1},
+        }
         assert reg.histogram("missing") is None
 
     def test_keys_and_len(self):
@@ -83,6 +87,7 @@ class TestJsonRoundTrip:
         assert clone.gauge("analysis.extract_length_bytes") == 54
         assert clone.histogram("tna.schedule.stage_occupancy") == {
             "count": 2, "sum": 8, "min": 3, "max": 5,
+            "buckets": {"2": 1, "3": 1},
         }
 
 
@@ -138,7 +143,10 @@ class TestMerge:
     def test_histograms_fold(self):
         reg = self._loaded(observations=[("lat", 2), ("lat", 8)])
         reg.merge(self._loaded(observations=[("lat", 1), ("lat", 5)]).snapshot())
-        assert reg.histogram("lat") == {"count": 4, "sum": 16, "min": 1, "max": 8}
+        assert reg.histogram("lat") == {
+            "count": 4, "sum": 16, "min": 1, "max": 8,
+            "buckets": {"1": 1, "2": 1, "3": 1, "4": 1},
+        }
 
     def test_merge_is_commutative(self):
         def snaps():
@@ -169,7 +177,9 @@ class TestMerge:
         clone = MetricsRegistry.from_snapshot(base.snapshot())
         clone.merge(base.snapshot())
         assert clone.counter("a") == 4
-        assert clone.histogram("h") == {"count": 2, "sum": 8, "min": 4, "max": 4}
+        assert clone.histogram("h") == {
+            "count": 2, "sum": 8, "min": 4, "max": 4, "buckets": {"3": 2},
+        }
 
     def test_merge_returns_self_for_chaining(self):
         reg = MetricsRegistry()

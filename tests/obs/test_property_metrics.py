@@ -1,0 +1,101 @@
+"""Property tests: snapshot merging is commutative and associative.
+
+The sharded engine and the live telemetry plane both fold per-worker
+snapshots in whatever order the queue delivers them, so merge-order
+invariance is load-bearing, not cosmetic.  Observation and gauge values
+are integers so float sums stay exact under reassociation — the
+property under test is merge algebra, not IEEE rounding.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Fixed pools so generated snapshots collide on keys (the interesting
+#: case).  Each gauge key has one policy everywhere, mirroring real
+#: usage where a key's policy is part of its contract.
+_COUNTER_KEYS = ("switch.packets", "switch.drops.parser-error", "interp.table_hits")
+_HIST_KEYS = ("pipeline.latency_us.parse", "switch.latency_us.packet")
+_GAUGE_POLICY = {
+    "tna.schedule.stages_used": "max",
+    "engine.resident_entries": "sum",
+    "engine.queue_depth": "last",
+}
+
+_counters = st.dictionaries(
+    st.sampled_from(_COUNTER_KEYS), st.integers(0, 10_000), max_size=3
+)
+_gauges = st.dictionaries(
+    st.sampled_from(sorted(_GAUGE_POLICY)), st.integers(-50, 50), max_size=3
+)
+_observations = st.dictionaries(
+    st.sampled_from(_HIST_KEYS),
+    st.lists(st.integers(-4, 4096), min_size=1, max_size=8),
+    max_size=2,
+)
+
+
+@st.composite
+def snapshots(draw):
+    reg = MetricsRegistry(enabled=True)
+    for key, n in draw(_counters).items():
+        reg.inc(key, n)
+    for key, value in draw(_gauges).items():
+        reg.set_gauge(key, value, policy=_GAUGE_POLICY[key])
+    for key, values in draw(_observations).items():
+        for v in values:
+            reg.observe(key, float(v))
+    return reg.snapshot()
+
+
+def _fold(snaps):
+    reg = MetricsRegistry()
+    for snap in snaps:
+        reg.merge(snap)
+    return reg.snapshot()
+
+
+@settings(max_examples=200, deadline=None)
+@given(snapshots(), snapshots())
+def test_merge_commutative(a, b):
+    assert _fold([a, b]) == _fold([b, a])
+
+
+@settings(max_examples=200, deadline=None)
+@given(snapshots(), snapshots(), snapshots())
+def test_merge_associative(a, b, c):
+    left = MetricsRegistry().merge(_fold([a, b])).merge(c).snapshot()
+    right = MetricsRegistry().merge(a).merge(_fold([b, c])).snapshot()
+    assert left == right == _fold([a, b, c])
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshots(), st.lists(snapshots(), min_size=0, max_size=4))
+def test_merge_any_permutation(first, rest):
+    import itertools
+
+    snaps = [first, *rest]
+    baseline = _fold(snaps)
+    for perm in itertools.islice(itertools.permutations(snaps), 6):
+        assert _fold(perm) == baseline
+
+
+@settings(max_examples=100, deadline=None)
+@given(snapshots(), st.dictionaries(
+    st.sampled_from(_COUNTER_KEYS), st.integers(1, 100), min_size=1, max_size=3,
+))
+def test_worker_reset_prevents_fork_double_count(parent_snap, child_work):
+    """A forked worker inherits the parent registry; resetting before it
+    records anything means the parent's fold-in adds only the child's
+    own work — never the inherited pre-fork counts a second time."""
+    parent = MetricsRegistry.from_snapshot(parent_snap)
+    child = MetricsRegistry.from_snapshot(parent_snap)  # the fork copy
+    child.reset()
+    child.enable()
+    for key, n in child_work.items():
+        child.inc(key, n)
+    parent.merge(child.snapshot())
+    for key in _COUNTER_KEYS:
+        expected = parent_snap.get("counters", {}).get(key, 0) + child_work.get(key, 0)
+        assert parent.counter(key) == expected

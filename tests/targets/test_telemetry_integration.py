@@ -1,0 +1,143 @@
+"""Telemetry plane end-to-end: digest neutrality and live publishing.
+
+The acceptance contract: turning telemetry on (live publishing, latency
+histograms, flight recorder, trace streaming) must not move a single
+bit of the verdict-stream digest, and sharded runs must surface
+epoch-stamped per-shard snapshots whose merged counters match the final
+summary.
+"""
+
+from repro.net.packet import Packet
+from repro.obs.metrics import METRICS, collecting
+from repro.obs.telemetry import LiveTelemetry
+from repro.targets.engine import EngineConfig, run_sharded_program
+from repro.targets.soak import SoakConfig, run_soak, soak_program
+
+
+def quick_config(**kw):
+    kw.setdefault("programs", ["P4"])
+    kw.setdefault("packets", 400)
+    kw.setdefault("seed", 99)
+    kw.setdefault("fault_rate", 0.2)
+    return SoakConfig(**kw)
+
+
+class TestDigestNeutrality:
+    def test_single_process_digest_unchanged_by_telemetry(self):
+        baseline = soak_program(quick_config(), "P4")
+        telemetry = LiveTelemetry()
+        with collecting():
+            live = soak_program(
+                quick_config(), "P4", telemetry=telemetry,
+                publish_interval_s=0.0,  # publish on every check
+            )
+        assert live["digest"] == baseline["digest"]
+        assert live["packets"] == baseline["packets"]
+
+    def test_sharded_digest_unchanged_by_telemetry(self):
+        config = quick_config(packets=600, exec_backend="compiled")
+        off = run_sharded_program(config, "P4", EngineConfig(workers=2))
+        telemetry = LiveTelemetry()
+        on = run_sharded_program(
+            config,
+            "P4",
+            EngineConfig(workers=2, publish_interval_s=0.001),
+            telemetry=telemetry,
+        )
+        assert on["digest"] == off["digest"]
+
+    def test_flight_recorder_capacity_does_not_move_digest(self):
+        a = soak_program(quick_config(flight_recorder=0), "P4")
+        b = soak_program(quick_config(flight_recorder=8), "P4")
+        assert a["digest"] == b["digest"]
+
+
+class TestLivePublishing:
+    def test_sharded_run_publishes_final_epochs(self):
+        telemetry = LiveTelemetry()
+        config = quick_config(packets=500)
+        block = run_sharded_program(
+            config, "P4", EngineConfig(workers=2), telemetry=telemetry
+        )
+        assert telemetry.sources() == [("P4", 0), ("P4", 1)]
+        snap = telemetry.snapshot()
+        assert all(s["final"] for s in snap["shards"])
+        assert all(s["epoch"] >= 1 for s in snap["shards"])
+        # The folded live ledger ends exactly at the merged summary.
+        assert snap["ledger"]["in"] == block["packets"]
+        assert snap["ledger"]["out"] == block["emits"]
+        assert snap["ledger"]["dropped"] == block["drops"]
+        merged = telemetry.merged_registry()
+        assert merged.counter("switch.packets") == block["packets"]
+
+    def test_run_soak_threads_telemetry_through(self):
+        telemetry = LiveTelemetry()
+        summary = run_soak(
+            quick_config(programs=["P4", "P7"], packets=300),
+            engine=EngineConfig(workers=2),
+            telemetry=telemetry,
+        )
+        assert summary["ok"]
+        assert {p for p, _ in telemetry.sources()} == {"P4", "P7"}
+
+    def test_latency_quantiles_present_in_live_view(self):
+        telemetry = LiveTelemetry()
+        run_sharded_program(
+            quick_config(packets=400), "P4",
+            EngineConfig(workers=2), telemetry=telemetry,
+        )
+        latency = telemetry.snapshot()["latency_us"]
+        for stage in ("parse", "lookup", "action"):
+            key = f"pipeline.latency_us.{stage}"
+            assert latency[key]["count"] > 0
+            assert latency[key]["p50"] > 0
+        assert latency["switch.latency_us.packet"]["p99"] >= (
+            latency["switch.latency_us.packet"]["p50"]
+        )
+
+
+class TestLatencyInstrumentationBothBackends:
+    def _stage_counts(self, exec_backend):
+        from repro.targets.soak import _build_switch, _routable_templates
+
+        config = quick_config(
+            fault_rate=0.0, traffic="routable", exec_backend=exec_backend
+        )
+        switch = _build_switch(config, "P4")
+        with collecting():
+            for data in _routable_templates():
+                switch.process(Packet(data), 1)
+            return {
+                stage: (METRICS.histogram(f"pipeline.latency_us.{stage}") or {})
+                .get("count", 0)
+                for stage in ("parse", "lookup", "action", "deparse")
+            }
+
+    def test_same_stage_keys_same_counts(self):
+        interp = self._stage_counts("interp")
+        compiled = self._stage_counts("compiled")
+        # Both backends report under the same keys with identical
+        # observation counts — the backend must not change what is
+        # counted, only how fast it runs.
+        assert interp == compiled
+        assert all(count > 0 for count in interp.values())
+
+
+class TestFlightRecorderWiring:
+    def test_dump_attached_on_uncaught_escape(self):
+        # strict=True re-raises contained faults, which the soak loop
+        # then counts as an uncaught escape — exactly the case the
+        # flight recorder exists for.
+        block = soak_program(
+            quick_config(packets=200, strict=True, fault_rate=0.3), "P4"
+        )
+        assert block["uncaught"]
+        assert "flight_recorder" in block
+        assert len(block["flight_recorder"]) <= 64
+        kinds = {entry["kind"] for entry in block["flight_recorder"]}
+        assert "uncaught" in kinds
+
+    def test_no_dump_on_clean_run(self):
+        block = soak_program(quick_config(packets=100, fault_rate=0.0), "P4")
+        assert not block["uncaught"]
+        assert "flight_recorder" not in block
