@@ -457,7 +457,19 @@ def _setup_telemetry(args: argparse.Namespace):
 
         telemetry = LiveTelemetry()
         if args.stats_port is not None:
-            server = StatsServer(telemetry, port=args.stats_port).start()
+            try:
+                server = StatsServer(telemetry, port=args.stats_port).start()
+            except OSError as exc:
+                # Busy or privileged port: surface a reason-coded CLI
+                # error (exit 4, --json aware) instead of a traceback.
+                from repro.errors import TargetError
+
+                err = TargetError(
+                    f"cannot serve --stats-port {args.stats_port}: "
+                    f"{exc.strerror or exc}"
+                )
+                err.code = "stats-port-unavailable"
+                raise err from exc
             print(
                 f"stats: {server.url}/stats.json (Prometheus: /metrics)",
                 file=sys.stderr,
@@ -518,6 +530,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
         engine = EngineConfig(
             workers=args.workers,
             shard_policy=args.shard_policy,
+            ingest=args.ingest,
             publish_interval_s=(
                 args.publish_interval if telemetry is not None else 0.0
             ),
@@ -815,6 +828,14 @@ def make_parser() -> argparse.ArgumentParser:
         "--shard-policy", choices=("flow-hash", "round-robin"),
         default="flow-hash",
         help="how --workers assigns packets to shards (default: flow-hash)",
+    )
+    p_soak.add_argument(
+        "--ingest", choices=("replay", "dispatch"), default="dispatch",
+        help="how packets reach the workers: the parent generates the "
+        "stream once and dispatches over shared-memory rings to a "
+        "resident pool (dispatch, default), or every worker replays the "
+        "full stream and filters to its shard (replay, deprecated); "
+        "the digest is identical either way",
     )
     p_soak.add_argument(
         "--exec", choices=("interp", "compiled"), default="interp",

@@ -75,19 +75,32 @@ class LiveTelemetry:
         metrics: Dict[str, Dict[str, object]],
         ledger: Optional[Dict[str, int]] = None,
         final: bool = False,
+        run: Optional[int] = None,
     ) -> bool:
         """Install one source's cumulative snapshot; returns False if a
-        newer epoch for the same source was already present."""
+        newer epoch for the same source was already present.
+
+        ``run`` identifies a worker-pool submission: a resident worker's
+        epochs restart at 1 on every run, so when the incoming ``run``
+        differs from the stored one the snapshot *replaces* the source
+        outright instead of losing the epoch comparison to the previous
+        run's higher epochs.
+        """
         key = (program, int(shard))
         with self._lock:
             current = self._sources.get(key)
-            if current is not None and int(current["epoch"]) >= epoch:  # type: ignore[arg-type]
+            if (
+                current is not None
+                and current.get("run") == run
+                and int(current["epoch"]) >= epoch  # type: ignore[arg-type]
+            ):
                 return False
             self._sources[key] = {
                 "epoch": int(epoch),
                 "metrics": metrics,
                 "ledger": dict(ledger or {}),
                 "final": bool(final),
+                "run": run,
             }
             self._publishes += 1
         return True
@@ -125,15 +138,16 @@ class LiveTelemetry:
             registry.merge(entry["metrics"])  # type: ignore[arg-type]
             for k, v in entry["ledger"].items():  # type: ignore[union-attr]
                 ledger[k] = ledger.get(k, 0) + int(v)
-            shards.append(
-                {
-                    "program": program,
-                    "shard": shard,
-                    "epoch": entry["epoch"],
-                    "final": entry["final"],
-                    "ledger": entry["ledger"],
-                }
-            )
+            shard_entry = {
+                "program": program,
+                "shard": shard,
+                "epoch": entry["epoch"],
+                "final": entry["final"],
+                "ledger": entry["ledger"],
+            }
+            if entry.get("run") is not None:
+                shard_entry["run"] = entry["run"]
+            shards.append(shard_entry)
         latency = {
             key: {
                 "count": registry.histogram(key)["count"],  # type: ignore[index]

@@ -7,12 +7,24 @@ processes, each owning an independent :class:`~repro.targets.switch
 .Switch` replica built from the same compiled pipeline, and folds the
 per-shard results back into one summary.
 
-The determinism contract (DESIGN.md §9):
+Two ingest modes feed the replicas (``EngineConfig.ingest``):
 
-* every worker replays the *same* generator stream
-  (:func:`repro.targets.soak.iter_stream`) and keeps only the packets
-  its shard owns, so the union over shards is bit-identical to a
-  single-process run;
+* ``dispatch`` (default) — the parent generates the stream **once**,
+  assigns each packet's shard, and pushes ``(index, bytes, in_port)``
+  records to a resident :class:`~repro.targets.pool.WorkerPool` over
+  per-shard shared-memory rings (:mod:`repro.targets.ring`).  Workers
+  are long-lived: one ``start()``, any number of ``submit()`` runs.
+  This matches how RMT hardware scales — replicated pipes fed from one
+  shared ingest — and per-worker work is O(shard), not O(stream).
+* ``replay`` (legacy, deprecated) — every worker replays the *entire*
+  deterministic stream (:func:`repro.targets.soak.iter_stream`) and
+  keeps only the packets its shard owns.  Kept as the baseline the
+  engine-scaling benchmark measures dispatch against, and as the
+  substrate of ``sequential`` mode (contention-free per-shard timing
+  for the modeled aggregate rate).
+
+The determinism contract (DESIGN.md §9, §13) is identical either way:
+
 * shard assignment is a pure function of the packet: ``flow-hash``
   (crc32 of the packet bytes mod workers — a software RSS) or
   ``round-robin`` (global packet index mod workers);
@@ -23,7 +35,8 @@ The determinism contract (DESIGN.md §9):
   shard order.
 
 Hence ``merged digest = f(seed, workers, shard_policy)`` — replayable
-exactly, whether the workers run concurrently or one at a time.
+exactly, whether the workers run concurrently or one at a time, and
+independent of the ingest mode (pinned by test and CI).
 
 Workers report a local :class:`~repro.obs.metrics.MetricsRegistry`
 snapshot; the parent folds them with the registry's commutative
@@ -49,12 +62,13 @@ import time
 import traceback
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import TargetError
 from repro.net.packet import Packet
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.targets.backends import make_pipeline
+from repro.targets.ring import DEFAULT_RING_BYTES
 from repro.targets.soak import (
     SoakConfig,
     build_switch,
@@ -66,7 +80,13 @@ from repro.targets.soak import (
 #: Shard-assignment policies.
 SHARD_POLICIES = ("flow-hash", "round-robin")
 
-#: Packets a worker hands to ``Switch.process_batch`` at a time.
+#: Stream-ingest modes (see the module docstring).
+INGEST_MODES = ("replay", "dispatch")
+
+#: Packets a worker hands to ``Switch.process_batch`` at a time.  Both
+#: ingest modes batch identically (exactly this many consecutive owned
+#: packets, partial batch only at end of stream) so the two produce the
+#: same batches — and therefore the same verdict stream — bit for bit.
 BATCH_SIZE = 256
 
 
@@ -106,11 +126,21 @@ class EngineConfig:
 
     workers: int = 2
     shard_policy: str = "flow-hash"  # flow-hash | round-robin
+    #: How packets reach the workers: ``dispatch`` (parent-side stream
+    #: generation pushed to a resident pool over shared-memory rings)
+    #: or ``replay`` (each worker regenerates the full stream and
+    #: filters; deprecated, kept for benchmark comparison).
+    ingest: str = "dispatch"
+    #: Per-shard ring capacity in bytes (dispatch mode).  Bounds the
+    #: parent's lead over a slow worker; a full ring blocks the parent
+    #: (backpressure) rather than dropping anything.
+    ring_bytes: int = DEFAULT_RING_BYTES
     #: Run the shard workers one at a time instead of concurrently.
     #: Results and digests are identical either way; sequential mode
     #: exists so per-shard busy time can be measured without CPU
     #: timesharing noise on machines with fewer cores than workers
     #: (the engine-scaling benchmark uses it to model throughput).
+    #: Implies ``replay`` ingest — there is no parent to overlap with.
     sequential: bool = False
     #: Enable each worker's metrics registry and fold the snapshots
     #: into the merged block (``switch.*`` / ``interp.*`` counters).
@@ -122,8 +152,9 @@ class EngineConfig:
     #: ``collect_metrics``.
     publish_interval_s: float = 0.0
     #: Give up if a worker reports nothing for this long (safety net
-    #: against a hung worker; generous because workers compile the
-    #: pipeline if the parent's compiled copy was not inherited).
+    #: against a hung worker).  The deadline is re-armed by *any*
+    #: message from a still-pending shard — telemetry publishes count
+    #: as liveness — so a healthy worker on a long soak never trips it.
     watchdog_s: float = 600.0
     #: Test-only fault injection for the engine's own failure paths:
     #: shard 0's worker exits hard ("exit"), raises ("error"), or
@@ -137,6 +168,15 @@ class EngineConfig:
             raise TargetError(
                 f"unknown shard policy {self.shard_policy!r}; "
                 f"known: {', '.join(SHARD_POLICIES)}"
+            )
+        if self.ingest not in INGEST_MODES:
+            raise TargetError(
+                f"unknown ingest mode {self.ingest!r}; "
+                f"known: {', '.join(INGEST_MODES)}"
+            )
+        if self.ring_bytes < 1024:
+            raise TargetError(
+                f"engine ring_bytes must be >= 1024, got {self.ring_bytes}"
             )
 
 
@@ -160,13 +200,15 @@ def assign_shard(index: int, data: bytes, workers: int, policy: str) -> int:
 
 
 # ----------------------------------------------------------------------
-# Parent->child state handoff
+# Parent->child state handoff (replay ingest only)
 # ----------------------------------------------------------------------
-# Compiled pipelines are handed to workers by fork inheritance: the
+# Replay-mode pipelines are handed to workers by fork inheritance: the
 # parent compiles once, stashes the result here, and forked children
 # find it without pickling an AST.  Under a non-fork start method the
 # dict comes up empty and each worker compiles its own copy (slower,
-# same results).
+# same results).  Dispatch mode does not use this — the pool installs
+# pipelines via an explicit control message, which works under any
+# start method.
 _SHARED_PIPELINES: Dict[Tuple[str, str], object] = {}
 
 
@@ -181,12 +223,13 @@ def _mp_context():
 # Worker side
 # ----------------------------------------------------------------------
 def _worker_init(engine: EngineConfig) -> None:
-    """Per-worker initialization.
+    """Per-worker (and, in the pool, per-run) initialization.
 
-    The registry reset is load-bearing: a forked child starts with a
-    copy of the parent's ``METRICS`` — counters recorded before the
-    fork included — and reporting a snapshot of that would double-count
-    them after the parent's merge.
+    The registry reset is load-bearing twice over: a forked child
+    starts with a copy of the parent's ``METRICS`` — counters recorded
+    before the fork included — and a resident pool worker still holds
+    the previous run's counters; reporting a snapshot of either would
+    double-count after the parent's merge.
     """
     METRICS.reset()
     if engine.collect_metrics:
@@ -195,32 +238,32 @@ def _worker_init(engine: EngineConfig) -> None:
         METRICS.disable()
 
 
-def _run_shard(
-    config: SoakConfig,
-    program: str,
+def _consume(
+    switch,
+    stream: Iterable[Tuple[int, Packet, int]],
     engine: EngineConfig,
     shard: int,
     publish=None,
     recorder=None,
 ) -> Dict[str, object]:
-    """One worker's whole job: replay, filter, process, summarize.
+    """Process one shard's packet stream and summarize it.
+
+    ``stream`` yields only the packets this shard owns, in global-index
+    order — the replay worker filters the full generator stream down to
+    that, the pool worker decodes it from its ring.  Everything
+    downstream (batching, digesting, accounting) is shared, so the two
+    ingest modes cannot drift apart.
 
     ``publish(epoch, ledger)`` (when given) posts a mid-run telemetry
-    message on the result queue every ``engine.publish_interval_s``
-    seconds; ``recorder`` (a :class:`~repro.obs.telemetry
-    .FlightRecorder`) remembers the last N verdicts for post-mortem
-    dumps.  Neither touches the verdict stream or the digest.
+    message every ``engine.publish_interval_s`` seconds; ``recorder``
+    (a :class:`~repro.obs.telemetry.FlightRecorder`) remembers the last
+    N verdicts for post-mortem dumps.  Neither touches the verdict
+    stream or the digest.
+
+    The returned block carries ``elapsed_s`` **unrounded** — rounding a
+    sub-millisecond shard to 0.0 used to wreck the merged aggregate
+    rate; presentation rounding happens in :func:`_merge_blocks`.
     """
-    composed = _SHARED_PIPELINES.get((program, config.mode))
-    if composed is None:
-        composed = compose_program(config, program)
-    switch = build_switch(
-        config,
-        program,
-        composed,
-        fault_seed=shard_seed(config.seed, program, shard),
-    )
-    workers, policy = engine.workers, engine.shard_policy
     digest = hashlib.sha256()
     uncaught: List[str] = []
     unbalanced = 0
@@ -268,11 +311,7 @@ def _run_shard(
             update_digest(digest, index, verdict)
         batch.clear()
 
-    for index, packet, in_port in iter_stream(
-        config, program, switch.config.num_ports
-    ):
-        if assign_shard(index, packet.tobytes(), workers, policy) != shard:
-            continue
+    for index, packet, in_port in stream:
         batch.append((index, packet, in_port))
         if len(batch) >= BATCH_SIZE:
             flush()
@@ -287,7 +326,6 @@ def _run_shard(
     ledger_ok = stats["units"] == stats["out"] + stats["dropped"]
     block: Dict[str, object] = {
         "shard": shard,
-        "seed": shard_seed(config.seed, program, shard),
         "packets": stats["in"],
         "emits": stats["out"],
         "drops": stats["dropped"],
@@ -305,7 +343,7 @@ def _run_shard(
         "unbalanced_verdicts": unbalanced,
         "ledger_ok": ledger_ok and unbalanced == 0,
         "digest": digest.hexdigest(),
-        "elapsed_s": round(elapsed, 3),
+        "elapsed_s": elapsed,
         "pkts_per_sec": round(stats["in"] / elapsed, 1) if elapsed else None,
     }
     if engine.collect_metrics:
@@ -313,6 +351,39 @@ def _run_shard(
     block["telemetry_epochs"] = epoch
     if recorder is not None and (uncaught or not block["ledger_ok"]):
         block["flight_recorder"] = recorder.dump()
+    return block
+
+
+def _run_shard(
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    shard: int,
+    publish=None,
+    recorder=None,
+) -> Dict[str, object]:
+    """One replay-mode worker's whole job: replay, filter, consume."""
+    composed = _SHARED_PIPELINES.get((program, config.mode))
+    if composed is None:
+        composed = compose_program(config, program)
+    switch = build_switch(
+        config,
+        program,
+        composed,
+        fault_seed=shard_seed(config.seed, program, shard),
+    )
+    workers, policy = engine.workers, engine.shard_policy
+    stream = (
+        (index, packet, in_port)
+        for index, packet, in_port in iter_stream(
+            config, program, switch.config.num_ports
+        )
+        if assign_shard(index, packet.tobytes(), workers, policy) == shard
+    )
+    block = _consume(
+        switch, stream, engine, shard, publish=publish, recorder=recorder
+    )
+    block["seed"] = shard_seed(config.seed, program, shard)
     return block
 
 
@@ -393,18 +464,34 @@ def _collect(
     out_queue,
     engine: EngineConfig,
     on_telemetry=None,
+    expect_run: Optional[int] = None,
+    initial: Optional[Dict[int, Dict[str, object]]] = None,
 ) -> Dict[int, Dict[str, object]]:
     """Gather one result per shard; raise on worker failure or death.
 
     Mid-run ``("telemetry", shard, payload)`` messages are forwarded to
     ``on_telemetry(shard, payload)`` (or dropped when no consumer is
-    wired) without affecting result accounting.
+    wired) without affecting result accounting.  Any message from a
+    still-pending shard re-arms the watchdog — a worker that publishes
+    telemetry is alive, however long its shard takes.
+
+    ``expect_run`` (pool runs) discards stale payloads tagged with a
+    different run id; ``initial`` seeds results the caller already
+    drained while dispatching.
     """
-    results: Dict[int, Dict[str, object]] = {}
-    pending = set(procs)
+    results: Dict[int, Dict[str, object]] = dict(initial or {})
+    pending = set(procs) - set(results)
     deadline = time.monotonic() + engine.watchdog_s
 
     def handle(kind: str, shard: int, payload: Dict[str, object]) -> None:
+        nonlocal deadline
+        if (
+            expect_run is not None
+            and payload.get("run") not in (None, expect_run)
+        ):
+            return  # stale message from an earlier pool run
+        if shard in pending:
+            deadline = time.monotonic() + engine.watchdog_s
         if kind == "telemetry":
             if on_telemetry is not None:
                 on_telemetry(shard, payload)
@@ -458,7 +545,13 @@ def _merge_blocks(
     wall_s: float,
 ) -> Dict[str, object]:
     """Fold per-shard blocks into one program block (same shape as
-    ``soak_program``'s, plus sharding fields)."""
+    ``soak_program``'s, plus sharding fields).
+
+    Shard blocks arrive with unrounded ``elapsed_s``; the aggregate
+    rate divides by the *raw* busiest time (a sub-millisecond shard
+    must not round to 0.0 and blow up the quotient) and rounding is
+    applied only to the rendered per-shard output.
+    """
 
     def total(key: str) -> int:
         return sum(int(block[key]) for block in shards)
@@ -482,6 +575,7 @@ def _merge_blocks(
         "mode": config.mode,
         "workers": engine.workers,
         "shard_policy": engine.shard_policy,
+        "ingest": engine.ingest,
         "packets": total("packets"),
         "emits": total("emits"),
         "drops": total("drops"),
@@ -507,10 +601,13 @@ def _merge_blocks(
         # max(shard busy time).  Equals the wall-clock rate when the
         # machine really has `workers` free cores.
         "aggregate_pkts_per_sec": (
-            round(total("packets") / busiest, 1) if busiest else None
+            round(total("packets") / busiest, 1) if busiest > 0 else None
         ),
         "shards": [
-            {k: v for k, v in block.items() if k != "metrics"}
+            {
+                **{k: v for k, v in block.items() if k != "metrics"},
+                "elapsed_s": round(float(block["elapsed_s"]), 3),
+            }
             for block in shards
         ],
     }
@@ -522,27 +619,42 @@ def _merge_blocks(
     return merged
 
 
-def run_sharded_program(
+def _publish_final_epochs(
+    telemetry,
+    program: str,
+    shards: List[Dict[str, object]],
+    epochs_seen: Dict[int, int],
+    run: Optional[int] = None,
+) -> None:
+    """Final fold: the authoritative end-of-run snapshot per shard, one
+    epoch past anything published mid-run so it always wins."""
+    for block in shards:
+        shard = int(block["shard"])  # type: ignore[arg-type]
+        telemetry.publish(
+            program,
+            shard,
+            epochs_seen.get(shard, 0) + 1,
+            block.get("metrics", {}),
+            ledger={
+                "in": block["packets"],
+                "out": block["emits"],
+                "dropped": block["drops"],
+                "replicated": block["replicated"],
+                "killed": block["killed"],
+                "units": block["units"],
+            },
+            final=True,
+            run=run,
+        )
+
+
+def _run_sharded_replay(
     config: SoakConfig,
     program: str,
     engine: EngineConfig,
     telemetry=None,
 ) -> Dict[str, object]:
-    """Soak one program across ``engine.workers`` switch replicas.
-
-    Returns a merged program block shaped like ``soak_program``'s, with
-    per-shard sub-blocks under ``"shards"``.  Compile problems surface
-    from the parent (before any fork); worker failures raise
-    :class:`EngineError`; ``KeyboardInterrupt`` tears all workers down
-    and propagates.
-
-    ``telemetry`` (a :class:`~repro.obs.telemetry.LiveTelemetry`)
-    receives each worker's mid-run publishes (when
-    ``engine.publish_interval_s > 0``) and, after join, one final
-    epoch-stamped snapshot per shard — so the rolling view always ends
-    exactly at the merged result.
-    """
-    engine.validate()
+    """Legacy fork-per-run path: every worker replays the full stream."""
     epochs_seen: Dict[int, int] = {}
 
     def on_telemetry(shard: int, payload: Dict[str, object]) -> None:
@@ -603,26 +715,42 @@ def run_sharded_program(
     wall_s = time.perf_counter() - start
     shards = [results[shard] for shard in sorted(results)]
     if telemetry is not None and engine.collect_metrics:
-        # Final fold: the authoritative end-of-run snapshot per shard,
-        # one epoch past anything published mid-run so it always wins.
-        for block in shards:
-            shard = int(block["shard"])  # type: ignore[arg-type]
-            telemetry.publish(
-                program,
-                shard,
-                epochs_seen.get(shard, 0) + 1,
-                block.get("metrics", {}),
-                ledger={
-                    "in": block["packets"],
-                    "out": block["emits"],
-                    "dropped": block["drops"],
-                    "replicated": block["replicated"],
-                    "killed": block["killed"],
-                    "units": block["units"],
-                },
-                final=True,
-            )
+        _publish_final_epochs(telemetry, program, shards, epochs_seen)
     return _merge_blocks(program, config, engine, shards, wall_s)
+
+
+def run_sharded_program(
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    telemetry=None,
+) -> Dict[str, object]:
+    """Soak one program across ``engine.workers`` switch replicas.
+
+    Returns a merged program block shaped like ``soak_program``'s, with
+    per-shard sub-blocks under ``"shards"``.  Compile problems surface
+    from the parent (before any fork); worker failures raise
+    :class:`EngineError`; ``KeyboardInterrupt`` tears all workers down
+    and propagates.
+
+    With ``dispatch`` ingest (the default) this spins up a one-shot
+    :class:`~repro.targets.pool.WorkerPool`; callers soaking several
+    programs should hold a pool themselves and ``submit()`` each one so
+    the workers stay resident (``run_soak`` does).
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.LiveTelemetry`)
+    receives each worker's mid-run publishes (when
+    ``engine.publish_interval_s > 0``) and, after join, one final
+    epoch-stamped snapshot per shard — so the rolling view always ends
+    exactly at the merged result.
+    """
+    engine.validate()
+    if engine.ingest == "dispatch" and not engine.sequential:
+        from repro.targets.pool import WorkerPool
+
+        with WorkerPool(engine) as pool:
+            return pool.submit(config, program, telemetry=telemetry)
+    return _run_sharded_replay(config, program, engine, telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -794,7 +922,7 @@ def run_profile_shards(
         "elapsed_ms": round(wall_s * 1000, 3),
         "pkts_per_sec": round(count / wall_s, 1) if wall_s else None,
         "aggregate_pkts_per_sec": (
-            round(count / busiest, 1) if busiest else None
+            round(count / busiest, 1) if busiest > 0 else None
         ),
         "exec": exec_backend,
         "lookups": {

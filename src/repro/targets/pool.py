@@ -1,0 +1,500 @@
+"""Resident worker pool: one fork, many runs, parent-side dispatch.
+
+This is the ``ingest="dispatch"`` substrate of the sharded engine
+(:mod:`repro.targets.engine`).  The legacy replay mode makes every
+worker regenerate the *entire* deterministic stream and filter it down
+to its shard — per-worker work is O(total stream), so adding workers
+adds wall-clock on any machine without a spare core per worker.  Here
+the parent generates the stream exactly once, assigns each packet's
+shard (the same pure :func:`~repro.targets.engine.assign_shard`), and
+pushes ``(index, in_port, bytes)`` records to long-lived workers over
+per-shard SPSC shared-memory rings (:mod:`repro.targets.ring`):
+
+* **one fork, many runs** — :meth:`WorkerPool.start` spawns the
+  workers once; every :meth:`WorkerPool.submit` sends a ``run`` control
+  message (program name, soak config, and the *pickled compiled
+  pipeline*) down each worker's pipe.  No ``_SHARED_PIPELINES``
+  fork-inheritance dict, so non-fork start methods work too.
+* **batched records** — ring traffic is packed several packets per
+  record (a small fixed header per packet), so the per-record ring
+  bookkeeping amortizes to noise next to pipeline execution.
+* **backpressure, never loss** — a full ring blocks the parent until
+  the worker drains it; while blocked the parent keeps polling the
+  result queue so a crashed worker surfaces as
+  :class:`~repro.targets.engine.EngineError`, not a deadlock.
+* **determinism preserved** — workers consume exactly the packets their
+  shard owns, in global-index order, and run the very same
+  :func:`~repro.targets.engine._consume` loop (same ``BATCH_SIZE``
+  batching) as replay workers, so per-shard digests — and therefore the
+  pinned golden merged digests — are bit-identical across ingest modes.
+
+Every message a pool worker posts is tagged with the pool run id, and
+telemetry publishes carry it through to
+:class:`~repro.obs.telemetry.LiveTelemetry`, whose per-source epochs
+restart at each new run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import struct
+import time
+import traceback
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.obs.metrics import METRICS
+from repro.targets.engine import (
+    EngineConfig,
+    EngineError,
+    _collect,
+    _consume,
+    _merge_blocks,
+    _mp_context,
+    _publish_final_epochs,
+    _worker_init,
+    assign_shard,
+    shard_seed,
+)
+from repro.targets.ring import RingTimeout, ShardRing
+from repro.targets.soak import (
+    NUM_PORTS,
+    SoakConfig,
+    build_switch,
+    compose_program,
+    iter_stream_bytes,
+)
+
+#: Per-packet header inside a ring record: global index (uint64),
+#: ingress port (uint16), payload length (uint32), little-endian.
+_REC = struct.Struct("<QHI")
+
+
+def _record_cap(ring_bytes: int) -> int:
+    """Flush threshold for the parent's per-shard pack buffers.
+
+    Scales with the ring so tiny test rings still fit whole records
+    (a record must fit the ring with room for a wrap marker)."""
+    return max(512, min(8192, ring_bytes // 4))
+
+
+def _iter_ring(
+    ring: ShardRing, poll=None
+) -> Iterator[Tuple[int, Packet, int]]:
+    """Decode a worker's ring into its ``(index, packet, in_port)``
+    sub-stream; ends at the end-of-stream sentinel."""
+    while True:
+        record = ring.get(poll=poll)
+        if record is None:
+            return
+        view = memoryview(record)
+        offset, end = 0, len(record)
+        while offset < end:
+            index, in_port, length = _REC.unpack_from(record, offset)
+            offset += _REC.size
+            # Packet() copies into its own bytearray; handing it the
+            # memoryview slice skips the intermediate bytes copy.
+            yield index, Packet(view[offset : offset + length]), in_port
+            offset += length
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _run_pool_shard(
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    shard: int,
+    run: int,
+    composed,
+    ring: ShardRing,
+    out_queue,
+) -> Dict[str, object]:
+    """Execute one submitted run inside a resident worker."""
+    from repro.obs.telemetry import FlightRecorder
+
+    # Fresh registry every run: a resident worker still holds the
+    # previous run's counters, and the parent merges our snapshot.
+    _worker_init(engine)
+    recorder = (
+        FlightRecorder(config.flight_recorder, shard=shard)
+        if config.flight_recorder > 0
+        else None
+    )
+    switch = build_switch(
+        config,
+        program,
+        composed,
+        fault_seed=shard_seed(config.seed, program, shard),
+    )
+
+    def publish(epoch: int, ledger: Dict[str, int]) -> None:
+        out_queue.put(
+            (
+                "telemetry",
+                shard,
+                {
+                    "epoch": epoch,
+                    "metrics": METRICS.snapshot(),
+                    "ledger": ledger,
+                    "final": False,
+                    "run": run,
+                },
+            )
+        )
+
+    parent = os.getppid()
+
+    def parent_alive() -> None:
+        if os.getppid() != parent:  # pragma: no cover - orphan cleanup
+            os._exit(1)
+
+    block = _consume(
+        switch,
+        _iter_ring(ring, poll=parent_alive),
+        engine,
+        shard,
+        publish=publish if engine.collect_metrics else None,
+        recorder=recorder,
+    )
+    block["seed"] = shard_seed(config.seed, program, shard)
+    block["run"] = run
+    return block
+
+
+def _pool_worker(control, out_queue, ring: ShardRing, shard: int,
+                 engine: EngineConfig) -> None:
+    """Resident worker loop: wait for control messages, run, repeat.
+
+    Posts ``(kind, shard, payload)`` results exactly like the replay
+    worker; a failed run posts an error and ends the loop (the pool is
+    broken at that point — the parent tears everything down).
+    """
+    run: Optional[int] = None
+    try:
+        while True:
+            try:
+                message = control.recv()
+            except (EOFError, OSError):  # parent went away
+                return
+            kind = message.get("kind")
+            if kind == "shutdown":
+                return
+            if kind != "run":  # pragma: no cover - protocol guard
+                continue
+            run = message["run"]
+            if shard == 0 and engine.sabotage == "exit":
+                os._exit(17)
+            if shard == 0 and engine.sabotage == "error":
+                raise RuntimeError("sabotaged worker (test hook)")
+            if shard == 0 and engine.sabotage == "interrupt":
+                raise KeyboardInterrupt
+            out_queue.put(
+                (
+                    "ok",
+                    shard,
+                    _run_pool_shard(
+                        message["config"],
+                        message["program"],
+                        engine,
+                        shard,
+                        run,
+                        message["composed"],
+                        ring,
+                        out_queue,
+                    ),
+                )
+            )
+    except KeyboardInterrupt:
+        out_queue.put(
+            (
+                "error",
+                shard,
+                {"error": "interrupted", "code": "interrupted", "run": run},
+            )
+        )
+    except BaseException as exc:  # noqa: BLE001 — report, never hang the pool
+        out_queue.put(
+            (
+                "error",
+                shard,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": getattr(exc, "code", "worker-error"),
+                    "traceback": traceback.format_exc(limit=8),
+                    "run": run,
+                },
+            )
+        )
+    finally:
+        ring.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """``engine.workers`` resident shard workers fed by parent dispatch.
+
+    Usage::
+
+        with WorkerPool(engine) as pool:
+            for name in config.programs:
+                blocks[name] = pool.submit(config, name)
+
+    ``start()`` is idempotent and implied by the first ``submit()``.
+    After any failed run the pool is **broken** — rings may hold
+    undelivered records and workers may have exited — so further
+    submits are refused; ``close()`` (also via ``__exit__``) tears down
+    workers, queue, and shared-memory rings unconditionally.
+    """
+
+    def __init__(self, engine: EngineConfig,
+                 start_method: Optional[str] = None) -> None:
+        engine.validate()
+        self.engine = engine
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else _mp_context()
+        )
+        self._rings: List[ShardRing] = []
+        self._conns: list = []
+        self._procs: Dict[int, object] = {}
+        self._out_queue = None
+        self._run_id = 0
+        self._started = False
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        if self._started:
+            return self
+        self._out_queue = self._ctx.Queue()
+        try:
+            for shard in range(self.engine.workers):
+                ring = ShardRing(self.engine.ring_bytes)
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_pool_worker,
+                    args=(child_conn, self._out_queue, ring, shard,
+                          self.engine),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._rings.append(ring)
+                self._conns.append(parent_conn)
+                self._procs[shard] = proc
+        except BaseException:
+            self._started = True  # so close() reaps the partial fleet
+            self.close()
+            raise
+        self._started = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _drain(self, results, on_telemetry, run: int) -> None:
+        """Non-blocking result-queue sweep used while dispatching.
+
+        Mirrors ``_collect``'s message semantics so a worker failure
+        surfaces immediately even while the parent is blocked on a full
+        ring, then checks that every unfinished worker is still alive.
+        """
+        while True:
+            try:
+                kind, shard, payload = self._out_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if payload.get("run") not in (None, run):
+                continue
+            if kind == "telemetry":
+                on_telemetry(shard, payload)
+                continue
+            if kind == "error":
+                if payload.get("code") == "interrupted":
+                    raise KeyboardInterrupt
+                raise EngineError(
+                    f"shard {shard} worker failed: {payload.get('error')}",
+                    shard=shard,
+                    worker_error=payload,
+                )
+            results[shard] = payload
+        for shard, proc in self._procs.items():
+            if shard not in results and not proc.is_alive():
+                raise EngineError(
+                    f"shard {shard} worker died (exit code {proc.exitcode}) "
+                    f"before reporting a result",
+                    shard=shard,
+                )
+
+    def _dispatch(self, config: SoakConfig, program: str, results,
+                  on_telemetry, run: int) -> None:
+        """Generate the stream once and fan it out to the shard rings."""
+        engine = self.engine
+        workers, policy = engine.workers, engine.shard_policy
+        cap = _record_cap(engine.ring_bytes)
+        buffers = [bytearray() for _ in range(workers)]
+        pack = _REC.pack
+        drained = time.monotonic()
+
+        def poll() -> None:
+            # Invoked every ring spin while blocked on backpressure.
+            # Rate-limit the actual sweep: a queue poll + liveness check
+            # per 2ms spin burns the very CPU the worker needs to drain
+            # the ring on a single-core host; every 50ms is more than
+            # enough to surface a crashed worker.
+            nonlocal drained
+            now = time.monotonic()
+            if now - drained < 0.05:
+                return
+            drained = now
+            self._drain(results, on_telemetry, run)
+
+        def flush(shard: int) -> None:
+            try:
+                self._rings[shard].put(
+                    bytes(buffers[shard]), poll=poll,
+                    timeout=engine.watchdog_s,
+                )
+            except RingTimeout as exc:
+                raise EngineError(
+                    f"engine watchdog: shard {shard} ring stayed full for "
+                    f"{engine.watchdog_s}s ({exc})",
+                    shard=shard,
+                ) from exc
+            buffers[shard].clear()
+
+        for index, data, in_port in iter_stream_bytes(
+            config, program, NUM_PORTS
+        ):
+            shard = assign_shard(index, data, workers, policy)
+            buffer = buffers[shard]
+            buffer += pack(index, in_port, len(data))
+            buffer += data
+            if len(buffer) >= cap:
+                flush(shard)
+        for shard in range(workers):
+            if buffers[shard]:
+                flush(shard)
+            try:
+                self._rings[shard].close_stream(
+                    poll=poll, timeout=engine.watchdog_s
+                )
+            except RingTimeout as exc:
+                raise EngineError(
+                    f"engine watchdog: shard {shard} ring stayed full for "
+                    f"{engine.watchdog_s}s ({exc})",
+                    shard=shard,
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def submit(self, config: SoakConfig, program: str,
+               telemetry=None) -> Dict[str, object]:
+        """Run one program across the resident workers; returns the
+        merged program block (same shape as replay mode's)."""
+        if self._broken:
+            raise EngineError(
+                "worker pool is closed or broken (failed run); "
+                "create a new pool"
+            )
+        self.start()
+        engine = self.engine
+        # Compile in the parent: a bad program fails here, once, before
+        # any worker sees a control message.
+        composed = compose_program(config, program)
+        self._run_id += 1
+        run = self._run_id
+        epochs_seen: Dict[int, int] = {}
+
+        def on_telemetry(shard: int, payload: Dict[str, object]) -> None:
+            epoch = int(payload.get("epoch", 0))  # type: ignore[arg-type]
+            epochs_seen[shard] = max(epochs_seen.get(shard, 0), epoch)
+            if telemetry is not None:
+                telemetry.publish(
+                    program,
+                    shard,
+                    epoch,
+                    payload.get("metrics", {}),
+                    ledger=payload.get("ledger"),
+                    final=bool(payload.get("final", False)),
+                    run=run,
+                )
+
+        results: Dict[int, Dict[str, object]] = {}
+        start = time.perf_counter()
+        try:
+            for conn in self._conns:
+                conn.send(
+                    {
+                        "kind": "run",
+                        "run": run,
+                        "config": config,
+                        "program": program,
+                        "composed": composed,
+                    }
+                )
+            self._dispatch(config, program, results, on_telemetry, run)
+            results = _collect(
+                self._procs,
+                self._out_queue,
+                engine,
+                on_telemetry=on_telemetry,
+                expect_run=run,
+                initial=results,
+            )
+        except BaseException:
+            self._broken = True
+            raise
+        wall_s = time.perf_counter() - start
+        shards = [results[shard] for shard in sorted(results)]
+        if telemetry is not None and engine.collect_metrics:
+            _publish_final_epochs(
+                telemetry, program, shards, epochs_seen, run=run
+            )
+        return _merge_blocks(program, config, engine, shards, wall_s)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down workers and destroy queue + shared-memory rings."""
+        if not self._started:
+            return
+        for conn in self._conns:
+            try:
+                conn.send({"kind": "shutdown"})
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=1)
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            if proc.pid is not None:
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._out_queue is not None:
+            self._out_queue.close()
+            self._out_queue.cancel_join_thread()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+        self._rings.clear()
+        self._conns.clear()
+        self._procs.clear()
+        self._out_queue = None
+        self._started = False
+        self._broken = True  # a closed pool cannot accept new runs
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -66,6 +66,12 @@ _BASE_ENTRIES = [
 #: Recognized packet-mix names (``SoakConfig.traffic``).
 TRAFFIC_MIXES = ("mixed", "routable")
 
+#: Ports on every soak switch replica (``build_switch``'s
+#: ``SwitchConfig``).  The engine's parent-side dispatcher draws ingress
+#: ports from the same constant so the stream it generates is
+#: bit-identical to the one a replica would replay itself.
+NUM_PORTS = 16
+
 
 @dataclass
 class SoakConfig:
@@ -203,15 +209,18 @@ def _routable_templates() -> List[bytes]:
     return _ROUTABLE_TEMPLATES
 
 
-def iter_stream(
+def iter_stream_bytes(
     config: SoakConfig, program: str, num_ports: int
-) -> Iterator[Tuple[int, Packet, int]]:
-    """The run's deterministic ``(index, packet, in_port)`` stream.
+) -> Iterator[Tuple[int, bytes, int]]:
+    """The run's deterministic ``(index, bytes, in_port)`` stream.
 
-    Derived purely from ``(config.seed, program, config.traffic)`` —
-    engine workers replay this exact stream and keep only their shard's
-    packets, so the union over shards is bit-identical to a
-    single-process run.
+    Derived purely from ``(config.seed, program, config.traffic)``.
+    This is the wire form the engine's parent-side dispatcher ships to
+    worker rings: already serialized, one ``tobytes()`` per packet for
+    the whole run (replay mode re-serializes per *worker* for the shard
+    hash).  :func:`iter_stream` wraps the same generator, so the two
+    views cannot drift: the RNG call sequence here is exactly the one
+    the soak has always used.
     """
     if config.traffic not in TRAFFIC_MIXES:
         raise TargetError(
@@ -222,12 +231,22 @@ def iter_stream(
     if config.traffic == "routable":
         templates = _routable_templates()
         for index in range(config.packets):
-            packet = Packet(rng.choice(templates))
-            yield index, packet, rng.randrange(num_ports)
+            data = rng.choice(templates)
+            yield index, data, rng.randrange(num_ports)
     else:
         for index in range(config.packets):
-            packet = _gen_packet(rng)
-            yield index, packet, rng.randrange(num_ports)
+            data = _gen_packet(rng).tobytes()
+            yield index, data, rng.randrange(num_ports)
+
+
+def iter_stream(
+    config: SoakConfig, program: str, num_ports: int
+) -> Iterator[Tuple[int, Packet, int]]:
+    """:func:`iter_stream_bytes` with each payload wrapped in a
+    :class:`~repro.net.packet.Packet` — the replay-side view (engine
+    workers regenerate this stream and keep their shard's packets)."""
+    for index, data, in_port in iter_stream_bytes(config, program, num_ports):
+        yield index, Packet(data), in_port
 
 
 def update_digest(digest, index: int, verdict) -> None:
@@ -274,7 +293,7 @@ def build_switch(
     """A fully-programmed switch replica around a compiled pipeline."""
     switch = Switch(
         make_pipeline(composed, exec_backend=config.exec_backend),
-        SwitchConfig(num_ports=16, multicast_groups={1: [2, 3]}),
+        SwitchConfig(num_ports=NUM_PORTS, multicast_groups={1: [2, 3]}),
         guards=config.guards or ResourceGuards(),
         faults=_fault_plan(config, program, seed=fault_seed),
         strict=config.strict,
@@ -425,10 +444,23 @@ def run_soak(
                 "supported"
             )
         engine.validate()  # reject workers < 1 / unknown policy up front
-        programs = {
-            name: run_sharded_program(config, name, engine, telemetry=telemetry)
-            for name in config.programs
-        }
+        if engine.ingest == "dispatch" and not engine.sequential:
+            # One resident pool for the whole soak: fork once, then
+            # submit every program to the same workers.
+            from repro.targets.pool import WorkerPool
+
+            with WorkerPool(engine) as pool:
+                programs = {
+                    name: pool.submit(config, name, telemetry=telemetry)
+                    for name in config.programs
+                }
+        else:
+            programs = {
+                name: run_sharded_program(
+                    config, name, engine, telemetry=telemetry
+                )
+                for name in config.programs
+            }
     else:
         programs = {
             name: soak_program(
@@ -456,6 +488,7 @@ def run_soak(
     if engine is not None:
         meta["workers"] = engine.workers
         meta["shard_policy"] = engine.shard_policy
+        meta["ingest"] = engine.ingest
     return {
         "soak": meta,
         "programs": programs,

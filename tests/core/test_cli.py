@@ -352,6 +352,26 @@ class TestSoak:
         assert payload["ok"] is False
         assert "unknown soak program" in payload["error"]
 
+    def test_soak_ingest_modes_share_a_digest(self, capsys):
+        # --ingest picks the transport, never the results: the legacy
+        # replay path and the dispatch pool must agree byte-for-byte.
+        digests = {}
+        for mode in ("replay", "dispatch"):
+            rc = main(["soak", "--programs", "P4", "--packets", "300",
+                       "--seed", "7", "--workers", "2",
+                       "--ingest", mode, "--json"])
+            assert rc == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["programs"]["P4"]["ingest"] == mode
+            digests[mode] = payload["digest"]
+        assert digests["replay"] == digests["dispatch"]
+
+    def test_soak_rejects_unknown_ingest(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["soak", "--programs", "P4", "--packets", "10",
+                  "--workers", "2", "--ingest", "teleport"])
+        assert "invalid choice" in capsys.readouterr().err
+
 
 class TestFailureChannels:
     def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
@@ -474,6 +494,45 @@ class TestTelemetryCli:
         assert rc == 0
         assert polled["snap"]["ledger"]["in"] == 200
         assert "repro_switch_packets 200" in polled["prom"]
+
+    def test_soak_busy_stats_port_is_reason_coded(self, capsys):
+        # A port someone else holds must surface as a structured CLI
+        # error (exit 4), never a raw OSError traceback.
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main(["soak", "--programs", "P4", "--packets", "50",
+                       "--seed", "7", "--stats-port", str(port)])
+            assert rc == 4
+            err = capsys.readouterr().err
+            assert "error[stats-port-unavailable]:" in err
+            assert str(port) in err
+        finally:
+            blocker.close()
+
+    def test_soak_busy_stats_port_json_is_structured(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            rc = main(["soak", "--programs", "P4", "--packets", "50",
+                       "--stats-port", str(port), "--json"])
+            captured = capsys.readouterr()
+            assert rc == 4
+            payload = json.loads(captured.out)
+            assert payload["ok"] is False
+            assert payload["code"] == "stats-port-unavailable"
+            assert payload["exit_code"] == 4
+            assert "error[stats-port-unavailable]:" in captured.err
+        finally:
+            blocker.close()
 
     def test_soak_trace_out_streams_jsonl(self, tmp_path, capsys):
         path = tmp_path / "traces.jsonl"

@@ -96,6 +96,26 @@ class TestLiveTelemetry:
         assert snap["ledger"] == {}
         assert snap["latency_us"] == {}
 
+    def test_new_run_replaces_source_despite_lower_epoch(self):
+        # A resident pool reuses the same (program, shard) keys across
+        # submits; run 2's epoch 1 must replace run 1's epoch 5, not be
+        # dropped as stale.
+        live = LiveTelemetry()
+        assert live.publish("P4", 0, 5, _snap(x=100), run=1)
+        assert not live.publish("P4", 0, 4, _snap(x=1), run=1)
+        assert live.publish("P4", 0, 1, _snap(x=7), run=2)
+        assert live.merged_registry().counter("x") == 7
+        [shard] = live.snapshot()["shards"]
+        assert shard["run"] == 2 and shard["epoch"] == 1
+
+    def test_run_key_absent_when_unset(self):
+        # Single-run publishers (profile, replay path) omit run; the
+        # snapshot schema must not grow a null field for them.
+        live = LiveTelemetry()
+        live.publish("P4", 0, 1, _snap(x=1))
+        [shard] = live.snapshot()["shards"]
+        assert "run" not in shard
+
 
 class TestPrometheus:
     def test_renders_counters_gauges_histograms(self):

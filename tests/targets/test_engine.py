@@ -17,6 +17,9 @@ The load-bearing properties:
 """
 
 import multiprocessing
+import queue
+import threading
+import time
 
 import pytest
 
@@ -25,6 +28,8 @@ from repro.obs.metrics import METRICS, collecting
 from repro.targets.engine import (
     EngineConfig,
     EngineError,
+    _collect,
+    _merge_blocks,
     assign_shard,
     run_sharded_program,
     shard_seed,
@@ -74,6 +79,14 @@ class TestConfigValidation:
         with pytest.raises(TargetError, match="unknown soak program"):
             run_sharded_program(quick_config(), "P99", EngineConfig(workers=2))
         assert no_orphans()
+
+    def test_unknown_ingest_rejected(self):
+        with pytest.raises(TargetError, match="ingest"):
+            EngineConfig(ingest="osmosis").validate()
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(TargetError, match="ring_bytes"):
+            EngineConfig(ring_bytes=100).validate()
 
 
 class TestDeterminism:
@@ -200,6 +213,132 @@ class TestMetricsMerging:
             EngineConfig(workers=2, collect_metrics=False),
         )
         assert "metrics" not in merged
+
+
+class _FakeProc:
+    """Stand-in for a live worker process in direct ``_collect`` tests."""
+
+    exitcode = None
+
+    def is_alive(self):
+        return True
+
+
+def _shard_block(shard: int, packets: int, elapsed_s: float) -> dict:
+    return {
+        "shard": shard,
+        "packets": packets,
+        "emits": packets,
+        "drops": 0,
+        "units": packets,
+        "replicated": 0,
+        "killed": 0,
+        "verdicts": {"emit": packets, "drop": 0, "killed": 0},
+        "drops_by_reason": {},
+        "fault_trips": {},
+        "uncaught": [],
+        "unbalanced_verdicts": 0,
+        "ledger_ok": True,
+        "digest": f"d{shard}",
+        "elapsed_s": elapsed_s,
+        "pkts_per_sec": None,
+    }
+
+
+class TestWatchdog:
+    def test_telemetry_publishes_rearm_the_deadline(self):
+        """Regression: the watchdog deadline was fixed at start, so a
+        healthy worker publishing telemetry on a long shard still
+        tripped 'reported nothing within Ns'.  Any message from a
+        pending shard must re-arm it."""
+        out_queue = queue.Queue()
+        engine = EngineConfig(workers=1, watchdog_s=0.4)
+        seen = []
+
+        def feed():
+            # Heartbeats at 0.15s intervals for ~3x the watchdog window,
+            # then the result: only a deadline that re-arms survives.
+            for epoch in range(1, 9):
+                time.sleep(0.15)
+                out_queue.put(
+                    ("telemetry", 0, {"epoch": epoch, "metrics": {}})
+                )
+            out_queue.put(("ok", 0, {"shard": 0}))
+
+        threading.Thread(target=feed, daemon=True).start()
+        results = _collect(
+            {0: _FakeProc()}, out_queue, engine,
+            on_telemetry=lambda shard, payload: seen.append(payload["epoch"]),
+        )
+        assert results[0] == {"shard": 0}
+        assert seen == list(range(1, 9))
+
+    def test_watchdog_still_trips_when_silent(self):
+        out_queue = queue.Queue()
+        engine = EngineConfig(workers=1, watchdog_s=0.3)
+        start = time.monotonic()
+        with pytest.raises(EngineError, match="watchdog"):
+            _collect({0: _FakeProc()}, out_queue, engine)
+        assert time.monotonic() - start < 5
+
+    def test_watchdog_end_to_end_with_live_publishes(self):
+        # A real sharded run whose watchdog window is far shorter than
+        # the run itself: per-epoch publishes must keep it alive.
+        telemetry_epochs = []
+
+        class Capture:
+            def publish(self, program, shard, epoch, metrics, ledger=None,
+                        final=False, run=None):
+                telemetry_epochs.append((shard, epoch))
+                return True
+
+        merged = run_sharded_program(
+            quick_config(packets=3000, fault_rate=0.0),
+            "P4",
+            EngineConfig(workers=2, watchdog_s=1.5, publish_interval_s=0.1),
+            telemetry=Capture(),
+        )
+        assert merged["ledger_ok"]
+        assert telemetry_epochs  # the run did publish mid-flight
+
+
+class TestMergedRates:
+    def test_submillisecond_shards_do_not_break_the_aggregate(self):
+        """Regression: ``aggregate_pkts_per_sec`` divided by the busiest
+        shard's elapsed *after* round(_, 3) — a sub-millisecond shard
+        rounded to 0.0, yielding None (or a wildly inflated rate) on
+        quick runs.  The fold must use the raw elapsed and round only
+        the rendered per-shard values."""
+        engine = EngineConfig(workers=2, collect_metrics=False)
+        blocks = [
+            _shard_block(0, 10, 0.0004),
+            _shard_block(1, 10, 0.0003),
+        ]
+        merged = _merge_blocks(
+            "P4", quick_config(), engine, blocks, wall_s=0.002
+        )
+        assert merged["aggregate_pkts_per_sec"] == round(20 / 0.0004, 1)
+        # Presentation rounding still applies to the rendered shards.
+        assert [s["elapsed_s"] for s in merged["shards"]] == [0.0, 0.0]
+
+    def test_zero_elapsed_yields_none_not_crash(self):
+        engine = EngineConfig(workers=1, collect_metrics=False)
+        merged = _merge_blocks(
+            "P4", quick_config(), engine, [_shard_block(0, 5, 0.0)],
+            wall_s=0.0,
+        )
+        assert merged["aggregate_pkts_per_sec"] is None
+        assert merged["pkts_per_sec"] is None
+
+    def test_real_run_reports_unrounded_busy_time(self):
+        merged = run_sharded_program(
+            quick_config(packets=50, fault_rate=0.0),
+            "P4",
+            EngineConfig(workers=2),
+        )
+        # However quick the run, the aggregate must be a real number.
+        assert merged["aggregate_pkts_per_sec"] is not None
+        assert merged["aggregate_pkts_per_sec"] > 0
 
 
 class TestFailureHandling:
