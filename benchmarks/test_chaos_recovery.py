@@ -1,0 +1,98 @@
+"""Recovery overhead: a supervised restart must cost bounded wall-clock
+and change nothing about the result.
+
+The self-healing pool (DESIGN.md §14) recovers a killed replica by
+respawning it, replaying its deterministic prefix up to the completed
+watermark, and redispatching the unacknowledged suffix.  Both halves
+are O(stream), so recovery cost is a bounded multiple of the clean
+run — this harness kills one shard mid-stream and asserts:
+
+* the merged digest is bit-identical to the undisturbed run (the whole
+  point of deterministic recovery), and
+* the disturbed run finishes within ``MAX_SLOWDOWN`` x the clean
+  wall-clock (replay + redispatch + backoff, not a hang).
+
+Results go to ``BENCH_chaos_recovery.json`` at the repo root (uploaded
+as a CI artifact).  Set ``BENCH_CHAOS_QUICK=1`` for a fast smoke run;
+quick runs use a lenient bound because shared runners are noisy.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.targets.engine import EngineConfig
+from repro.targets.faults import ChaosPlan
+from repro.targets.pool import WorkerPool
+from repro.targets.soak import SoakConfig
+from repro.targets.supervision import RestartPolicy
+
+QUICK = os.environ.get("BENCH_CHAOS_QUICK") == "1"
+PACKETS = 2000 if QUICK else 10_000
+WORKERS = 2
+# A restart replays at most the whole stream once and redispatches the
+# suffix; with backoff that bounds one-kill recovery well under one
+# extra clean-run of work.  CI smoke runs get generous slack.
+MAX_SLOWDOWN = 8.0 if QUICK else 3.0
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_chaos_recovery.json"
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    payload = {
+        "bench": "chaos_recovery",
+        "quick": QUICK,
+        "packets": PACKETS,
+        "workers": WORKERS,
+        "max_slowdown": MAX_SLOWDOWN,
+        "runs": RESULTS,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _config() -> SoakConfig:
+    return SoakConfig(
+        programs=["P4"], packets=PACKETS, seed=1234, fault_rate=0.1
+    )
+
+
+def _run(chaos=None):
+    engine = EngineConfig(
+        workers=WORKERS,
+        chaos=chaos,
+        restart=RestartPolicy(backoff_base_s=0.01, backoff_max_s=0.05,
+                              jitter=0.0),
+    )
+    start = time.perf_counter()
+    with WorkerPool(engine) as pool:
+        block = pool.submit(_config(), "P4")
+    return block, time.perf_counter() - start
+
+
+def test_single_kill_recovery_cost_and_digest():
+    clean_block, clean_s = _run()
+    chaos = ChaosPlan.from_specs(f"kill:shard=0@pkt={PACKETS // 2}")
+    killed_block, killed_s = _run(chaos)
+
+    assert killed_block["digest"] == clean_block["digest"]
+    assert killed_block["restarts"] == {"0": 1}
+    assert killed_block["uncaught"] == []
+
+    slowdown = killed_s / max(clean_s, 1e-9)
+    RESULTS["single_kill"] = {
+        "clean_s": round(clean_s, 4),
+        "killed_s": round(killed_s, 4),
+        "slowdown": round(slowdown, 3),
+        "digest_equal": True,
+        "restarts": killed_block["restarts"],
+    }
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"recovery cost {slowdown:.2f}x exceeds bound {MAX_SLOWDOWN}x "
+        f"(clean {clean_s:.2f}s, killed {killed_s:.2f}s)"
+    )

@@ -526,7 +526,33 @@ def cmd_soak(args: argparse.Namespace) -> int:
     engine = None
     if args.workers:
         from repro.targets.engine import EngineConfig
+        from repro.targets.faults import ChaosPlan
+        from repro.targets.supervision import RestartPolicy
 
+        restart = None
+        if (
+            args.max_restarts is not None
+            or args.restart_budget is not None
+            or args.restart_backoff is not None
+        ):
+            defaults = RestartPolicy()
+            restart = RestartPolicy(
+                max_restarts_per_shard=(
+                    args.max_restarts
+                    if args.max_restarts is not None
+                    else defaults.max_restarts_per_shard
+                ),
+                restart_budget=(
+                    args.restart_budget
+                    if args.restart_budget is not None
+                    else defaults.restart_budget
+                ),
+                backoff_base_s=(
+                    args.restart_backoff
+                    if args.restart_backoff is not None
+                    else defaults.backoff_base_s
+                ),
+            )
         engine = EngineConfig(
             workers=args.workers,
             shard_policy=args.shard_policy,
@@ -534,6 +560,15 @@ def cmd_soak(args: argparse.Namespace) -> int:
             publish_interval_s=(
                 args.publish_interval if telemetry is not None else 0.0
             ),
+            restart=restart,
+            chaos=ChaosPlan.from_specs(args.chaos) if args.chaos else None,
+        )
+    elif args.chaos:
+        from repro.errors import TargetError
+
+        raise TargetError(
+            "--chaos injects process-level faults into pool workers; "
+            "it requires --workers N (sharded dispatch mode)"
         )
     try:
         # Single-process runs need the parent registry live for the
@@ -860,6 +895,31 @@ def make_parser() -> argparse.ArgumentParser:
         "--flight-recorder", type=int, default=64, metavar="N",
         help="keep the last N verdicts per shard for post-mortem dumps "
         "on uncaught escapes or ledger mismatch (default: 64; 0 disables)",
+    )
+    p_soak.add_argument(
+        "--chaos", action="append", default=[], metavar="SPEC",
+        help="inject a process-level fault into a pool worker (repeatable; "
+        "requires --workers): kill:shard=K@pkt=N (SIGKILL at dispatch "
+        "position N), stop:shard=K@pkt=N[@resume=S] (SIGSTOP, SIGCONT "
+        "after S seconds), stall:shard=K@pkt=N[@for=S][@attempt=A] "
+        "(worker sleeps S seconds before packet N); the supervised pool "
+        "must still reproduce the undisturbed digest",
+    )
+    p_soak.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="supervised restarts allowed per shard per run before the "
+        "shard is abandoned (default: 2; 0 restores fail-fast)",
+    )
+    p_soak.add_argument(
+        "--restart-budget", type=int, default=None, metavar="N",
+        help="total supervised restarts allowed across all shards per "
+        "run (default: 8)",
+    )
+    p_soak.add_argument(
+        "--restart-backoff", type=float, default=None, metavar="S",
+        help="base backoff before the first restart of a shard; doubles "
+        "per restart, deterministically jittered from the seed "
+        "(default: 0.1)",
     )
     p_soak.set_defaults(func=cmd_soak)
 

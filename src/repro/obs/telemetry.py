@@ -59,10 +59,15 @@ class LiveTelemetry:
     side never waits on an exporter.
     """
 
+    #: Bounded supervision-event history kept per view (restarts,
+    #: abandonments); old entries age out rather than grow a long soak.
+    MAX_EVENTS = 256
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         # (program, shard) -> {"epoch", "metrics", "ledger", "final"}
         self._sources: Dict[Tuple[str, int], Dict[str, object]] = {}
+        self._events: deque = deque(maxlen=self.MAX_EVENTS)
         self._publishes = 0
         self._started = time.time()
 
@@ -76,6 +81,7 @@ class LiveTelemetry:
         ledger: Optional[Dict[str, int]] = None,
         final: bool = False,
         run: Optional[int] = None,
+        watermark: Optional[int] = None,
     ) -> bool:
         """Install one source's cumulative snapshot; returns False if a
         newer epoch for the same source was already present.
@@ -101,9 +107,16 @@ class LiveTelemetry:
                 "ledger": dict(ledger or {}),
                 "final": bool(final),
                 "run": run,
+                "watermark": watermark,
             }
             self._publishes += 1
         return True
+
+    def record_event(self, event: Dict[str, object]) -> None:
+        """Append one supervision event (restart/abandon) to the bounded
+        event history exposed by :meth:`snapshot`."""
+        with self._lock:
+            self._events.append(dict(event, ts=round(time.time(), 3)))
 
     def sources(self) -> List[Tuple[str, int]]:
         with self._lock:
@@ -131,6 +144,7 @@ class LiveTelemetry:
             items = sorted(self._sources.items())
             publishes = self._publishes
             started = self._started
+            events = list(self._events)
         registry = MetricsRegistry()
         ledger: Dict[str, int] = {}
         shards = []
@@ -147,6 +161,8 @@ class LiveTelemetry:
             }
             if entry.get("run") is not None:
                 shard_entry["run"] = entry["run"]
+            if entry.get("watermark") is not None:
+                shard_entry["watermark"] = entry["watermark"]
             shards.append(shard_entry)
         latency = {
             key: {
@@ -164,6 +180,7 @@ class LiveTelemetry:
             "ledger": ledger,
             "latency_us": latency,
             "metrics": registry.snapshot(),
+            "events": events,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -446,13 +463,29 @@ def render_stats(snapshot: Dict[str, object]) -> str:
     shards = snapshot.get("shards", [])
     for entry in shards:  # type: ignore[union-attr]
         ledger = entry.get("ledger", {})
+        watermark = (
+            f" wm={entry['watermark']}"
+            if entry.get("watermark") is not None
+            else ""
+        )
         lines.append(
             f"  {entry['program']}/shard{entry['shard']} "
             f"epoch={entry['epoch']}{' final' if entry.get('final') else ''}: "
             f"in={ledger.get('in', 0)} out={ledger.get('out', 0)} "
             f"dropped={ledger.get('dropped', 0)} "
-            f"killed={ledger.get('killed', 0)}"
+            f"killed={ledger.get('killed', 0)}{watermark}"
         )
+    events = snapshot.get("events", [])
+    if events:
+        lines.append(f"  supervision events ({len(events)}):")
+        for event in events:  # type: ignore[union-attr]
+            lines.append(
+                f"    {event.get('event', '?')} "
+                f"{event.get('program', '?')}/shard{event.get('shard', '?')} "
+                f"attempt={event.get('attempt', '?')} "
+                f"reason={event.get('reason', '?')} "
+                f"watermark={event.get('watermark', '?')}"
+            )
     ledger = snapshot.get("ledger", {})
     if ledger:
         lines.append(

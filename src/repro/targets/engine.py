@@ -68,7 +68,9 @@ from repro.errors import TargetError
 from repro.net.packet import Packet
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.targets.backends import make_pipeline
+from repro.targets.faults import ChaosPlan
 from repro.targets.ring import DEFAULT_RING_BYTES
+from repro.targets.supervision import RestartPolicy
 from repro.targets.soak import (
     SoakConfig,
     build_switch,
@@ -96,6 +98,13 @@ class EngineError(TargetError):
     ``site`` carries ``shard{i}`` and ``worker_error`` the structured
     error dict the worker posted (when it managed to post one), so the
     CLI's ``--json`` failure output stays machine-readable.
+
+    A *partial-result* error (supervised pool, restart budget
+    exhausted) additionally carries the dead shard's completed
+    ``watermark``, the supervisor's restart ledger under
+    ``supervision``, and compact per-shard summaries of the surviving
+    results under ``partial`` — graceful degradation is still a failed
+    run, but operators get everything the pool salvaged.
     """
 
     code = "engine-error"
@@ -105,10 +114,16 @@ class EngineError(TargetError):
         message: str,
         shard: Optional[int] = None,
         worker_error: Optional[dict] = None,
+        watermark: Optional[int] = None,
+        supervision: Optional[dict] = None,
+        partial: Optional[dict] = None,
     ) -> None:
         self.shard = shard
         self.site = f"shard{shard}" if shard is not None else None
         self.worker_error = worker_error
+        self.watermark = watermark
+        self.supervision = supervision
+        self.partial = partial
         super().__init__(message)
 
     def to_dict(self) -> Dict[str, object]:
@@ -117,6 +132,12 @@ class EngineError(TargetError):
             out["shard"] = self.shard
         if self.worker_error is not None:
             out["worker_error"] = self.worker_error
+        if self.watermark is not None:
+            out["watermark"] = self.watermark
+        if self.supervision is not None:
+            out["supervision"] = self.supervision
+        if self.partial is not None:
+            out["partial"] = self.partial
         return out
 
 
@@ -160,6 +181,21 @@ class EngineConfig:
     #: shard 0's worker exits hard ("exit"), raises ("error"), or
     #: raises KeyboardInterrupt ("interrupt").
     sabotage: Optional[str] = None
+    #: Self-healing bounds for the resident pool (dispatch ingest).
+    #: ``None`` means the default :class:`RestartPolicy` — supervision
+    #: is always on; set ``RestartPolicy(max_restarts_per_shard=0,
+    #: restart_budget=0)`` for the old fail-fast behavior.
+    restart: Optional["RestartPolicy"] = None
+    #: Scheduled process-level fault injection (dispatch ingest only):
+    #: a :class:`~repro.targets.faults.ChaosPlan` of kill/stop/stall
+    #: events the dispatcher fires at exact stream positions.
+    chaos: Optional["ChaosPlan"] = None
+    #: Workers acknowledge their completed watermark (highest global
+    #: packet index folded into the shard digest) at least every this
+    #: many processed packets, in addition to every telemetry publish.
+    #: Bounds redispatch work after a restart; 0 disables the dedicated
+    #: ack messages (watermarks then ride only on telemetry).
+    ack_interval_pkts: int = 2048
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -178,6 +214,25 @@ class EngineConfig:
             raise TargetError(
                 f"engine ring_bytes must be >= 1024, got {self.ring_bytes}"
             )
+        if self.ack_interval_pkts < 0:
+            raise TargetError(
+                f"engine ack_interval_pkts must be >= 0, "
+                f"got {self.ack_interval_pkts}"
+            )
+        if self.restart is not None:
+            self.restart.validate()
+        if self.chaos is not None:
+            if self.ingest != "dispatch" or self.sequential:
+                raise TargetError(
+                    "chaos injection requires dispatch ingest on the "
+                    "resident pool (no --ingest replay, no sequential mode)"
+                )
+            for event in self.chaos.events:
+                if event.shard >= self.workers:
+                    raise TargetError(
+                        f"chaos event targets shard {event.shard} but the "
+                        f"engine has only {self.workers} worker(s)"
+                    )
 
 
 def shard_seed(seed: object, program: str, shard: int) -> str:
@@ -245,6 +300,7 @@ def _consume(
     shard: int,
     publish=None,
     recorder=None,
+    ack=None,
 ) -> Dict[str, object]:
     """Process one shard's packet stream and summarize it.
 
@@ -254,11 +310,19 @@ def _consume(
     downstream (batching, digesting, accounting) is shared, so the two
     ingest modes cannot drift apart.
 
-    ``publish(epoch, ledger)`` (when given) posts a mid-run telemetry
-    message every ``engine.publish_interval_s`` seconds; ``recorder``
-    (a :class:`~repro.obs.telemetry.FlightRecorder`) remembers the last
-    N verdicts for post-mortem dumps.  Neither touches the verdict
-    stream or the digest.
+    ``publish(epoch, ledger, watermark)`` (when given) posts a mid-run
+    telemetry message every ``engine.publish_interval_s`` seconds;
+    ``recorder`` (a :class:`~repro.obs.telemetry.FlightRecorder`)
+    remembers the last N verdicts for post-mortem dumps.  Neither
+    touches the verdict stream or the digest.
+
+    The *watermark* is the highest global packet index whose verdict
+    has been folded into the digest (-1 until the first batch lands).
+    ``ack(watermark)`` (pool workers) reports it at least every
+    ``engine.ack_interval_pkts`` digested packets, so the supervisor
+    always knows a recent safe resume point; any lag only costs a
+    restarted replica some extra deterministic replay, never
+    correctness (DESIGN.md §14).
 
     The returned block carries ``elapsed_s`` **unrounded** — rounding a
     sub-millisecond shard to 0.0 used to wreck the merged aggregate
@@ -270,6 +334,10 @@ def _consume(
     kinds = {"emit": 0, "drop": 0, "killed": 0}
     batch: List[Tuple[int, Packet, int]] = []
     epoch = 0
+    watermark = -1
+    folded = 0
+    acked_at = 0
+    ack_every = engine.ack_interval_pkts if ack is not None else 0
     next_publish = (
         time.monotonic() + engine.publish_interval_s
         if publish is not None and engine.publish_interval_s > 0
@@ -278,7 +346,7 @@ def _consume(
     start = time.perf_counter()
 
     def flush() -> None:
-        nonlocal unbalanced
+        nonlocal unbalanced, watermark, folded
         if not batch:
             return
         try:
@@ -309,15 +377,22 @@ def _consume(
                 unbalanced += 1
             kinds[verdict.kind] += 1
             update_digest(digest, index, verdict)
+        # Only advance past *digested* packets: a restart resumes after
+        # the watermark, so it must never cover un-folded indices.
+        watermark = batch[-1][0]
+        folded += len(batch)
         batch.clear()
 
     for index, packet, in_port in stream:
         batch.append((index, packet, in_port))
         if len(batch) >= BATCH_SIZE:
             flush()
+            if ack_every and folded - acked_at >= ack_every:
+                acked_at = folded
+                ack(watermark)
             if next_publish is not None and time.monotonic() >= next_publish:
                 epoch += 1
-                publish(epoch, dict(switch.stats))
+                publish(epoch, dict(switch.stats), watermark)
                 next_publish = time.monotonic() + engine.publish_interval_s
     flush()
     elapsed = time.perf_counter() - start
@@ -343,6 +418,7 @@ def _consume(
         "unbalanced_verdicts": unbalanced,
         "ledger_ok": ledger_ok and unbalanced == 0,
         "digest": digest.hexdigest(),
+        "watermark": watermark,
         "elapsed_s": elapsed,
         "pkts_per_sec": round(stats["in"] / elapsed, 1) if elapsed else None,
     }
@@ -403,7 +479,7 @@ def _shard_worker(
         else None
     )
 
-    def publish(epoch: int, ledger: Dict[str, int]) -> None:
+    def publish(epoch: int, ledger: Dict[str, int], watermark: int) -> None:
         # Cumulative snapshot + ledger; the parent folds it into the
         # live view.  Never blocks the dataplane beyond the queue put.
         out_queue.put(
@@ -414,6 +490,7 @@ def _shard_worker(
                     "epoch": epoch,
                     "metrics": METRICS.snapshot(),
                     "ledger": ledger,
+                    "watermark": watermark,
                     "final": False,
                 },
             )
@@ -645,6 +722,7 @@ def _publish_final_epochs(
             },
             final=True,
             run=run,
+            watermark=block.get("watermark"),  # type: ignore[arg-type]
         )
 
 
@@ -668,6 +746,7 @@ def _run_sharded_replay(
                 payload.get("metrics", {}),
                 ledger=payload.get("ledger"),
                 final=bool(payload.get("final", False)),
+                watermark=payload.get("watermark"),  # type: ignore[arg-type]
             )
 
     # Compile once in the parent: a bad program fails here, cleanly and

@@ -282,3 +282,164 @@ class FaultPlan:
             data = data[: rng.randrange(len(data))]
             applied.append("truncate")
         return data, applied
+
+
+# ======================================================================
+# Process-level chaos injection
+# ======================================================================
+
+#: Actions a ChaosPlan knows how to inject.  ``kill`` and ``stop`` are
+#: fired by the parent-side dispatcher (SIGKILL / SIGSTOP-then-SIGCONT
+#: against the shard's worker process) when stream generation reaches
+#: the event's packet index; ``stall`` runs inside the worker (a sleep
+#: before processing the named packet), exercising the ring-stall /
+#: watchdog recovery path.
+CHAOS_ACTIONS = ("kill", "stop", "stall")
+
+
+@dataclass
+class ChaosEvent:
+    """One scheduled process-level fault.
+
+    ``pkt`` is a *global* packet index: parent-side actions fire when
+    the dispatcher's stream generation reaches it (an index past the
+    end of the stream fires after the final flush — a "final epoch"
+    kill); a ``stall`` fires in the worker right before it processes
+    that packet.  ``attempt`` filters worker-side events to one worker
+    incarnation (default 1, the original), so a replacement replica
+    does not re-trip the stall it was restarted to survive.
+    """
+
+    action: str
+    shard: int
+    pkt: int
+    #: Seconds until the parent SIGCONTs a stopped worker.
+    resume_s: float = 0.25
+    #: Worker-side sleep for ``stall`` events.
+    stall_s: float = 1.0
+    #: Worker attempt a ``stall`` applies to (1 = original worker).
+    attempt: int = 1
+    fired: bool = False
+
+
+class ChaosPlan:
+    """A deterministic schedule of process-level faults.
+
+    Mirrors :class:`FaultPlan`'s philosophy one layer up: faults are
+    *planned*, not random — the spec names exactly which shard dies at
+    which packet index, so a chaos soak replays bit-for-bit and its
+    digest can be pinned against an undisturbed run.
+
+    Spec grammar (CLI ``--chaos``, repeatable)::
+
+        kill:shard=K@pkt=N                 SIGKILL shard K's worker
+        stop:shard=K@pkt=N[@resume=S]      SIGSTOP, SIGCONT after S sec
+        stall:shard=K@pkt=N[@for=S][@attempt=A]
+                                           worker sleeps S sec at pkt N
+    """
+
+    def __init__(self, events: List[ChaosEvent]) -> None:
+        for event in events:
+            if event.action not in CHAOS_ACTIONS:
+                raise TargetError(
+                    f"unknown chaos action {event.action!r}; "
+                    f"known: {', '.join(CHAOS_ACTIONS)}"
+                )
+            if event.shard < 0:
+                raise TargetError(f"chaos shard must be >= 0, got {event.shard}")
+            if event.pkt < 0:
+                raise TargetError(f"chaos pkt must be >= 0, got {event.pkt}")
+        self.events = list(events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(cls, specs) -> "ChaosPlan":
+        """Parse one spec string or a list of them."""
+        if isinstance(specs, str):
+            specs = [specs]
+        return cls([cls._parse(spec) for spec in specs])
+
+    @staticmethod
+    def _parse(spec: str) -> ChaosEvent:
+        action, _, rest = spec.partition(":")
+        action = action.strip()
+        fields: Dict[str, str] = {}
+        for pair in filter(None, rest.split("@")):
+            key, eq, value = pair.partition("=")
+            if not eq:
+                raise TargetError(
+                    f"bad chaos spec {spec!r}: expected key=value, got {pair!r}"
+                )
+            fields[key.strip()] = value.strip()
+        try:
+            shard = int(fields.pop("shard"))
+            pkt = int(fields.pop("pkt"))
+        except KeyError as exc:
+            raise TargetError(
+                f"bad chaos spec {spec!r}: missing required field {exc}"
+            ) from None
+        except ValueError as exc:
+            raise TargetError(f"bad chaos spec {spec!r}: {exc}") from None
+        event = ChaosEvent(action=action, shard=shard, pkt=pkt)
+        try:
+            if "resume" in fields:
+                event.resume_s = float(fields.pop("resume"))
+            if "for" in fields:
+                event.stall_s = float(fields.pop("for"))
+            if "attempt" in fields:
+                event.attempt = int(fields.pop("attempt"))
+        except ValueError as exc:
+            raise TargetError(f"bad chaos spec {spec!r}: {exc}") from None
+        if fields:
+            raise TargetError(
+                f"bad chaos spec {spec!r}: unknown field(s) "
+                f"{', '.join(sorted(fields))} "
+                f"(known: shard, pkt, resume, for, attempt)"
+            )
+        if event.action not in CHAOS_ACTIONS:
+            raise TargetError(
+                f"unknown chaos action {event.action!r}; "
+                f"known: {', '.join(CHAOS_ACTIONS)}"
+            )
+        return event
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind fired flags (a pool reuses one plan across submits)."""
+        for event in self.events:
+            event.fired = False
+
+    def parent_events(self) -> List[ChaosEvent]:
+        """Events the parent-side dispatcher fires (kill/stop)."""
+        return [e for e in self.events if e.action in ("kill", "stop")]
+
+    def worker_stalls(self, shard: int, attempt: int):
+        """``(pkt, seconds)`` stalls for one worker incarnation."""
+        return [
+            (e.pkt, e.stall_s)
+            for e in self.events
+            if e.action == "stall"
+            and e.shard == shard
+            and e.attempt == attempt
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": [
+                {
+                    "action": e.action,
+                    "shard": e.shard,
+                    "pkt": e.pkt,
+                    **({"resume_s": e.resume_s} if e.action == "stop" else {}),
+                    **(
+                        {"stall_s": e.stall_s, "attempt": e.attempt}
+                        if e.action == "stall"
+                        else {}
+                    ),
+                }
+                for e in self.events
+            ]
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

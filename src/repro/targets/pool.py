@@ -20,18 +20,30 @@ per-shard SPSC shared-memory rings (:mod:`repro.targets.ring`):
   bookkeeping amortizes to noise next to pipeline execution.
 * **backpressure, never loss** — a full ring blocks the parent until
   the worker drains it; while blocked the parent keeps polling the
-  result queue so a crashed worker surfaces as
-  :class:`~repro.targets.engine.EngineError`, not a deadlock.
+  result queue so a crashed worker surfaces immediately.
 * **determinism preserved** — workers consume exactly the packets their
   shard owns, in global-index order, and run the very same
   :func:`~repro.targets.engine._consume` loop (same ``BATCH_SIZE``
   batching) as replay workers, so per-shard digests — and therefore the
   pinned golden merged digests — are bit-identical across ingest modes.
+* **self-healing** — a replica death mid-stream (SIGKILL, hard exit,
+  hung ring, watchdog) no longer breaks the pool.  A supervisor
+  (:mod:`repro.targets.supervision`) respawns a fresh replica that
+  *replays* its deterministic prefix up to the shard's acknowledged
+  completed watermark, while the parent redispatches only the
+  unacknowledged suffix over a fresh ring — so the merged digest is
+  provably identical to an undisturbed run (DESIGN.md §14).  When the
+  :class:`~repro.targets.supervision.RestartPolicy` budget runs out the
+  shard is *abandoned*: surviving shards drain, then the run fails with
+  a structured partial-result :class:`~repro.targets.engine
+  .EngineError` naming the dead shard and its watermark.
 
-Every message a pool worker posts is tagged with the pool run id, and
-telemetry publishes carry it through to
+Every message a pool worker posts is tagged with the pool run id *and*
+the worker attempt, so stale messages from a replaced incarnation are
+discarded; telemetry publishes carry both through to
 :class:`~repro.obs.telemetry.LiveTelemetry`, whose per-source epochs
-restart at each new run.
+restart at each new run (a restarted replica's epochs are offset past
+its predecessor's so the live view stays monotone).
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
 import struct
 import time
 import traceback
@@ -49,7 +62,6 @@ from repro.obs.metrics import METRICS
 from repro.targets.engine import (
     EngineConfig,
     EngineError,
-    _collect,
     _consume,
     _merge_blocks,
     _mp_context,
@@ -66,6 +78,7 @@ from repro.targets.soak import (
     compose_program,
     iter_stream_bytes,
 )
+from repro.targets.supervision import RestartPolicy, Supervisor
 
 #: Per-packet header inside a ring record: global index (uint64),
 #: ingress port (uint16), payload length (uint32), little-endian.
@@ -103,27 +116,63 @@ def _iter_ring(
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+def _resume_stream(
+    config: SoakConfig,
+    program: str,
+    engine: EngineConfig,
+    shard: int,
+    watermark: int,
+    ring: ShardRing,
+    poll,
+) -> Iterator[Tuple[int, Packet, int]]:
+    """A replacement replica's input stream.
+
+    The prefix — every shard-owned packet with global index up to the
+    acknowledged ``watermark`` — is regenerated locally from the pure
+    ``(seed, program)`` stream, replaying the dead predecessor's work
+    to rebuild identical deterministic state (fault-plan RNG streams
+    advance per processed packet, the digest refolds the same verdicts
+    in the same order).  The suffix arrives over the fresh ring: the
+    parent redispatches exactly the indices above the watermark, so the
+    chained stream is the shard's full sub-stream, each index exactly
+    once, in global order.
+    """
+    workers, policy = engine.workers, engine.shard_policy
+    for index, data, in_port in iter_stream_bytes(config, program, NUM_PORTS):
+        if index > watermark:
+            break
+        if assign_shard(index, data, workers, policy) == shard:
+            yield index, Packet(data), in_port
+    yield from _iter_ring(ring, poll=poll)
+
+
+def _stalled(stream, stalls):
+    """Chaos ``stall`` wrapper: sleep before the scheduled indices."""
+    pending = sorted(stalls)
+    for item in stream:
+        while pending and item[0] >= pending[0][0]:
+            time.sleep(pending.pop(0)[1])
+        yield item
+
+
 def _run_pool_shard(
     config: SoakConfig,
     program: str,
     engine: EngineConfig,
     shard: int,
     run: int,
+    attempt: int,
+    resume_from: int,
+    stalls,
     composed,
     ring: ShardRing,
     out_queue,
+    recorder,
 ) -> Dict[str, object]:
     """Execute one submitted run inside a resident worker."""
-    from repro.obs.telemetry import FlightRecorder
-
     # Fresh registry every run: a resident worker still holds the
     # previous run's counters, and the parent merges our snapshot.
     _worker_init(engine)
-    recorder = (
-        FlightRecorder(config.flight_recorder, shard=shard)
-        if config.flight_recorder > 0
-        else None
-    )
     switch = build_switch(
         config,
         program,
@@ -131,7 +180,7 @@ def _run_pool_shard(
         fault_seed=shard_seed(config.seed, program, shard),
     )
 
-    def publish(epoch: int, ledger: Dict[str, int]) -> None:
+    def publish(epoch: int, ledger: Dict[str, int], watermark: int) -> None:
         out_queue.put(
             (
                 "telemetry",
@@ -140,9 +189,22 @@ def _run_pool_shard(
                     "epoch": epoch,
                     "metrics": METRICS.snapshot(),
                     "ledger": ledger,
+                    "watermark": watermark,
                     "final": False,
                     "run": run,
+                    "attempt": attempt,
                 },
+            )
+        )
+
+    def ack(watermark: int) -> None:
+        # Lightweight completed-watermark acknowledgement: keeps the
+        # supervisor's resume point fresh even with telemetry off.
+        out_queue.put(
+            (
+                "ack",
+                shard,
+                {"watermark": watermark, "run": run, "attempt": attempt},
             )
         )
 
@@ -152,16 +214,28 @@ def _run_pool_shard(
         if os.getppid() != parent:  # pragma: no cover - orphan cleanup
             os._exit(1)
 
+    if resume_from >= 0:
+        stream = _resume_stream(
+            config, program, engine, shard, resume_from, ring, parent_alive
+        )
+    else:
+        stream = _iter_ring(ring, poll=parent_alive)
+    if stalls:
+        stream = _stalled(stream, stalls)
     block = _consume(
         switch,
-        _iter_ring(ring, poll=parent_alive),
+        stream,
         engine,
         shard,
         publish=publish if engine.collect_metrics else None,
         recorder=recorder,
+        ack=ack if engine.ack_interval_pkts > 0 else None,
     )
     block["seed"] = shard_seed(config.seed, program, shard)
     block["run"] = run
+    block["attempt"] = attempt
+    if resume_from >= 0:
+        block["resumed_from"] = resume_from
     return block
 
 
@@ -169,11 +243,16 @@ def _pool_worker(control, out_queue, ring: ShardRing, shard: int,
                  engine: EngineConfig) -> None:
     """Resident worker loop: wait for control messages, run, repeat.
 
-    Posts ``(kind, shard, payload)`` results exactly like the replay
-    worker; a failed run posts an error and ends the loop (the pool is
-    broken at that point — the parent tears everything down).
+    Posts ``(kind, shard, payload)`` results tagged with the run id and
+    this incarnation's attempt number; a failed run posts an error and
+    ends the loop (the supervisor respawns a fresh process — an
+    erroring incarnation is never reused).
     """
+    from repro.obs.telemetry import FlightRecorder
+
     run: Optional[int] = None
+    attempt = 1
+    recorder = None
     try:
         while True:
             try:
@@ -186,25 +265,36 @@ def _pool_worker(control, out_queue, ring: ShardRing, shard: int,
             if kind != "run":  # pragma: no cover - protocol guard
                 continue
             run = message["run"]
+            attempt = message.get("attempt", 1)
+            config = message["config"]
             if shard == 0 and engine.sabotage == "exit":
                 os._exit(17)
             if shard == 0 and engine.sabotage == "error":
                 raise RuntimeError("sabotaged worker (test hook)")
             if shard == 0 and engine.sabotage == "interrupt":
                 raise KeyboardInterrupt
+            recorder = (
+                FlightRecorder(config.flight_recorder, shard=shard)
+                if config.flight_recorder > 0
+                else None
+            )
             out_queue.put(
                 (
                     "ok",
                     shard,
                     _run_pool_shard(
-                        message["config"],
+                        config,
                         message["program"],
                         engine,
                         shard,
                         run,
+                        attempt,
+                        message.get("resume_from", -1),
+                        message.get("stalls") or [],
                         message["composed"],
                         ring,
                         out_queue,
+                        recorder,
                     ),
                 )
             )
@@ -213,22 +303,25 @@ def _pool_worker(control, out_queue, ring: ShardRing, shard: int,
             (
                 "error",
                 shard,
-                {"error": "interrupted", "code": "interrupted", "run": run},
-            )
-        )
-    except BaseException as exc:  # noqa: BLE001 — report, never hang the pool
-        out_queue.put(
-            (
-                "error",
-                shard,
                 {
-                    "error": f"{type(exc).__name__}: {exc}",
-                    "code": getattr(exc, "code", "worker-error"),
-                    "traceback": traceback.format_exc(limit=8),
+                    "error": "interrupted",
+                    "code": "interrupted",
                     "run": run,
+                    "attempt": attempt,
                 },
             )
         )
+    except BaseException as exc:  # noqa: BLE001 — report, never hang the pool
+        detail = {
+            "error": f"{type(exc).__name__}: {exc}",
+            "code": getattr(exc, "code", "worker-error"),
+            "traceback": traceback.format_exc(limit=8),
+            "run": run,
+            "attempt": attempt,
+        }
+        if recorder is not None and len(recorder):
+            detail["flight_recorder"] = recorder.dump()
+        out_queue.put(("error", shard, detail))
     finally:
         ring.close()
 
@@ -236,6 +329,54 @@ def _pool_worker(control, out_queue, ring: ShardRing, shard: int,
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+class _FlushAbort(Exception):
+    """The shard whose buffer was being flushed was just restarted or
+    abandoned; the in-flight payload is covered by catch-up redispatch
+    (restart) or moot (abandon), so the blocked ``put`` must unwind."""
+
+
+class _CatchUpFailed(Exception):
+    """The replacement replica died while its suffix was being
+    redispatched; recorded as a fresh failure for the supervisor."""
+
+
+class _RunState:
+    """Everything one ``submit()`` tracks: results, acks, failures,
+    scheduled chaos, and telemetry epoch bookkeeping."""
+
+    def __init__(self, run, config, program, composed, supervisor,
+                 telemetry) -> None:
+        self.run = run
+        self.config = config
+        self.program = program
+        self.composed = composed
+        self.sup: Supervisor = supervisor
+        self.telemetry = telemetry
+        self.results: Dict[int, Dict[str, object]] = {}
+        self.epochs_seen: Dict[int, int] = {}
+        #: Epoch base per shard: a restarted replica's epochs restart at
+        #: 1, so the parent offsets them past its predecessor's to keep
+        #: the live view's replace-by-epoch fold monotone.
+        self.epoch_offset: Dict[int, int] = {}
+        #: Deferred failures: ``(shard, reason, detail)`` awaiting a
+        #: supervisor decision (restart vs abandon).
+        self.failures: List[Tuple[int, str, Dict[str, object]]] = []
+        #: ``(shard, attempt)`` pairs already recorded — one failure per
+        #: incarnation, however many signals it produces (error message
+        #: *and* death, say).
+        self.failed_attempts: set = set()
+        #: Highest global index generated so far; catch-up redispatches
+        #: ``(watermark, gen_high]``.
+        self.gen_high = -1
+        self.gen_done = False
+        self.sentinel_sent: set = set()
+        #: Parent-side chaos events (kill/stop) not yet fired, sorted by
+        #: firing index.
+        self.pending_chaos: list = []
+        #: Scheduled SIGCONTs for chaos-stopped workers.
+        self.resumes: List[Tuple[float, object]] = []
+
+
 class WorkerPool:
     """``engine.workers`` resident shard workers fed by parent dispatch.
 
@@ -246,10 +387,15 @@ class WorkerPool:
                 blocks[name] = pool.submit(config, name)
 
     ``start()`` is idempotent and implied by the first ``submit()``.
-    After any failed run the pool is **broken** — rings may hold
-    undelivered records and workers may have exited — so further
-    submits are refused; ``close()`` (also via ``__exit__``) tears down
-    workers, queue, and shared-memory rings unconditionally.
+    Worker failures mid-run are *supervised*: the pool restarts the
+    replica and deterministically recovers the shard (see the module
+    docstring) within the engine's
+    :class:`~repro.targets.supervision.RestartPolicy`.  Only after the
+    policy is exhausted — or on ``KeyboardInterrupt`` — is the pool
+    **broken** and further submits refused.  ``close()`` is idempotent
+    (``__exit__`` calls it unconditionally) and tears down workers,
+    queue, and shared-memory rings; stopped or wedged workers are
+    SIGCONT+SIGKILLed, never leaked.
     """
 
     def __init__(self, engine: EngineConfig,
@@ -261,34 +407,83 @@ class WorkerPool:
             if start_method
             else _mp_context()
         )
-        self._rings: List[ShardRing] = []
+        self._rings: List[Optional[ShardRing]] = []
         self._conns: list = []
         self._procs: Dict[int, object] = {}
         self._out_queue = None
         self._run_id = 0
         self._started = False
         self._broken = False
+        self._closed = False
+        #: Shard currently being flushed (``None`` outside a blocking
+        #: ring put); a restart/abandon of that shard mid-put raises
+        #: :class:`_FlushAbort` to unwind the now-pointless write.
+        self._flushing: Optional[int] = None
+        self._in_restart = False
+        #: Parent-side pack buffers, live only while dispatching (a
+        #: restart clears the failed shard's buffer — catch-up covers
+        #: those indices).
+        self._buffers: Optional[List[bytearray]] = None
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self, shard: int) -> None:
+        """(Re)create one shard slot: fresh ring, pipe, process.
+
+        Always a fresh ring: a fork-inherited ring object carries the
+        parent's construction-time cached indices, so re-using a drained
+        segment for a replacement replica would replay stale bytes.
+        """
+        ring = ShardRing(self.engine.ring_bytes)
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(child_conn, self._out_queue, ring, shard, self.engine),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._rings[shard] = ring
+        self._conns[shard] = parent_conn
+        self._procs[shard] = proc
+
+    def _reap(self, shard: int) -> None:
+        """Kill and forget one shard's worker, ring, and pipe.
+
+        SIGKILL (not terminate): it reaps a SIGSTOPped worker too, and
+        a replica being replaced has nothing graceful left to do.
+        """
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5)
+        conn = self._conns[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._conns[shard] = None
+        ring = self._rings[shard]
+        if ring is not None:
+            ring.close()
+            ring.unlink()
+            self._rings[shard] = None
+
     def start(self) -> "WorkerPool":
         if self._started:
             return self
+        if self._closed:
+            raise EngineError(
+                "worker pool is closed or broken (failed run); "
+                "create a new pool"
+            )
         self._out_queue = self._ctx.Queue()
+        self._rings = [None] * self.engine.workers
+        self._conns = [None] * self.engine.workers
+        self._procs = {}
         try:
             for shard in range(self.engine.workers):
-                ring = ShardRing(self.engine.ring_bytes)
-                parent_conn, child_conn = self._ctx.Pipe()
-                proc = self._ctx.Process(
-                    target=_pool_worker,
-                    args=(child_conn, self._out_queue, ring, shard,
-                          self.engine),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._rings.append(ring)
-                self._conns.append(parent_conn)
-                self._procs[shard] = proc
+                self._spawn_worker(shard)
         except BaseException:
             self._started = True  # so close() reaps the partial fleet
             self.close()
@@ -297,54 +492,339 @@ class WorkerPool:
         return self
 
     # ------------------------------------------------------------------
-    def _drain(self, results, on_telemetry, run: int) -> None:
-        """Non-blocking result-queue sweep used while dispatching.
+    # Failure intake
+    # ------------------------------------------------------------------
+    def _record_failure(self, state: _RunState, shard: int, reason: str,
+                        detail: Optional[Dict[str, object]] = None) -> None:
+        if shard in state.results or shard in state.sup.abandoned:
+            return
+        key = (shard, state.sup.attempts[shard])
+        if key in state.failed_attempts:
+            return
+        state.failed_attempts.add(key)
+        state.failures.append((shard, reason, dict(detail or {})))
 
-        Mirrors ``_collect``'s message semantics so a worker failure
-        surfaces immediately even while the parent is blocked on a full
-        ring, then checks that every unfinished worker is still alive.
-        """
+    def _handle_message(self, state: _RunState, kind: str, shard: int,
+                        payload: Dict[str, object]) -> bool:
+        """Fold one result-queue message; returns True when it came
+        from a still-pending shard (the watchdog re-arm signal)."""
+        if payload.get("run") not in (None, state.run):
+            return False  # stale message from an earlier pool run
+        attempt = payload.get("attempt")
+        if attempt is not None and attempt != state.sup.attempts[shard]:
+            return False  # stale message from a replaced incarnation
+        pending = (
+            shard not in state.results and shard not in state.sup.abandoned
+        )
+        if kind == "telemetry":
+            watermark = payload.get("watermark")
+            if pending:
+                state.sup.ack(shard, watermark)  # type: ignore[arg-type]
+            epoch = (
+                int(payload.get("epoch", 0))  # type: ignore[arg-type]
+                + state.epoch_offset.get(shard, 0)
+            )
+            state.epochs_seen[shard] = max(
+                state.epochs_seen.get(shard, 0), epoch
+            )
+            if state.telemetry is not None:
+                state.telemetry.publish(
+                    state.program,
+                    shard,
+                    epoch,
+                    payload.get("metrics", {}),
+                    ledger=payload.get("ledger"),
+                    final=bool(payload.get("final", False)),
+                    run=state.run,
+                    watermark=watermark,  # type: ignore[arg-type]
+                )
+            return pending
+        if kind == "ack":
+            if pending:
+                state.sup.ack(shard, payload.get("watermark"))  # type: ignore[arg-type]
+            return pending
+        if kind == "error":
+            if payload.get("code") == "interrupted":
+                raise KeyboardInterrupt
+            self._record_failure(state, shard, "error", payload)
+            return pending
+        if kind == "ok" and pending:
+            state.results[shard] = payload
+            state.sup.ack(shard, payload.get("watermark"))  # type: ignore[arg-type]
+            return True
+        return False
+
+    def _sweep_liveness(self, state: _RunState) -> None:
+        for shard, proc in self._procs.items():
+            if shard in state.results or shard in state.sup.abandoned:
+                continue
+            if not proc.is_alive():
+                self._record_failure(
+                    state,
+                    shard,
+                    "died",
+                    {
+                        "error": (
+                            f"worker died (exit code {proc.exitcode}) "
+                            f"before reporting a result"
+                        ),
+                        "exitcode": proc.exitcode,
+                    },
+                )
+
+    def _drain(self, state: _RunState) -> None:
+        """Non-blocking result-queue sweep + liveness check.  Failures
+        are *recorded*, not raised — the supervisor decides their fate
+        in :meth:`_process_failures`."""
         while True:
             try:
                 kind, shard, payload = self._out_queue.get_nowait()
             except queue_mod.Empty:
                 break
-            if payload.get("run") not in (None, run):
-                continue
-            if kind == "telemetry":
-                on_telemetry(shard, payload)
-                continue
-            if kind == "error":
-                if payload.get("code") == "interrupted":
-                    raise KeyboardInterrupt
-                raise EngineError(
-                    f"shard {shard} worker failed: {payload.get('error')}",
-                    shard=shard,
-                    worker_error=payload,
-                )
-            results[shard] = payload
-        for shard, proc in self._procs.items():
-            if shard not in results and not proc.is_alive():
-                raise EngineError(
-                    f"shard {shard} worker died (exit code {proc.exitcode}) "
-                    f"before reporting a result",
-                    shard=shard,
-                )
+            self._handle_message(state, kind, shard, payload)
+        self._sweep_liveness(state)
 
-    def _dispatch(self, config: SoakConfig, program: str, results,
-                  on_telemetry, run: int) -> None:
+    # ------------------------------------------------------------------
+    # Chaos firing
+    # ------------------------------------------------------------------
+    def _fire_chaos(self, state: _RunState, index: Optional[int]) -> None:
+        """Fire parent-side chaos events due at stream position
+        ``index``; ``None`` fires everything left (events scheduled past
+        the end of the stream — final-epoch faults)."""
+        still_pending = []
+        for event in state.pending_chaos:
+            if not (index is None or event.pkt <= index):
+                still_pending.append(event)
+                continue
+            shard = event.shard
+            if shard in state.results or shard in state.sup.abandoned:
+                event.fired = True  # nothing left to disturb
+                continue
+            proc = self._procs.get(shard)
+            if proc is None or not proc.is_alive():
+                # The incumbent is already dead (possibly from our own
+                # earlier event, not yet detected) — hold the event so
+                # it lands on the *replacement* replica instead of a
+                # corpse.  A double-kill means two distinct casualties.
+                still_pending.append(event)
+                continue
+            event.fired = True
+            try:
+                if event.action == "kill":
+                    os.kill(proc.pid, signal.SIGKILL)
+                elif event.action == "stop":
+                    os.kill(proc.pid, signal.SIGSTOP)
+                    state.resumes.append(
+                        (time.monotonic() + event.resume_s, proc)
+                    )
+            except (ProcessLookupError, OSError):  # pragma: no cover - raced
+                pass
+        state.pending_chaos[:] = still_pending
+
+    def _fire_resumes(self, state: _RunState, force: bool = False) -> None:
+        if not state.resumes:
+            return
+        now = time.monotonic()
+        remaining = []
+        for due, proc in state.resumes:
+            if force or now >= due:
+                if proc.is_alive():
+                    try:
+                        os.kill(proc.pid, signal.SIGCONT)
+                    except (ProcessLookupError, OSError):  # pragma: no cover
+                        pass
+            else:
+                remaining.append((due, proc))
+        state.resumes[:] = remaining
+
+    # ------------------------------------------------------------------
+    # Supervision: restart / abandon
+    # ------------------------------------------------------------------
+    def _send_run(self, state: _RunState, shard: int) -> None:
+        sup = state.sup
+        chaos = self.engine.chaos
+        message = {
+            "kind": "run",
+            "run": state.run,
+            "attempt": sup.attempts[shard],
+            "resume_from": sup.watermarks[shard],
+            "config": state.config,
+            "program": state.program,
+            "composed": state.composed,
+            "stalls": (
+                chaos.worker_stalls(shard, sup.attempts[shard])
+                if chaos is not None
+                else []
+            ),
+        }
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError):
+            self._record_failure(
+                state,
+                shard,
+                "send-failed",
+                {"error": "control pipe closed before the run message "
+                          "was delivered"},
+            )
+
+    def _record_event(self, state: _RunState, decision: str, shard: int,
+                      reason: str) -> None:
+        if state.telemetry is None:
+            return
+        state.telemetry.record_event(
+            {
+                "event": decision,
+                "program": state.program,
+                "shard": shard,
+                "attempt": state.sup.attempts[shard],
+                "reason": reason,
+                "watermark": state.sup.watermarks[shard],
+                "run": state.run,
+            }
+        )
+
+    def _catch_up(self, state: _RunState, shard: int) -> None:
+        """Redispatch the unacknowledged suffix ``(watermark, gen_high]``
+        to a freshly restarted shard, regenerated from the pure stream
+        (the replacement replays ``[0, watermark]`` itself — together
+        the two halves rebuild the shard's exact sub-stream)."""
+        engine = self.engine
+        watermark = state.sup.watermarks[shard]
+        ring = self._rings[shard]
+        proc = self._procs[shard]
+        workers, policy = engine.workers, engine.shard_policy
+
+        def poll() -> None:
+            self._fire_resumes(state)
+            if not proc.is_alive():
+                raise _CatchUpFailed()
+
+        try:
+            if state.gen_high > watermark:
+                cap = _record_cap(engine.ring_bytes)
+                pack = _REC.pack
+                buffer = bytearray()
+                for index, data, in_port in iter_stream_bytes(
+                    state.config, state.program, NUM_PORTS
+                ):
+                    if index > state.gen_high:
+                        break
+                    if index <= watermark:
+                        continue
+                    if assign_shard(index, data, workers, policy) != shard:
+                        continue
+                    buffer += pack(index, in_port, len(data))
+                    buffer += data
+                    if len(buffer) >= cap:
+                        ring.put(
+                            bytes(buffer), poll=poll,
+                            timeout=engine.watchdog_s,
+                        )
+                        buffer.clear()
+                if buffer:
+                    ring.put(
+                        bytes(buffer), poll=poll, timeout=engine.watchdog_s
+                    )
+            if state.gen_done:
+                ring.close_stream(poll=poll, timeout=engine.watchdog_s)
+                state.sentinel_sent.add(shard)
+        except _CatchUpFailed:
+            self._record_failure(
+                state,
+                shard,
+                "died",
+                {
+                    "error": (
+                        f"worker died (exit code {proc.exitcode}) during "
+                        f"catch-up redispatch"
+                    ),
+                    "exitcode": proc.exitcode,
+                },
+            )
+        except RingTimeout as exc:
+            self._record_failure(
+                state,
+                shard,
+                "ring-stall",
+                {
+                    "error": (
+                        f"ring stayed full for {engine.watchdog_s}s during "
+                        f"catch-up ({exc})"
+                    )
+                },
+            )
+
+    def _process_failures(self, state: _RunState) -> None:
+        """Resolve every deferred failure: restart (respawn + replay +
+        redispatch) within policy, abandon beyond it.
+
+        Raises :class:`_FlushAbort` after resolving if the shard
+        currently being flushed was among the casualties, so the
+        blocked ``put`` to its defunct ring unwinds.
+        """
+        if self._in_restart:
+            # Already resolving (a catch-up put's poll drained a new
+            # failure); the outer loop will pick it up.
+            return
+        self._in_restart = True
+        abort_flush = False
+        try:
+            while state.failures:
+                shard, reason, detail = state.failures.pop(0)
+                if shard in state.results or shard in state.sup.abandoned:
+                    continue
+                # The result may have raced the failure signal (a worker
+                # that posted "ok" and then exited) — drain first.
+                self._drain(state)
+                if shard in state.results:
+                    continue
+                decision = state.sup.decide(shard, reason, detail)
+                self._record_event(state, decision, shard, reason)
+                if self._flushing == shard:
+                    abort_flush = True
+                if decision == Supervisor.ABANDON:
+                    self._reap(shard)
+                    if self._buffers is not None:
+                        self._buffers[shard].clear()
+                    continue
+                delay = state.sup.backoff_s(shard)
+                if delay > 0:
+                    time.sleep(delay)
+                self._reap(shard)
+                # The replacement's epochs restart at 1; base them past
+                # everything its predecessor published.
+                state.epoch_offset[shard] = state.epochs_seen.get(shard, 0)
+                self._spawn_worker(shard)
+                if self._buffers is not None:
+                    # Buffered-but-unflushed indices are <= gen_high, so
+                    # catch-up regenerates them; keeping the buffer
+                    # would dispatch them twice.
+                    self._buffers[shard].clear()
+                self._send_run(state, shard)
+                self._catch_up(state, shard)
+        finally:
+            self._in_restart = False
+        if abort_flush:
+            raise _FlushAbort()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, state: _RunState) -> None:
         """Generate the stream once and fan it out to the shard rings."""
         engine = self.engine
         workers, policy = engine.workers, engine.shard_policy
         cap = _record_cap(engine.ring_bytes)
         buffers = [bytearray() for _ in range(workers)]
+        self._buffers = buffers
         pack = _REC.pack
+        abandoned = state.sup.abandoned
         drained = time.monotonic()
 
-        def poll() -> None:
-            # Invoked every ring spin while blocked on backpressure.
-            # Rate-limit the actual sweep: a queue poll + liveness check
-            # per 2ms spin burns the very CPU the worker needs to drain
+        def sweep() -> None:
+            # Rate-limit the queue poll + liveness check: one per 2ms
+            # ring spin burns the very CPU the worker needs to drain
             # the ring on a single-core host; every 50ms is more than
             # enough to surface a crashed worker.
             nonlocal drained
@@ -352,51 +832,212 @@ class WorkerPool:
             if now - drained < 0.05:
                 return
             drained = now
-            self._drain(results, on_telemetry, run)
+            self._drain(state)
+
+        def poll() -> None:
+            # Invoked every ring spin while blocked on backpressure.
+            self._fire_resumes(state)
+            sweep()
+            if state.failures:
+                self._process_failures(state)  # may raise _FlushAbort
 
         def flush(shard: int) -> None:
+            payload = bytes(buffers[shard])
+            buffers[shard].clear()
+            self._flushing = shard
             try:
                 self._rings[shard].put(
-                    bytes(buffers[shard]), poll=poll,
-                    timeout=engine.watchdog_s,
+                    payload, poll=poll, timeout=engine.watchdog_s
                 )
+            except _FlushAbort:
+                pass  # the restart's catch-up re-covers this payload
             except RingTimeout as exc:
-                raise EngineError(
-                    f"engine watchdog: shard {shard} ring stayed full for "
-                    f"{engine.watchdog_s}s ({exc})",
-                    shard=shard,
-                ) from exc
-            buffers[shard].clear()
+                self._record_failure(
+                    state,
+                    shard,
+                    "ring-stall",
+                    {
+                        "error": (
+                            f"ring stayed full for {engine.watchdog_s}s "
+                            f"({exc})"
+                        )
+                    },
+                )
+                try:
+                    self._process_failures(state)
+                except _FlushAbort:
+                    pass
+            finally:
+                self._flushing = None
 
-        for index, data, in_port in iter_stream_bytes(
-            config, program, NUM_PORTS
-        ):
-            shard = assign_shard(index, data, workers, policy)
-            buffer = buffers[shard]
-            buffer += pack(index, in_port, len(data))
-            buffer += data
-            if len(buffer) >= cap:
-                flush(shard)
-        for shard in range(workers):
-            if buffers[shard]:
-                flush(shard)
+        try:
+            for index, data, in_port in iter_stream_bytes(
+                state.config, state.program, NUM_PORTS
+            ):
+                if state.pending_chaos and state.pending_chaos[0].pkt <= index:
+                    self._fire_chaos(state, index)
+                if state.resumes:
+                    self._fire_resumes(state)
+                # Failures resolved here catch up through ``gen_high``,
+                # which must still exclude the current packet — it has
+                # not been handed to any ring or buffer yet, and the
+                # loop below will dispatch it through the normal path.
+                # Advancing ``gen_high`` too early would make a restart
+                # redispatch it AND buffer it: a duplicated unit.
+                if state.failures:
+                    self._process_failures(state)
+                elif index & 1023 == 0:
+                    sweep()
+                    if state.failures:
+                        self._process_failures(state)
+                shard = assign_shard(index, data, workers, policy)
+                state.gen_high = index
+                if shard in abandoned:
+                    continue
+                buffer = buffers[shard]
+                buffer += pack(index, in_port, len(data))
+                buffer += data
+                if len(buffer) >= cap:
+                    flush(shard)
+            state.gen_done = True
+            for shard in range(workers):
+                if shard in abandoned:
+                    continue
+                if buffers[shard]:
+                    flush(shard)
+                if shard in abandoned or shard in state.sentinel_sent:
+                    continue  # a restart's catch-up already closed it
+                self._flushing = shard
+                try:
+                    self._rings[shard].close_stream(
+                        poll=poll, timeout=engine.watchdog_s
+                    )
+                    state.sentinel_sent.add(shard)
+                except _FlushAbort:
+                    pass  # catch-up sent the sentinel on the new ring
+                except RingTimeout as exc:
+                    self._record_failure(
+                        state,
+                        shard,
+                        "ring-stall",
+                        {
+                            "error": (
+                                f"ring stayed full for {engine.watchdog_s}s "
+                                f"({exc})"
+                            )
+                        },
+                    )
+                    try:
+                        self._process_failures(state)
+                    except _FlushAbort:
+                        pass
+                finally:
+                    self._flushing = None
+            if state.pending_chaos:
+                # Events scheduled past the last generated index fire
+                # after the sentinels: the "kill during the final
+                # epoch" site — the worker is draining its ring tail or
+                # finalizing its block.
+                self._fire_chaos(state, None)
+        finally:
+            self._buffers = None
+
+    # ------------------------------------------------------------------
+    # Collect
+    # ------------------------------------------------------------------
+    def _collect_supervised(self, state: _RunState) -> None:
+        """Gather one result per non-abandoned shard, restarting
+        casualties along the way; raises the structured partial-result
+        error if any shard ends the run abandoned."""
+        engine = self.engine
+        deadline = time.monotonic() + engine.watchdog_s
+        while True:
+            pending = [
+                shard
+                for shard in range(engine.workers)
+                if shard not in state.results
+                and shard not in state.sup.abandoned
+            ]
+            if not pending:
+                break
+            rearm = False
             try:
-                self._rings[shard].close_stream(
-                    poll=poll, timeout=engine.watchdog_s
-                )
-            except RingTimeout as exc:
-                raise EngineError(
-                    f"engine watchdog: shard {shard} ring stayed full for "
-                    f"{engine.watchdog_s}s ({exc})",
-                    shard=shard,
-                ) from exc
+                kind, shard, payload = self._out_queue.get(timeout=0.2)
+                rearm = self._handle_message(state, kind, shard, payload)
+            except queue_mod.Empty:
+                pass
+            self._fire_resumes(state)
+            self._sweep_liveness(state)
+            if state.failures:
+                self._process_failures(state)
+                rearm = True
+            if state.pending_chaos:
+                # Deferred events (their target was dead when due) land
+                # on the freshly restarted replica; the stream is fully
+                # dispatched here, so everything left is due.
+                self._fire_chaos(state, None)
+            if rearm:
+                deadline = time.monotonic() + engine.watchdog_s
+            elif time.monotonic() > deadline:
+                for shard in pending:
+                    self._record_failure(
+                        state,
+                        shard,
+                        "watchdog",
+                        {
+                            "error": (
+                                f"engine watchdog: worker reported nothing "
+                                f"within {engine.watchdog_s}s"
+                            )
+                        },
+                    )
+                self._process_failures(state)
+                deadline = time.monotonic() + engine.watchdog_s
+        if state.sup.abandoned:
+            raise self._partial_error(state)
+
+    def _partial_error(self, state: _RunState) -> EngineError:
+        """The structured partial-result failure: names the dead shard,
+        its completed watermark, the supervisor's event ledger, and
+        compact summaries of every surviving shard's result."""
+        sup = state.sup
+        shard = min(sup.abandoned)
+        failure = dict(sup.last_failure.get(shard, {}))
+        detail_text = str(failure.get("error") or failure.get("reason", "died"))
+        partial = {
+            "completed": sorted(state.results),
+            "abandoned": sorted(sup.abandoned),
+            "shards": {
+                str(s): {
+                    "packets": block.get("packets"),
+                    "emits": block.get("emits"),
+                    "drops": block.get("drops"),
+                    "digest": block.get("digest"),
+                    "watermark": block.get("watermark"),
+                }
+                for s, block in sorted(state.results.items())
+            },
+        }
+        return EngineError(
+            f"shard {shard} worker failed and exhausted its restart budget "
+            f"after {sup.restarts[shard]} restart(s): {detail_text} "
+            f"(completed watermark {sup.watermarks[shard]}; "
+            f"{len(state.results)} of {self.engine.workers} shards finished)",
+            shard=shard,
+            worker_error=failure or None,
+            watermark=sup.watermarks[shard],
+            supervision=sup.summary(),
+            partial=partial,
+        )
 
     # ------------------------------------------------------------------
     def submit(self, config: SoakConfig, program: str,
                telemetry=None) -> Dict[str, object]:
         """Run one program across the resident workers; returns the
-        merged program block (same shape as replay mode's)."""
-        if self._broken:
+        merged program block (same shape as replay mode's, plus the
+        supervision fields ``restarts`` / ``watermarks`` /
+        ``degraded``)."""
+        if self._closed or self._broken:
             raise EngineError(
                 "worker pool is closed or broken (failed run); "
                 "create a new pool"
@@ -408,64 +1049,78 @@ class WorkerPool:
         composed = compose_program(config, program)
         self._run_id += 1
         run = self._run_id
-        epochs_seen: Dict[int, int] = {}
-
-        def on_telemetry(shard: int, payload: Dict[str, object]) -> None:
-            epoch = int(payload.get("epoch", 0))  # type: ignore[arg-type]
-            epochs_seen[shard] = max(epochs_seen.get(shard, 0), epoch)
-            if telemetry is not None:
-                telemetry.publish(
-                    program,
-                    shard,
-                    epoch,
-                    payload.get("metrics", {}),
-                    ledger=payload.get("ledger"),
-                    final=bool(payload.get("final", False)),
-                    run=run,
-                )
-
-        results: Dict[int, Dict[str, object]] = {}
+        policy = engine.restart if engine.restart is not None else RestartPolicy()
+        sup = Supervisor(policy, config.seed, program, engine.workers)
+        state = _RunState(run, config, program, composed, sup, telemetry)
+        chaos = engine.chaos
+        if chaos is not None:
+            chaos.reset()
+            state.pending_chaos = sorted(
+                chaos.parent_events(), key=lambda event: event.pkt
+            )
         start = time.perf_counter()
         try:
-            for conn in self._conns:
-                conn.send(
-                    {
-                        "kind": "run",
-                        "run": run,
-                        "config": config,
-                        "program": program,
-                        "composed": composed,
-                    }
-                )
-            self._dispatch(config, program, results, on_telemetry, run)
-            results = _collect(
-                self._procs,
-                self._out_queue,
-                engine,
-                on_telemetry=on_telemetry,
-                expect_run=run,
-                initial=results,
-            )
+            for shard in range(engine.workers):
+                if not self._procs[shard].is_alive():
+                    # Idle death between runs lost no run state: repair
+                    # the slot without charging the restart budget.
+                    self._reap(shard)
+                    self._spawn_worker(shard)
+                self._send_run(state, shard)
+            if state.failures:
+                self._process_failures(state)
+            self._dispatch(state)
+            self._collect_supervised(state)
         except BaseException:
             self._broken = True
             raise
+        finally:
+            self._fire_resumes(state, force=True)
         wall_s = time.perf_counter() - start
-        shards = [results[shard] for shard in sorted(results)]
+        shards = [state.results[shard] for shard in sorted(state.results)]
         if telemetry is not None and engine.collect_metrics:
             _publish_final_epochs(
-                telemetry, program, shards, epochs_seen, run=run
+                telemetry, program, shards, state.epochs_seen, run=run
             )
-        return _merge_blocks(program, config, engine, shards, wall_s)
+        merged = _merge_blocks(program, config, engine, shards, wall_s)
+        merged["restarts"] = {
+            str(s): n for s, n in sorted(sup.restarts.items()) if n
+        }
+        merged["watermarks"] = {
+            str(s): w for s, w in sorted(sup.watermarks.items())
+        }
+        merged["degraded"] = False  # abandonment raises instead
+        if sup.total_restarts:
+            merged["supervision"] = sup.summary()
+        return merged
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down workers and destroy queue + shared-memory rings."""
+        """Shut down workers and destroy queue + shared-memory rings.
+
+        Idempotent: safe before :meth:`start`, after a failed run, and
+        any number of times.  Chaos-stopped workers are SIGCONTed so
+        they can honor shutdown, and anything still alive after
+        ``terminate`` is SIGKILLed — a closed pool leaves no orphan
+        processes and no ``/dev/shm`` segments behind.
+        """
+        self._closed = True
+        self._broken = True  # a closed pool cannot accept new runs
         if not self._started:
             return
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send({"kind": "shutdown"})
             except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs.values():
+            if proc.pid is None:
+                continue
+            try:
+                os.kill(proc.pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):  # pragma: no cover - gone
                 pass
         for proc in self._procs.values():
             proc.join(timeout=1)
@@ -474,8 +1129,14 @@ class WorkerPool:
                 proc.terminate()
         for proc in self._procs.values():
             if proc.pid is not None:
+                proc.join(timeout=1)
+        for proc in self._procs.values():
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.kill()
                 proc.join(timeout=5)
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
@@ -484,14 +1145,15 @@ class WorkerPool:
             self._out_queue.close()
             self._out_queue.cancel_join_thread()
         for ring in self._rings:
+            if ring is None:
+                continue
             ring.close()
             ring.unlink()
-        self._rings.clear()
-        self._conns.clear()
-        self._procs.clear()
+        self._rings = []
+        self._conns = []
+        self._procs = {}
         self._out_queue = None
         self._started = False
-        self._broken = True  # a closed pool cannot accept new runs
 
     def __enter__(self) -> "WorkerPool":
         return self.start()

@@ -38,8 +38,10 @@ is ever dropped.
 
 from __future__ import annotations
 
+import os
 import struct
 import time
+import weakref
 from multiprocessing import shared_memory
 from typing import Callable, Optional
 
@@ -70,6 +72,23 @@ class RingTimeout(RuntimeError):
 
 def _attach(name: str, capacity: int) -> "ShardRing":
     return ShardRing(capacity, name=name, create=False)
+
+
+def _finalize_segment(shm, owner_pid: int) -> None:
+    """Last-resort unlink for a segment whose creator never called
+    :meth:`ShardRing.unlink` (crash, exception path, interpreter exit).
+
+    Guarded by pid: a forked child inherits the parent's finalizer
+    object inside its copied ring, and letting the *child* unlink would
+    destroy a segment the parent still depends on.  Only the creating
+    process may reclaim the name.
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
 
 
 class ShardRing:
@@ -108,6 +127,15 @@ class ShardRing:
         self.name = self._shm.name
         self._buf = self._shm.buf
         self._owner = create
+        # The creator arms a finalizer so the segment is unlinked even
+        # if the owning process never reaches an explicit unlink() —
+        # weakref.finalize also runs at interpreter exit, so a parent
+        # that dies on an exception cannot leak /dev/shm segments.
+        self._finalizer = (
+            weakref.finalize(self, _finalize_segment, self._shm, os.getpid())
+            if create
+            else None
+        )
         # Local copies of this side's and the peer's last-seen indices.
         self._head = self._load(_HEAD_OFF)
         self._tail = self._load(_TAIL_OFF)
@@ -256,6 +284,9 @@ class ShardRing:
 
     def unlink(self) -> None:
         """Destroy the shared segment (creator side, after close)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone

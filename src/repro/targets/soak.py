@@ -489,6 +489,10 @@ def run_soak(
         meta["workers"] = engine.workers
         meta["shard_policy"] = engine.shard_policy
         meta["ingest"] = engine.ingest
+        if engine.restart is not None:
+            meta["restart_policy"] = engine.restart.to_dict()
+        if engine.chaos is not None:
+            meta["chaos"] = engine.chaos.to_dict()
     return {
         "soak": meta,
         "programs": programs,
@@ -522,6 +526,15 @@ def render_summary(summary: Dict[str, object]) -> str:
                 f"  shard {shard['shard']}: {shard['packets']} pkts -> "
                 f"{shard['emits']} out, {shard['drops']} dropped "
                 f"[{shard['digest'][:12]}...]"
+            )
+        restarts = block.get("restarts") or {}
+        if restarts:
+            counts = ", ".join(
+                f"shard{s}={n}" for s, n in sorted(restarts.items())
+            )
+            lines.append(
+                f"  supervised restarts: {counts} "
+                f"(digest unchanged by recovery)"
             )
         for reason, count in block["drops_by_reason"].items():
             lines.append(f"  drop[{reason}]: {count}")

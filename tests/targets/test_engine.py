@@ -288,9 +288,12 @@ class TestWatchdog:
 
         class Capture:
             def publish(self, program, shard, epoch, metrics, ledger=None,
-                        final=False, run=None):
+                        final=False, run=None, watermark=None):
                 telemetry_epochs.append((shard, epoch))
                 return True
+
+            def record_event(self, event):
+                pass
 
         merged = run_sharded_program(
             quick_config(packets=3000, fault_rate=0.0),

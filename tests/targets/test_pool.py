@@ -62,6 +62,57 @@ class TestLifecycle:
         with pytest.raises(EngineError):
             pool.submit(small_config(), "P4")
 
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(EngineConfig(workers=2))
+        pool.start()
+        pool.submit(small_config(packets=120), "P4")
+        pool.close()
+        pool.close()  # second close must be a no-op, not an error
+        pool.close()
+        assert no_orphans()
+
+    def test_close_before_start_is_safe(self):
+        pool = WorkerPool(EngineConfig(workers=2))
+        pool.close()  # never started: nothing to tear down
+        with pytest.raises(EngineError):
+            pool.start()  # and the pool stays closed
+
+    def test_exception_inside_context_still_reaps(self):
+        with pytest.raises(RuntimeError):
+            with WorkerPool(EngineConfig(workers=2)) as pool:
+                pool.submit(small_config(packets=120), "P4")
+                raise RuntimeError("simulated parent error")
+        assert no_orphans()
+
+    def test_no_shm_leak_on_simulated_parent_error(self):
+        # Satellite: abnormal teardown (parent raises mid-session, pool
+        # dropped without close()) must not leak /dev/shm segments —
+        # the ring finalizers reclaim them when the objects die.
+        import gc
+
+        from multiprocessing import shared_memory
+
+        pool = WorkerPool(EngineConfig(workers=2))
+        pool.start()
+        names = [ring.name for ring in pool._rings]
+        try:
+            raise RuntimeError("simulated parent error before close()")
+        except RuntimeError:
+            pass
+        # The parent "forgot" close(); dropping the pool (and with it
+        # the rings) must still unlink the segments via weakref.finalize.
+        for proc in pool._procs.values():
+            proc.kill()
+            proc.join(timeout=5)
+        pool._out_queue.close()
+        pool._out_queue.cancel_join_thread()
+        del pool
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert no_orphans()
+
 
 class TestReuse:
     def test_two_submits_reuse_the_same_workers(self):

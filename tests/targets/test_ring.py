@@ -165,3 +165,61 @@ class TestLifecycle:
         finally:
             ring.close()
             ring.unlink()
+
+
+class TestFinalizer:
+    def test_dropping_an_unlinked_ring_reclaims_the_segment(self):
+        import gc
+
+        from multiprocessing import shared_memory
+
+        ring = ShardRing(2048)
+        name = ring.name
+        # Simulate an abnormal path: the owner never calls unlink().
+        del ring
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_explicit_unlink_detaches_the_finalizer(self):
+        ring = ShardRing(2048)
+        finalizer = ring._finalizer
+        ring.close()
+        ring.unlink()
+        assert ring._finalizer is None
+        assert not finalizer.alive  # no second unlink attempt at gc
+
+    def test_attached_ring_has_no_finalizer(self):
+        # Only the creator may reclaim the name; a worker-side attach
+        # dying must never destroy the parent's segment.
+        ring = ShardRing(2048)
+        try:
+            peer = ShardRing(2048, name=ring.name, create=False)
+            assert peer._finalizer is None
+            peer.close()
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_forked_child_cannot_unlink_parents_segment(self):
+        # The finalizer is pid-guarded: a fork inherits the parent's
+        # ring object (finalizer included), and the child exiting must
+        # leave the segment alone.
+        import multiprocessing
+
+        from multiprocessing import shared_memory
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork on this platform")
+        ctx = multiprocessing.get_context("fork")
+        ring = ShardRing(2048)
+        try:
+            proc = ctx.Process(target=lambda: None)  # inherits + exits
+            proc.start()
+            proc.join(5)
+            # Parent's segment must still exist.
+            probe = shared_memory.SharedMemory(name=ring.name)
+            probe.close()
+        finally:
+            ring.close()
+            ring.unlink()
