@@ -53,6 +53,7 @@ from repro.errors import EXIT_INTERNAL_ERROR, EXIT_INTERRUPTED, ReproError
 from repro.frontend.json_ir import load_module
 from repro.obs.metrics import METRICS, collecting
 from repro.obs.trace import Tracer
+from repro.targets.backends import DEFAULT_EXEC_BACKEND, EXEC_BACKENDS
 
 _EPILOG = """\
 exit codes:
@@ -529,6 +530,22 @@ def cmd_soak(args: argparse.Namespace) -> int:
         from repro.targets.faults import ChaosPlan
         from repro.targets.supervision import RestartPolicy
 
+        if args.ingest == "replay":
+            import warnings
+
+            warnings.warn(
+                "--ingest replay is deprecated (kept for benchmark "
+                "comparison only); use --ingest dispatch",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if not args.json:
+                print(
+                    "note: --ingest replay is deprecated; "
+                    "use --ingest dispatch",
+                    file=sys.stderr,
+                )
+
         restart = None
         if (
             args.max_restarts is not None
@@ -808,9 +825,10 @@ def make_parser() -> argparse.ArgumentParser:
         help="how --workers assigns packets to shards (default: flow-hash)",
     )
     p_profile.add_argument(
-        "--exec", choices=("interp", "compiled"), default="interp",
+        "--exec", choices=EXEC_BACKENDS, default=DEFAULT_EXEC_BACKEND,
         help="execution backend for the --packets push: tree-walking "
-        "interpreter (default) or the closure-compiled pipeline",
+        "interpreter (default), the closure-compiled pipeline, or the "
+        "source-codegen pipeline",
     )
     p_profile.add_argument(
         "--metrics",
@@ -873,7 +891,7 @@ def make_parser() -> argparse.ArgumentParser:
         "the digest is identical either way",
     )
     p_soak.add_argument(
-        "--exec", choices=("interp", "compiled"), default="interp",
+        "--exec", choices=EXEC_BACKENDS, default=DEFAULT_EXEC_BACKEND,
         help="execution backend (interp default); the verdict-stream "
         "digest is backend-independent by construction",
     )

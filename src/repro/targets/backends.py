@@ -1,19 +1,24 @@
 """The ``ExecBackend`` seam: one place that maps a backend name to a
 pipeline executor.
 
-Two backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
+Three backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
 
 * ``interp`` — :class:`~repro.targets.pipeline.PipelineInstance`, the
   reference tree-walking interpreter.  Default everywhere.
 * ``compiled`` — :class:`~repro.targets.compiled.CompiledPipeline`, the
   closure-compiled specialization (see ``DESIGN.md`` §10).
+* ``codegen`` — :class:`~repro.targets.codegen.CodegenPipeline`, a
+  one-time translation to generated Python source ``compile()``d into a
+  single code object per pipeline, with an optional batched
+  struct-of-arrays fast path (see ``DESIGN.md`` §15).
 
-Both expose the same execution surface (``process``/``process_traced``,
+All expose the same execution surface (``process``/``process_traced``,
 ``tables``, ``composed``, ``configure_faults``, ``guards``,
 ``last_drop_reason``, ``persistent``), so the switch, control API, soak
 harness, and sharded engine are backend-agnostic.  Callers select a
 backend by name — ``Switch(exec_backend=...)``, ``SoakConfig(exec_backend
-=...)``, or CLI ``--exec {interp,compiled}`` — and this module is the
+=...)``, or the CLI ``--exec`` flag (whose ``choices`` must be exactly
+``EXEC_BACKENDS``; a regression test pins that) — and this module is the
 only spot that knows the names.
 """
 
@@ -23,12 +28,13 @@ from typing import Optional
 
 from repro.errors import TargetError
 from repro.midend.inline import ComposedPipeline
+from repro.targets.codegen import CodegenPipeline
 from repro.targets.compiled import CompiledPipeline
 from repro.targets.faults import FaultPlan, ResourceGuards
 from repro.targets.pipeline import PipelineInstance
 
 #: Recognized execution backend names, in preference-display order.
-EXEC_BACKENDS = ("interp", "compiled")
+EXEC_BACKENDS = ("interp", "compiled", "codegen")
 
 DEFAULT_EXEC_BACKEND = "interp"
 
@@ -52,6 +58,13 @@ def make_pipeline(
         )
     if exec_backend == "compiled":
         return CompiledPipeline(
+            composed,
+            use_table_index=use_table_index,
+            guards=guards,
+            faults=faults,
+        )
+    if exec_backend == "codegen":
+        return CodegenPipeline(
             composed,
             use_table_index=use_table_index,
             guards=guards,

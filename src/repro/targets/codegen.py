@@ -1,0 +1,1803 @@
+"""Source-codegen execution backend: the composed pipeline as one
+generated Python function.
+
+The closure backend (:mod:`repro.targets.compiled`) already moved all
+AST dispatch and name resolution to build time, but each statement is
+still one Python *call* over a shared register list.  This module goes
+one step further down the µP4C "do it at compile time" ladder: a
+:class:`CodegenPipeline` renders the composed program into **Python
+source** — parser, table dispatch, inlined action bodies, and deparser
+as one module-level function per pipeline — then ``compile()``s and
+``exec``s it once.  Per-packet work after that is plain local-variable
+bytecode:
+
+* every pipeline variable is a function **local** (no ``ctx.regs``
+  indexing);
+* widths, masks, pack/unpack plans, fault-site strings and trace labels
+  are inlined **constants**;
+* the micro-pipeline byte stack is **scalarized** into one local per
+  byte (no per-field dict traffic) whenever the program only touches it
+  through field reads/writes and header ops;
+* action bodies are inlined at each table-apply site, so a hit runs
+  straight-line code instead of a dict lookup plus invoker call.
+
+The generated function preserves the interpreter's observable contract
+(the differential suite in ``tests/targets/test_compiled_equiv.py``
+enforces it across all ``EXEC_BACKENDS``): identical verdict streams,
+drop reasons, ``PacketTrace`` events, fault-site trip order, error
+strings, and statement-exact step accounting against
+``interp_step_budget``.
+
+Batched struct-of-arrays mode
+-----------------------------
+
+For scalarizable micro pipelines that never recirculate, a second
+function ``_cg_run_batch`` is generated: stage A parses N packets into
+one flat ``bytearray`` arena (struct-of-arrays: lane-major byte cells),
+stage B runs match-action bodies lane by lane over the arena, stage C
+deparses the survivors.  Digest parity with per-packet mode holds
+because the micro parse/deparse stages draw **no** fault sites, and all
+per-site ``FaultPlan`` streams ("table"/"extern" in stage B, "buffer"
+and mutation sites in the switch) see lanes in submission order — the
+same visit order per-packet execution produces.
+
+Metrics are emitted under ``codegen.*`` (``codegen.packets``,
+``codegen.table_hits``/``misses``, ``codegen.builds``) alongside the
+``interp.*`` and ``compiled.*`` families.
+"""
+
+from __future__ import annotations
+
+import re
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TargetError
+from repro.frontend import astnodes as ast
+from repro.frontend.typecheck import Symbol
+from repro.midend.bytestack import BS_INSTANCE, BS_LEN_VAR, PARSER_ERR_VAR
+from repro.midend.inline import IM_VAR, PKT_VAR, ComposedPipeline
+from repro.net.packet import Packet
+from repro.obs.metrics import LATENCY_SAMPLE_EVERY, METRICS
+from repro.obs.pkttrace import PacketTrace
+from repro.targets.compiled import (
+    _IM_FAST,
+    _factory_for,
+    _pack_plan,
+    _unpack_plan,
+)
+from repro.targets.faults import (
+    DEFAULT_STEP_BUDGET,
+    FaultError,
+    FaultPlan,
+    ResourceGuards,
+)
+from repro.targets.interpreter import (
+    ExitSignal,
+    HeaderValue,
+    ImState,
+    McEngine,
+    PktObject,
+    RegisterState,
+    ReturnSignal,
+)
+from repro.targets.pipeline import PacketOut, ParserErrorSignal, _expr_name
+from repro.targets.tables import TableRuntime
+
+#: Strings safe to re-emit without pinning into a temp: evaluating them
+#: is side-effect free and order-independent (bare locals, literals).
+_ATOM = re.compile(r"(?:[A-Za-z_][A-Za-z0-9_]*|\d+|'[^'\\]*')\Z")
+
+
+# ======================================================================
+# Runtime helpers injected into every generated namespace
+# ======================================================================
+
+
+def _te(message, code=None, *_evaluated):
+    """Raise a (possibly reason-coded) TargetError; usable in expression
+    position since it never returns.  Extra args exist so Python's
+    left-to-right call evaluation forces operand side effects first."""
+    err = TargetError(message)
+    if code is not None:
+        err.code = code
+    raise err
+
+
+def _te_after(message, *_evaluated):
+    """Raise after evaluating the operand arguments — the interpreter
+    evaluates sub-expressions before discovering a missing width or an
+    unsupported cast."""
+    raise TargetError(message)
+
+
+def _mem(target, m):
+    """Untyped member read with the interpreter's exact error texts."""
+    try:
+        return target.fields[m]
+    except KeyError:
+        raise TargetError(f"no field {m!r} in {target!r}") from None
+    except AttributeError:
+        raise TargetError(f"cannot read member {m!r} of {target!r}") from None
+
+
+def _stm(value, target, m, mask=None):
+    """Untyped member store; ``value`` is the first parameter so the
+    generated call evaluates it before the base, like the interpreter."""
+    try:
+        flds = target.fields
+    except AttributeError:
+        raise TargetError(f"cannot assign member of {target!r}") from None
+    if m not in flds:
+        raise TargetError(f"no field {m!r} in {target!r}")
+    flds[m] = value if mask is None else int(value) & mask
+    return None
+
+
+def _div(lv, rv, mask):
+    if rv == 0:
+        raise TargetError("division by zero in dataplane expression")
+    return (int(lv) // int(rv)) & mask
+
+
+def _mod(lv, rv, mask):
+    if rv == 0:
+        raise TargetError("modulo by zero in dataplane expression")
+    return (int(lv) % int(rv)) & mask
+
+
+class _Block:
+    """Indentation context manager for :class:`_SourceGen`."""
+
+    __slots__ = ("gen",)
+
+    def __init__(self, gen) -> None:
+        self.gen = gen
+
+    def __enter__(self):
+        self.gen.ind += 1
+        return self
+
+    def __exit__(self, *exc):
+        self.gen.ind -= 1
+        return False
+
+
+# ======================================================================
+# Escape analysis for byte-stack scalarization
+# ======================================================================
+
+
+def _bs_escapes(composed: ComposedPipeline) -> bool:
+    """True when the byte-stack instance is used in any way other than
+    field access (``bs.bN``) or a header op on the stack itself — the
+    only shapes the scalarized representation can express."""
+    bs = composed.byte_stack
+    if bs is None:
+        return True
+    size = bs.size
+    field_re = re.compile(r"b(\d+)\Z")
+
+    def walk(node) -> bool:
+        if isinstance(node, (list, tuple)):
+            return any(walk(n) for n in node)
+        if not isinstance(node, ast.Node):
+            return False
+        if isinstance(node, ast.PathExpr):
+            return node.name == BS_INSTANCE
+        if isinstance(node, ast.VarDeclStmt):
+            if node.name == BS_INSTANCE:
+                return True
+            return walk(node.init)
+        if isinstance(node, ast.MemberExpr):
+            base = node.base
+            if isinstance(base, ast.PathExpr) and base.name == BS_INSTANCE:
+                m = field_re.match(node.member)
+                return not (m and int(m.group(1)) < size)
+            return walk(base)
+        if isinstance(node, ast.MethodCallExpr):
+            resolved = getattr(node, "resolved", None)
+            target = node.target
+            if (
+                isinstance(target, ast.MemberExpr)
+                and isinstance(target.base, ast.PathExpr)
+                and target.base.name == BS_INSTANCE
+            ):
+                if resolved is not None and resolved[0] == "header_op":
+                    return any(walk(a) for a in node.args)
+                return True
+            return walk(target) or any(walk(a) for a in node.args)
+        if isinstance(node, ast.Type):
+            return False
+        for attr, value in vars(node).items():
+            # Resolution back-references would re-walk whole declarations.
+            if attr in ("decl", "resolved"):
+                continue
+            if walk(value):
+                return True
+        return False
+
+    roots: List[object] = [composed.statements]
+    for adecl in composed.actions.values():
+        roots.append(adecl.params)
+        roots.append(adecl.body)
+    for tdecl in composed.tables.values():
+        roots.append(tdecl)
+    for adecl in composed.actions.values():
+        for p in adecl.params:
+            if p.name == BS_INSTANCE:
+                return True
+    return any(walk(r) for r in roots)
+
+
+# ======================================================================
+# The source generator
+# ======================================================================
+
+
+class _SourceGen:
+    """Renders one :class:`ComposedPipeline` into Python source.
+
+    Mirrors the scoping model of ``compiled._Compiler``: lexical frames
+    map pipeline names to generated function locals, redeclaration in
+    the same frame reuses the local, shadowing in a child frame gets a
+    fresh one.  Every emitted statement carries the same three-line step
+    accounting the closure backend performs, and all dynamic error
+    messages are rendered with ``%`` formatting so the strings are
+    byte-identical to the interpreter's f-strings.
+    """
+
+    def __init__(
+        self, composed: ComposedPipeline, tables: Dict[str, TableRuntime]
+    ) -> None:
+        self.composed = composed
+        self.tables = tables
+        self.namespace: Dict[str, object] = {
+            "_TErr": TargetError,
+            "_FErr": FaultError,
+            "_PErr": ParserErrorSignal,
+            "_Exit": ExitSignal,
+            "_Return": ReturnSignal,
+            "_HV": HeaderValue,
+            "_IM": ImState,
+            "_Reg": RegisterState,
+            "_PktObj": PktObject,
+            "_Pkt": Packet,
+            "_POut": PacketOut,
+            "_obs": METRICS.observe,
+            "_perf": perf_counter,
+            "_ifb": int.from_bytes,
+            "_te": _te,
+            "_te_after": _te_after,
+            "_mem": _mem,
+            "_stm": _stm,
+            "_div": _div,
+            "_mod": _mod,
+            "_ACTS": frozenset(composed.actions),
+        }
+        self._out: List[Tuple[int, str]] = []
+        self._cur = self._out
+        self._bufstack: List[Tuple[List[Tuple[int, str]], int]] = []
+        self.ind = 0
+        self.nlocals = 0
+        self._n = 0
+        self._frames: List[Dict[str, Tuple[str, bool]]] = []
+        self._labels: List[str] = []
+        self._pool_ids: Dict[int, str] = {}
+        self.in_parser = False
+        self.uses_recirc = False
+        # Byte-stack scalarization plan (micro mode only).
+        self.bs_scalar = False
+        self.bs_size = 0
+        self.bs_extract_len = 0
+        if composed.mode == "micro" and composed.byte_stack is not None:
+            self.bs_size = composed.byte_stack.size
+            self.bs_extract_len = composed.region.extract_length
+            self.bs_scalar = (
+                self.bs_extract_len <= self.bs_size
+                and not _bs_escapes(composed)
+            )
+        self.bs_locals = tuple(f"_bs{i}" for i in range(self.bs_size))
+
+    # ------------------------------------------------------------------
+    # Emission plumbing
+    # ------------------------------------------------------------------
+    def line(self, text: str) -> None:
+        self._cur.append((self.ind, text))
+
+    def block(self) -> _Block:
+        return _Block(self)
+
+    def _buf_push(self) -> None:
+        self._bufstack.append((self._cur, self.ind))
+        self._cur = []
+
+    def _buf_pop(self) -> Tuple[List[Tuple[int, str]], int]:
+        lines = self._cur
+        self._cur, base = self._bufstack.pop()
+        return lines, base
+
+    def _splice(self, buf: Tuple[List[Tuple[int, str]], int]) -> None:
+        lines, base = buf
+        delta = self.ind - base
+        for ind, text in lines:
+            self._cur.append((ind + delta, text))
+
+    def tmp(self) -> str:
+        self._n += 1
+        return f"_t{self._n}"
+
+    def render(self) -> str:
+        return "\n".join("    " * ind + text for ind, text in self._out)
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+    def _push_frame(self, label: Optional[str] = None) -> None:
+        if label is None:
+            label = self._labels[-1] if self._labels else "pipeline"
+        self._frames.append({})
+        self._labels.append(label)
+
+    def _pop_frame(self) -> None:
+        self._frames.pop()
+        self._labels.pop()
+
+    def _define(self, name: str, is_int: bool) -> str:
+        frame = self._frames[-1]
+        ent = frame.get(name)
+        if ent is not None:
+            # Same-frame redeclaration reuses the local, like
+            # ``Env.define`` overwriting a slot.
+            frame[name] = (ent[0], is_int)
+            return ent[0]
+        self._n += 1
+        self.nlocals += 1
+        local = f"v{self._n}"
+        frame[name] = (local, is_int)
+        return local
+
+    def _define_special(self, name: str, marker: str) -> None:
+        self._frames[-1][name] = (marker, False)
+
+    def _find(self, name: str) -> Optional[Tuple[str, bool]]:
+        for frame in reversed(self._frames):
+            ent = frame.get(name)
+            if ent is not None:
+                return ent
+        return None
+
+    def _undef(self, name: str, doing: str) -> str:
+        msg = (
+            f"{doing} undefined name {name!r} at runtime "
+            f"(in {self._labels[-1]})"
+        )
+        return f"_te({msg!r}, 'undefined-name')"
+
+    def pooled(self, obj, prefix: str) -> str:
+        key = id(obj)
+        got = self._pool_ids.get(key)
+        if got is None:
+            self._n += 1
+            got = f"{prefix}{self._n}"
+            self._pool_ids[key] = got
+            self.namespace[got] = obj
+        return got
+
+    # ------------------------------------------------------------------
+    # Evaluation-order machinery
+    # ------------------------------------------------------------------
+    def _eval_all(self, nodes: List[ast.Expr]) -> List[str]:
+        """Compile ``nodes`` left to right.  Any operand whose value
+        must exist before a *later* operand's emitted pre-lines run is
+        pinned into a temp, so side effects keep interpreter order."""
+        staged = []
+        for node in nodes:
+            self._buf_push()
+            s = self.expr(node)
+            staged.append((self._buf_pop(), s))
+        last_pre = -1
+        for i, (buf, _s) in enumerate(staged):
+            if buf[0]:
+                last_pre = i
+        out = []
+        for i, (buf, s) in enumerate(staged):
+            self._splice(buf)
+            if i < last_pre and not _ATOM.match(s):
+                t = self.tmp()
+                self.line(f"{t} = {s}")
+                s = t
+            out.append(s)
+        return out
+
+    # ------------------------------------------------------------------
+    # Static int-ness (for eliding ``int()`` exactly where the closure
+    # backend's semantics make it a no-op)
+    # ------------------------------------------------------------------
+    def is_int(self, node: ast.Expr) -> bool:
+        if isinstance(node, ast.IntLit):
+            return True
+        if isinstance(node, ast.PathExpr):
+            decl = getattr(node, "decl", None)
+            if isinstance(decl, Symbol) and decl.kind == "const":
+                return isinstance(decl.value, int) and not isinstance(
+                    decl.value, bool
+                )
+            ent = self._find(node.name)
+            return ent is not None and ent[1]
+        if isinstance(node, ast.MemberExpr):
+            base = node.base
+            if (
+                self.bs_scalar
+                and isinstance(base, ast.PathExpr)
+                and self._find(base.name) == ("__BS__", False)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.SliceExpr):
+            return True
+        if isinstance(node, ast.CastExpr):
+            return isinstance(node.target, ast.BitType)
+        if isinstance(node, ast.UnaryExpr):
+            if node.op not in ("~", "-"):
+                return False
+            t = node.type if node.type else node.operand.type
+            return isinstance(t, ast.BitType)
+        if isinstance(node, ast.BinaryExpr):
+            op = node.op
+            if op in ("&", "|", "^", ">>", "++"):
+                return True
+            if op in ("+", "-", "*", "<<", "/", "%"):
+                return isinstance(node.type, ast.BitType)
+            return False
+        return False
+
+    def as_int(self, node: ast.Expr, s: str) -> str:
+        return s if self.is_int(node) else f"int({s})"
+
+    # ------------------------------------------------------------------
+    # Expressions (may emit pre-lines; return an expression string)
+    # ------------------------------------------------------------------
+    def expr(self, e: ast.Expr) -> str:
+        if isinstance(e, ast.IntLit):
+            return repr(e.value)
+        if isinstance(e, ast.BoolLit):
+            return repr(e.value)
+        if isinstance(e, ast.PathExpr):
+            decl = getattr(e, "decl", None)
+            if isinstance(decl, Symbol) and decl.kind == "const":
+                v = decl.value
+                if v is None or isinstance(v, (bool, int, str)):
+                    return repr(v)
+                return self.pooled(v, "_K")
+            ent = self._find(e.name)
+            if ent is None:
+                return self._undef(e.name, "read of")
+            return ent[0]
+        if isinstance(e, ast.MemberExpr):
+            return self._member(e)
+        if isinstance(e, ast.SliceExpr):
+            b = self.expr(e.base)
+            mask = (1 << (e.hi - e.lo + 1)) - 1
+            return f"(({b} >> {e.lo}) & {mask})"
+        if isinstance(e, ast.UnaryExpr):
+            return self._unary(e)
+        if isinstance(e, ast.CastExpr):
+            if isinstance(e.target, ast.BitType):
+                o = self.expr(e.operand)
+                mask = (1 << e.target.width) - 1
+                return f"({self.as_int(e.operand, o)} & {mask})"
+            if isinstance(e.target, ast.BoolType):
+                o = self.expr(e.operand)
+                return f"bool({o})"
+            o = self.expr(e.operand)
+            msg = f"unsupported cast to {e.target}"
+            return f"_te_after({msg!r}, {o})"
+        if isinstance(e, ast.BinaryExpr):
+            return self._binary(e)
+        if isinstance(e, ast.MethodCallExpr):
+            return self.call(e)
+        msg = f"cannot evaluate {type(e).__name__}"
+        return f"_te({msg!r})"
+
+    def _member(self, e: ast.MemberExpr) -> str:
+        base = e.base
+        if isinstance(base, ast.PathExpr):
+            decl = getattr(base, "decl", None)
+            if (
+                isinstance(decl, Symbol)
+                and decl.kind == "type"
+                and isinstance(decl.type, ast.EnumType)
+            ):
+                return repr(e.member)
+            if self.bs_scalar and self._find(base.name) == ("__BS__", False):
+                return self.bs_locals[int(e.member[1:])]
+        bt = getattr(base, "type", None)
+        b = self.expr(base)
+        if isinstance(bt, (ast.HeaderType, ast.StructType)) and any(
+            n == e.member for n, _t in bt.fields
+        ):
+            # Statically present field: the runtime dict always holds
+            # every declared field, so the guarded helper is pure cost.
+            return f"{b}.fields[{e.member!r}]"
+        return f"_mem({b}, {e.member!r})"
+
+    def _unary(self, e: ast.UnaryExpr) -> str:
+        if e.op == "!":
+            o = self.expr(e.operand)
+            return f"(not {o})"
+        t = e.type if e.type else e.operand.type
+        if not isinstance(t, ast.BitType):
+            o = self.expr(e.operand)
+            msg = f"unary has no bit width at runtime (type {t})"
+            return f"_te_after({msg!r}, {o})"
+        mask = (1 << t.width) - 1
+        o = self.expr(e.operand)
+        if e.op == "~":
+            return f"(~{o} & {mask})"
+        if e.op == "-":
+            return f"(-{o} & {mask})"
+        msg = f"unknown unary op {e.op!r}"
+        return f"_te({msg!r})"
+
+    _CMP = {"==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+    def _binary(self, e: ast.BinaryExpr) -> str:
+        op = e.op
+        if op in ("&&", "||"):
+            self._buf_push()
+            ls = self.expr(e.left)
+            lbuf = self._buf_pop()
+            self._buf_push()
+            rs = self.expr(e.right)
+            rbuf = self._buf_pop()
+            self._splice(lbuf)
+            if not rbuf[0]:
+                kw = "and" if op == "&&" else "or"
+                return f"(bool({ls}) {kw} bool({rs}))"
+            t = self.tmp()
+            self.line(f"{t} = bool({ls})")
+            self.line(f"if {t}:" if op == "&&" else f"if not {t}:")
+            with self.block():
+                self._splice(rbuf)
+                self.line(f"{t} = bool({rs})")
+            return t
+        ls, rs = self._eval_all([e.left, e.right])
+        cmp = self._CMP.get(op)
+        if cmp is not None:
+            return f"({ls} {cmp} {rs})"
+        li = self.as_int(e.left, ls)
+        ri = self.as_int(e.right, rs)
+        if op == "++":
+            rt = e.right.type
+            if not isinstance(rt, ast.BitType):
+                msg = f"concat operand has no bit width at runtime (type {rt})"
+                return f"_te_after({msg!r}, {ls}, {rs})"
+            return f"(({li} << {rt.width}) | {ri})"
+        if op in ("&", "|", "^", ">>"):
+            return f"({li} {op} {ri})"
+        if not isinstance(e.type, ast.BitType):
+            msg = (
+                f"result of {op!r} has no bit width at runtime "
+                f"(type {e.type})"
+            )
+            return f"_te_after({msg!r}, {ls}, {rs})"
+        mask = (1 << e.type.width) - 1
+        if op in ("+", "-", "*", "<<"):
+            return f"(({li} {op} {ri}) & {mask})"
+        if op == "/":
+            return f"_div({ls}, {rs}, {mask})"
+        if op == "%":
+            return f"_mod({ls}, {rs}, {mask})"
+        msg = f"unknown binary op {op!r}"
+        return f"_te({msg!r})"
+
+    # ------------------------------------------------------------------
+    # Stores.  Callers must fully evaluate the value first (temp it when
+    # non-atomic) — the interpreter computes the RHS before any lvalue
+    # base expression runs.
+    # ------------------------------------------------------------------
+    def store(self, lhs: ast.Expr, vs: str, v_int: bool) -> None:
+        if isinstance(lhs, ast.PathExpr):
+            ent = self._find(lhs.name)
+            if ent is None:
+                self.line(self._undef(lhs.name, "assignment to"))
+                return
+            if ent[0] == "__BS__":
+                self.line(self._undef(lhs.name, "assignment to"))
+                return
+            if isinstance(lhs.type, ast.BitType):
+                mask = (1 << lhs.type.width) - 1
+                vi = vs if v_int else f"int({vs})"
+                self.line(f"{ent[0]} = {vi} & {mask}")
+            else:
+                self.line(f"{ent[0]} = {vs}")
+            return
+        if isinstance(lhs, ast.MemberExpr):
+            base = lhs.base
+            if (
+                self.bs_scalar
+                and isinstance(base, ast.PathExpr)
+                and self._find(base.name) == ("__BS__", False)
+            ):
+                local = self.bs_locals[int(lhs.member[1:])]
+                vi = vs if v_int else f"int({vs})"
+                mask = (1 << lhs.type.width) - 1 if isinstance(
+                    lhs.type, ast.BitType
+                ) else 255
+                self.line(f"{local} = {vi} & {mask}")
+                return
+            bt = getattr(base, "type", None)
+            typed = isinstance(bt, (ast.HeaderType, ast.StructType)) and any(
+                n == lhs.member for n, _t in bt.fields
+            )
+            if typed:
+                b = self.expr(base)
+                if isinstance(lhs.type, ast.BitType):
+                    mask = (1 << lhs.type.width) - 1
+                    vi = vs if v_int else f"int({vs})"
+                    self.line(f"{b}.fields[{lhs.member!r}] = {vi} & {mask}")
+                else:
+                    self.line(f"{b}.fields[{lhs.member!r}] = {vs}")
+                return
+            b = self.expr(base)
+            if isinstance(lhs.type, ast.BitType):
+                mask = (1 << lhs.type.width) - 1
+                self.line(f"_stm({vs}, {b}, {lhs.member!r}, {mask})")
+            else:
+                self.line(f"_stm({vs}, {b}, {lhs.member!r})")
+            return
+        if isinstance(lhs, ast.SliceExpr):
+            width = lhs.hi - lhs.lo + 1
+            smask = (1 << width) - 1
+            keep = ~(smask << lhs.lo)
+            cur = self.expr(lhs.base)
+            ci = self.as_int(lhs.base, cur)
+            vi = vs if v_int else f"int({vs})"
+            t = self.tmp()
+            self.line(
+                f"{t} = ({ci} & {keep}) | (({vi} & {smask}) << {lhs.lo})"
+            )
+            self.store(lhs.base, t, True)
+            return
+        msg = f"unsupported lvalue {type(lhs).__name__}"
+        self.line(f"_te({msg!r})")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """The same statement-exact accounting the closure backend
+        performs; the format happens only on the cold path."""
+        self.line("steps += 1")
+        self.line("if steps > step_limit:")
+        with self.block():
+            self.line(
+                "raise _FErr('step-budget', 'interpreter exceeded "
+                "%d statements for one packet' % step_limit)"
+            )
+
+    def stmts(self, body: List[ast.Stmt]) -> None:
+        for s in body:
+            self.stmt(s)
+
+    def stmt(self, s: ast.Stmt) -> None:
+        if isinstance(s, ast.BlockStmt):
+            self.step()
+            self._push_frame()
+            self.stmts(s.stmts)
+            self._pop_frame()
+            return
+        if isinstance(s, ast.AssignStmt):
+            self.step()
+            self._buf_push()
+            vs = self.expr(s.rhs)
+            buf = self._buf_pop()
+            self._splice(buf)
+            v_int = self.is_int(s.rhs)
+            if not isinstance(s.lhs, ast.PathExpr) and not _ATOM.match(vs):
+                t = self.tmp()
+                self.line(f"{t} = {vs}")
+                vs = t
+            self.store(s.lhs, vs, v_int)
+            return
+        if isinstance(s, ast.VarDeclStmt):
+            self.step()
+            if s.init is not None:
+                vs = self.expr(s.init)
+                local = self._define(s.name, self.is_int(s.init))
+                self.line(f"{local} = {vs}")
+                return
+            t = s.var_type
+            if isinstance(t, ast.BitType):
+                local = self._define(s.name, True)
+                self.line(f"{local} = 0")
+            elif isinstance(t, ast.BoolType):
+                local = self._define(s.name, False)
+                self.line(f"{local} = False")
+            elif isinstance(t, ast.EnumType):
+                local = self._define(s.name, False)
+                self.line(f"{local} = {(t.members[0] if t.members else '')!r}")
+            else:
+                factory = self.pooled(_factory_for(t), "_K")
+                local = self._define(s.name, False)
+                self.line(f"{local} = {factory}()")
+            return
+        if isinstance(s, ast.MethodCallStmt):
+            self.step()
+            self._buf_push()
+            cs = self.call(s.call)
+            buf = self._buf_pop()
+            self._splice(buf)
+            if cs != "None" and not _ATOM.match(cs):
+                self.line(cs)
+            return
+        if isinstance(s, ast.IfStmt):
+            self.step()
+            cond = self.expr(s.cond)
+            self.line(f"if {cond}:")
+            with self.block():
+                self.stmt(s.then_body)
+            if s.else_body is not None:
+                self.line("else:")
+                with self.block():
+                    self.stmt(s.else_body)
+            return
+        if isinstance(s, ast.SwitchStmt):
+            self._switch(s)
+            return
+        if isinstance(s, ast.EmptyStmt):
+            self.step()
+            return
+        if isinstance(s, ast.ExitStmt):
+            self.step()
+            self.line("raise _Exit()")
+            return
+        if isinstance(s, ast.ReturnStmt):
+            self.step()
+            self.line("raise _Return()")
+            return
+        self.step()
+        msg = f"cannot execute {type(s).__name__}"
+        self.line(f"raise _TErr({msg!r})")
+
+    def _switch(self, s: ast.SwitchStmt) -> None:
+        self.step()
+        subj = self.expr(s.subject)
+        t = self.tmp()
+        self.line(f"{t} = {subj}")
+        # Resolve fallthrough statically: a match on case i executes the
+        # first non-empty body at or after i, like the closure backend.
+        bodies = [case.body for case in s.cases]
+        resolved = [
+            next((b for b in bodies[i:] if b is not None), None)
+            for i in range(len(bodies))
+        ]
+        arms: List[Tuple[Optional[ast.Expr], Optional[ast.Stmt]]] = []
+        for index, case in enumerate(s.cases):
+            for keyset in case.keysets:
+                matcher = (
+                    None if isinstance(keyset, ast.DefaultExpr) else keyset
+                )
+                arms.append((matcher, resolved[index]))
+        self._switch_arms(arms, t)
+
+    def _switch_arms(self, arms, t: str) -> None:
+        if not arms:
+            return
+        matcher, body = arms[0]
+        if matcher is None:
+            # default arm: always matches, later arms are unreachable.
+            if body is not None:
+                self.stmt(body)
+            else:
+                self.line("pass")
+            return
+        ms = self.expr(matcher)
+        self.line(f"if {ms} == {t}:")
+        with self.block():
+            if body is not None:
+                self.stmt(body)
+            else:
+                self.line("pass")
+        if len(arms) > 1:
+            self.line("else:")
+            with self.block():
+                self._switch_arms(arms[1:], t)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(self, c: ast.MethodCallExpr) -> str:
+        resolved = getattr(c, "resolved", None)
+        if resolved is None:
+            return "_te('unresolved call reached the interpreter')"
+        kind = resolved[0]
+        if kind == "header_op":
+            return self._header_op(c, resolved[1])
+        if kind == "table":
+            return self._table_apply(resolved[1])
+        if kind == "action":
+            return self._action_call(c, resolved[1])
+        if kind == "extern":
+            return self._extern(c, resolved[1], resolved[2])
+        if kind == "builtin":
+            return self._builtin(c, resolved[1])
+        if kind == "module":
+            return (
+                "_te('module apply survived inlining; "
+                "run the composer first')"
+            )
+        if kind == "stack_op":
+            return (
+                "_te('header-stack op survived lowering; "
+                "run the hdr_stack pass')"
+            )
+        msg = f"cannot execute call kind {kind!r}"
+        return f"_te({msg!r})"
+
+    def _header_op(self, c: ast.MethodCallExpr, op: str) -> str:
+        target = c.target
+        assert isinstance(target, ast.MemberExpr)
+        base = target.base
+        if (
+            self.bs_scalar
+            and isinstance(base, ast.PathExpr)
+            and self._find(base.name) == ("__BS__", False)
+        ):
+            if op == "isValid":
+                return "_bsvld"
+            if op == "setValid":
+                self.line("_bsvld = True")
+                return "None"
+            if op == "setInvalid":
+                self.line("_bsvld = False")
+                return "None"
+            msg = f"unknown header op {op!r}"
+            self.line(f"raise _TErr({msg!r})")
+            return "None"
+        b = self.expr(base)
+        if not _ATOM.match(b):
+            t = self.tmp()
+            self.line(f"{t} = {b}")
+            b = t
+        if op == "isValid":
+            msg = "isValid on a non-header value %r"
+            return (
+                f"({b}.valid if isinstance({b}, _HV) "
+                f"else _te({msg!r} % ({b},)))"
+            )
+        if op in ("setValid", "setInvalid"):
+            self.line(f"if isinstance({b}, _HV):")
+            with self.block():
+                self.line(
+                    f"{b}.valid = {'True' if op == 'setValid' else 'False'}"
+                )
+            self.line("else:")
+            with self.block():
+                msg = f"{op} on a non-header value %r"
+                self.line(f"raise _TErr({msg!r} % ({b},))")
+            return "None"
+        self.line(f"if not isinstance({b}, _HV):")
+        with self.block():
+            msg = f"{op} on a non-header value %r"
+            self.line(f"raise _TErr({msg!r} % ({b},))")
+        msg = f"unknown header op {op!r}"
+        self.line(f"raise _TErr({msg!r})")
+        return "None"
+
+    def _table_apply(self, decl) -> str:
+        runtime = self.tables.get(decl.name)
+        if runtime is None:
+            msg = f"table {decl.name!r} has no runtime state"
+            return f"_te({msg!r})"
+        name = decl.name
+        pool = self.pooled(runtime, "_TR")
+        lk = f"_LK{pool[3:]}"
+        ei = f"_EI{pool[3:]}"
+        self.namespace[lk] = runtime.lookup_full
+        self.namespace[ei] = runtime.entry_index
+        fmsg = f"injected lookup failure in table {name!r}"
+        self.line(f"if faults is not None and faults.trip('table', {name!r}):")
+        with self.block():
+            self.line(
+                f"raise _FErr('extern-fault', {fmsg!r}, "
+                f"site={('table:' + name)!r})"
+            )
+        lt = self.tmp()
+        self.line("if lat_on:")
+        with self.block():
+            self.line(f"{lt} = _perf()")
+        keys = self._eval_all(list(runtime.key_exprs))
+        ints = [
+            self.as_int(node, ks)
+            for node, ks in zip(runtime.key_exprs, keys)
+        ]
+        kv = self.tmp()
+        if ints:
+            self.line(f"{kv} = ({', '.join(ints)},)")
+        else:
+            self.line(f"{kv} = ()")
+        an, aa, hit, en = self.tmp(), self.tmp(), self.tmp(), self.tmp()
+        self.line(f"{an}, {aa}, {hit}, {en} = {lk}({kv})")
+        self.line("if lat_on:")
+        with self.block():
+            self.line(
+                f"_obs('pipeline.latency_us.lookup', "
+                f"(_perf() - {lt}) * 1e6)"
+            )
+        self.line(f"_ttrace.append({(name + ':')!r} + {an})")
+        self.line("if trace is not None:")
+        with self.block():
+            self.line(
+                f"trace.table({name!r}, {kv}, {an}, {hit}, "
+                f"entry={ei}({en}) if {en} is not None else None, "
+                f"const={en}.is_const if {en} is not None else None, "
+                f"args={aa})"
+            )
+        self.line(f"if {hit}:")
+        with self.block():
+            self.line("_hits += 1")
+        self.line("else:")
+        with self.block():
+            self.line("_misses += 1")
+        self.line(f"if {an} != 'NoAction':")
+        with self.block():
+            self.line(f"if {an} not in _ACTS:")
+            with self.block():
+                umsg = f"table {name!r} selected unknown action %r"
+                self.line(f"raise _TErr({umsg!r} % ({an},))")
+            self.line("if lat_on:")
+            with self.block():
+                self.line(f"{lt} = _perf()")
+            first = True
+            for aname, adecl in self.composed.actions.items():
+                self.line(f"{'if' if first else 'elif'} {an} == {aname!r}:")
+                with self.block():
+                    self._inline_action(adecl, aa)
+                first = False
+            self.line("if lat_on:")
+            with self.block():
+                self.line(
+                    f"_obs('pipeline.latency_us.action', "
+                    f"(_perf() - {lt}) * 1e6)"
+                )
+        return hit
+
+    def _inline_action(self, adecl, args_tmp: str) -> None:
+        """One action body, inlined at a table-apply dispatch arm."""
+        n = len(adecl.params)
+        amsg = f"action {adecl.name!r} expects {n} args, got %d"
+        self.line(f"if len({args_tmp}) != {n}:")
+        with self.block():
+            self.line(f"raise _TErr({amsg!r} % len({args_tmp}))")
+        self._push_frame(f"action {adecl.name!r}")
+        for i, p in enumerate(adecl.params):
+            local = self._define(p.name, False)
+            self.line(f"{local} = {args_tmp}[{i}]")
+        self.stmts(adecl.body.stmts)
+        self._pop_frame()
+
+    def _action_call(self, c: ast.MethodCallExpr, adecl) -> str:
+        vals = self._eval_all(list(c.args))
+        n = len(adecl.params)
+        if len(vals) != n:
+            # The invoker raises only after evaluating every argument.
+            for vs in vals:
+                if not _ATOM.match(vs):
+                    self.line(vs)
+            msg = f"action {adecl.name!r} expects {n} args, got {len(vals)}"
+            self.line(f"raise _TErr({msg!r})")
+            return "None"
+        self._push_frame(f"action {adecl.name!r}")
+        for p, vs in zip(adecl.params, vals):
+            local = self._define(p.name, False)
+            self.line(f"{local} = {vs}")
+        self.stmts(adecl.body.stmts)
+        self._pop_frame()
+        return "None"
+
+    def _builtin(self, c: ast.MethodCallExpr, name: str) -> str:
+        if name != "recirculate":
+            msg = f"unknown builtin function {name!r}"
+            return f"_te({msg!r})"
+        self.uses_recirc = True
+        ent = self._find(IM_VAR)
+        if ent is None:
+            return self._undef(IM_VAR, "read of")
+        t = self.tmp()
+        self.line(f"{t} = {ent[0]}")
+        self.line(f"if isinstance({t}, _IM):")
+        with self.block():
+            self.line(f"{t}.recirculate_requested = True")
+        for a in c.args:
+            vs = self.expr(a)
+            if not _ATOM.match(vs):
+                self.line(vs)
+        return "None"
+
+    # ------------------------------------------------------------------
+    # Externs
+    # ------------------------------------------------------------------
+    def _trip_extern(self, extern: str, site: str, fmsg: str) -> None:
+        self.line(
+            f"if faults is not None and faults.trip('extern', {extern!r}):"
+        )
+        with self.block():
+            self.line(f"raise _FErr('extern-fault', {fmsg!r}, site={site!r})")
+
+    def _generic_extern(self, c, extern: str, method: str, r: str) -> None:
+        """The interpreter's dynamic-dispatch fallback: evaluate the
+        base, then the arguments, then ``obj.call`` or the missing-
+        instance error."""
+        b = self.expr(c.target.base)
+        o = self.tmp()
+        self.line(f"{o} = {b}")
+        vals = self._eval_all(list(c.args))
+        a = self.tmp()
+        self.line(f"{a} = [{', '.join(vals)}]")
+        self.line(f"if hasattr({o}, 'call'):")
+        with self.block():
+            self.line(f"{r} = {o}.call({method!r}, {a})")
+        self.line("else:")
+        with self.block():
+            msg = f"extern instance {extern!r} missing at runtime"
+            self.line(f"raise _TErr({msg!r})")
+
+    def _extern(self, c: ast.MethodCallExpr, extern: str, method: str) -> str:
+        target = c.target
+        assert isinstance(target, ast.MemberExpr)
+        site = f"extern:{extern}"
+        fmsg = f"injected fault in extern {extern!r}.{method}"
+        if extern == "extractor":
+            if self.in_parser:
+                return self._extract(c, site, fmsg)
+            self._trip_extern("extractor", site, fmsg)
+            self.line(
+                "raise _TErr('extractor.extract outside a native "
+                "parser context')"
+            )
+            return "None"
+        if extern == "emitter":
+            self._trip_extern(extern, site, fmsg)
+            self.line(
+                "raise _TErr('emitter.emit outside a native "
+                "deparser context')"
+            )
+            return "None"
+        if extern == "register" and method == "read" and len(c.args) == 2:
+            self._trip_extern(extern, site, fmsg)
+            b = self.expr(target.base)
+            o = self.tmp()
+            self.line(f"{o} = {b}")
+            r = self.tmp()
+            self.line(f"if isinstance({o}, _Reg):")
+            with self.block():
+                idx = self.expr(c.args[1])
+                idx_i = self.as_int(c.args[1], idx)
+                v = self.tmp()
+                self.line(f"{v} = {o}.cells.get({idx_i} % {o}.size, 0)")
+                self.store(c.args[0], v, True)
+                self.line(f"{r} = None")
+            self.line("else:")
+            with self.block():
+                self._generic_extern(c, extern, method, r)
+            return r
+        if (
+            extern == "im_t"
+            and method in _IM_FAST
+            and len(c.args) <= 1
+            and (method != "set_out_port" or len(c.args) == 1)
+        ):
+            self._trip_extern(extern, site, fmsg)
+            b = self.expr(target.base)
+            o = self.tmp()
+            self.line(f"{o} = {b}")
+            r = self.tmp()
+            self.line(f"if {o}.__class__ is _IM:")
+            with self.block():
+                if method == "set_out_port":
+                    a0 = self.expr(c.args[0])
+                    p = self.tmp()
+                    self.line(f"{p} = {self.as_int(c.args[0], a0)}")
+                    self.line(f"{o}.out_port = {p}")
+                    self.line(f"if {p} == 255:")
+                    with self.block():
+                        self.line(f"{o}.dropped = True")
+                    self.line(f"{r} = None")
+                elif method == "drop":
+                    self.line(f"{o}.dropped = True")
+                    self.line(f"{r} = None")
+                else:
+                    attr = (
+                        "out_port" if method == "get_out_port" else "in_port"
+                    )
+                    self.line(f"{r} = {o}.{attr}")
+            self.line("else:")
+            with self.block():
+                self._generic_extern(c, extern, method, r)
+            return r
+        self._trip_extern(extern, site, fmsg)
+        r = self.tmp()
+        self._generic_extern(c, extern, method, r)
+        return r
+
+    def _extract(self, c: ast.MethodCallExpr, site: str, fmsg: str) -> str:
+        self._trip_extern("extractor", site, fmsg)
+        lvalue = c.args[1]
+        htype = getattr(lvalue, "type", None)
+        if not isinstance(htype, ast.HeaderType):
+            g = self.expr(lvalue)
+            if not _ATOM.match(g):
+                self.line(g)
+            self.line("raise _TErr('extract target is not a header')")
+            return "None"
+        size = htype.byte_width
+        plan = _unpack_plan(htype)
+        name = _expr_name(lvalue)
+        g = self.expr(lvalue)
+        h = self.tmp()
+        self.line(f"{h} = {g}")
+        self.line(f"if {h}.__class__ is not _HV:")
+        with self.block():
+            self.line("raise _TErr('extract target is not a header')")
+        e = self.tmp()
+        self.line(f"{e} = _cursor + {size}")
+        self.line(f"if {e} > _dl:")
+        with self.block():
+            self.line("raise _PErr('truncated-extract')")
+        acc = self.tmp()
+        self.line(f"{acc} = _ifb(data[_cursor:{e}], 'big')")
+        f = self.tmp()
+        self.line(f"{f} = {h}.fields")
+        for fname, shift, fmask in plan:
+            if shift:
+                self.line(f"{f}[{fname!r}] = ({acc} >> {shift}) & {fmask}")
+            else:
+                self.line(f"{f}[{fname!r}] = {acc} & {fmask}")
+        self.line(f"{h}.valid = True")
+        self.line("if trace is not None:")
+        with self.block():
+            self.line(f"trace.extract({name!r}, {size}, offset=_cursor)")
+        self.line(f"_cursor = {e}")
+        return "None"
+
+    # ------------------------------------------------------------------
+    # Native parser (monolithic mode)
+    # ------------------------------------------------------------------
+    def _default_init(self, name: str, t: ast.Type) -> None:
+        if isinstance(t, ast.BitType):
+            local = self._define(name, True)
+            self.line(f"{local} = 0")
+        elif isinstance(t, ast.BoolType):
+            local = self._define(name, False)
+            self.line(f"{local} = False")
+        elif isinstance(t, ast.EnumType):
+            local = self._define(name, False)
+            self.line(f"{local} = {(t.members[0] if t.members else '')!r}")
+        else:
+            factory = self.pooled(_factory_for(t), "_K")
+            local = self._define(name, False)
+            self.line(f"{local} = {factory}()")
+
+    def _parser_emit(self, parser) -> None:
+        """State machine as an integer-dispatched loop: states index
+        0.., ``accept`` is -1, ``reject`` -2, unknown targets get raise
+        arms below -2."""
+        self._push_frame(f"parser {parser.name!r}")
+        self.in_parser = True
+        for local in parser.locals:
+            if not isinstance(local, ast.VarLocal):
+                continue
+            if local.init is not None:
+                vs = self.expr(local.init)
+                loc = self._define(local.name, self.is_int(local.init))
+                self.line(f"{loc} = {vs}")
+            else:
+                self._default_init(local.name, local.var_type)
+        index = {st.name: i for i, st in enumerate(parser.states)}
+        unknowns: Dict[str, int] = {}
+
+        def target_index(name: str) -> int:
+            got = index.get(name)
+            if got is not None:
+                return got
+            if name == "accept":
+                return -1
+            if name == "reject":
+                return -2
+            got = unknowns.get(name)
+            if got is None:
+                got = -3 - len(unknowns)
+                unknowns[name] = got
+            return got
+
+        self.line(f"_st = {target_index('start')}")
+        self.line("for _ in range(parser_budget):")
+        with self.block():
+            self.line("if _st == -1:")
+            with self.block():
+                self.line("break")
+            self.line("elif _st == -2:")
+            with self.block():
+                self.line("raise _PErr('parser-reject')")
+            for i, st in enumerate(parser.states):
+                self.line(f"elif _st == {i}:")
+                with self.block():
+                    self.line("if trace is not None:")
+                    with self.block():
+                        self.line(f"trace.parser_state({st.name!r})")
+                    self.stmts(st.stmts)
+                    self._transition(st, target_index)
+            for uname, code in sorted(unknowns.items(), key=lambda kv: -kv[1]):
+                self.line(f"elif _st == {code}:")
+                with self.block():
+                    msg = f"parser reached unknown state {uname!r}"
+                    self.line(f"raise _TErr({msg!r})")
+        self.line("else:")
+        with self.block():
+            self.line(
+                "raise _FErr('parse-depth', 'native parser exceeded its "
+                "%d-state step budget' % parser_budget)"
+            )
+        self.in_parser = False
+        self._pop_frame()
+
+    def _transition(self, st, target_index) -> None:
+        if st.direct_next is not None:
+            self.line(f"_st = {target_index(st.direct_next)}")
+            return
+        if not st.select_exprs:
+            self.line("_st = -2")
+            return
+        subs = []
+        for e in st.select_exprs:
+            s = self.expr(e)
+            if not _ATOM.match(s):
+                t = self.tmp()
+                self.line(f"{t} = {s}")
+                s = t
+            subs.append((e, s))
+        first = True
+        for keysets, target in st.select_cases:
+            conds = []
+            for ks, (snode, sname) in zip(keysets, subs):
+                if isinstance(ks, ast.DefaultExpr):
+                    continue
+                si = self.as_int(snode, sname)
+                if isinstance(ks, ast.MaskExpr):
+                    vs = self.expr(ks.value)
+                    if not _ATOM.match(vs):
+                        t = self.tmp()
+                        self.line(f"{t} = {vs}")
+                        vs = t
+                    vi = self.as_int(ks.value, vs)
+                    ms = self.expr(ks.mask)
+                    mi = self.as_int(ks.mask, ms)
+                    if not _ATOM.match(mi):
+                        t = self.tmp()
+                        self.line(f"{t} = {mi}")
+                        mi = t
+                    conds.append(f"(({si} & {mi}) == ({vi} & {mi}))")
+                elif isinstance(ks, ast.RangeExpr):
+                    los = self.expr(ks.lo)
+                    if not _ATOM.match(los):
+                        t = self.tmp()
+                        self.line(f"{t} = {los}")
+                        los = t
+                    his = self.expr(ks.hi)
+                    if not _ATOM.match(his):
+                        t = self.tmp()
+                        self.line(f"{t} = {his}")
+                        his = t
+                    loi = self.as_int(ks.lo, los)
+                    hii = self.as_int(ks.hi, his)
+                    conds.append(f"({loi} <= {si} <= {hii})")
+                else:
+                    vs = self.expr(ks)
+                    conds.append(f"({vs} == {sname})")
+            cond = " and ".join(conds) if conds else "True"
+            self.line(f"{'if' if first else 'elif'} {cond}:")
+            with self.block():
+                self.line(f"_st = {target_index(target)}")
+            first = False
+        self.line("else:")
+        with self.block():
+            self.line("_st = -2")
+
+    # ------------------------------------------------------------------
+    # Whole-function emission
+    # ------------------------------------------------------------------
+    def _root_inits(self, in_port_s: str, pktlen_s: str, pktobj_s: str) -> None:
+        """Per-packet locals for IM/pkt/root variables, in the same order
+        ``compiled._fresh_ctx`` evaluates them: scalars and factories in
+        declaration order, register externs next, mc wiring last."""
+        im = self._define(IM_VAR, False)
+        self.line(f"{im} = _IM(in_port={in_port_s}, pkt_len={pktlen_s})")
+        pk = self._define(PKT_VAR, False)
+        self.line(f"{pk} = _PktObj({pktobj_s})")
+        mc_wires = []
+        reg_inits = []
+        for name, vtype in self.composed.variables.items():
+            if self.bs_scalar and name == BS_INSTANCE:
+                self._define_special(name, "__BS__")
+                continue
+            if isinstance(vtype, ast.ExternType):
+                if vtype.name == "register":
+                    local = self._define(name, False)
+                    reg_inits.append((local, name))
+                elif vtype.name == "mc_engine":
+                    factory = self.pooled(_factory_for(vtype), "_K")
+                    local = self._define(name, False)
+                    self.line(f"{local} = {factory}()")
+                    mc_wires.append(local)
+                else:
+                    local = self._define(name, False)
+                    self.line(f"{local} = None")
+                continue
+            if isinstance(vtype, ast.BitType):
+                local = self._define(name, True)
+                self.line(f"{local} = 0")
+                continue
+            if isinstance(vtype, ast.BoolType):
+                local = self._define(name, False)
+                self.line(f"{local} = False")
+                continue
+            if isinstance(vtype, ast.EnumType):
+                local = self._define(name, False)
+                self.line(f"{local} = {(vtype.members[0] if vtype.members else '')!r}")
+                continue
+            factory = self.pooled(_factory_for(vtype), "_K")
+            local = self._define(name, False)
+            self.line(f"{local} = {factory}()")
+        for local, name in reg_inits:
+            self.line(f"{local} = _pers.setdefault({name!r}, _Reg())")
+        for local in mc_wires:
+            self.line(f"{local}.im = {im}")
+
+    def _micro_scalar_prologue(self) -> None:
+        E, S = self.bs_extract_len, self.bs_size
+        names = self.bs_locals
+        if E > 0:
+            head = ", ".join(names[:E]) + ("," if E == 1 else "")
+            self.line(f"if _dl >= {E}:")
+            with self.block():
+                self.line(f"_loaded = {E}")
+                self.line(f"{head} = data[:{E}]")
+            self.line("else:")
+            with self.block():
+                self.line("_loaded = _dl")
+                self.line(f"{head} = data.ljust({E}, b'\\x00')")
+        else:
+            self.line("_loaded = 0")
+        if E < S:
+            chain = " = ".join(names[E:])
+            self.line(f"{chain} = 0")
+        self.line("_bsvld = True")
+        self.line(f"{self._find(BS_LEN_VAR)[0]} = _loaded")
+        self.line(f"payload = data[{E}:]")
+
+    def _micro_object_prologue(self) -> None:
+        E, S = self.bs_extract_len, self.bs_size
+        bs = self._find(BS_INSTANCE)[0]
+        self.namespace["_BN"] = tuple(f"b{i}" for i in range(S))
+        self.line(f"_loaded = _dl if _dl < {E} else {E}")
+        self.line(f"{bs}.valid = True")
+        self.line(f"_bf = {bs}.fields")
+        self.line("for _i in range(_loaded):")
+        with self.block():
+            self.line("_bf[_BN[_i]] = data[_i]")
+        self.line(f"{self._find(BS_LEN_VAR)[0]} = _loaded")
+        self.line(f"payload = data[{E}:]")
+
+    def _micro_per_packet(self) -> None:
+        E, S = self.bs_extract_len, self.bs_size
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_pt = _perf()")
+        if self.bs_scalar:
+            self._micro_scalar_prologue()
+        else:
+            self._micro_object_prologue()
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_obs('pipeline.latency_us.parse', (_perf() - _pt) * 1e6)")
+        self.line("if trace is not None:")
+        with self.block():
+            self.line(f"trace.extract('byte_stack', _loaded, extract_length={E})")
+        self.line("try:")
+        with self.block():
+            self.stmts(self.composed.statements)
+        self.line("except (_Exit, _Return):")
+        with self.block():
+            self.line("pass")
+        im = self._find(IM_VAR)[0]
+        perr = self._find(PARSER_ERR_VAR)[0]
+        self.line(f"if {perr} == 1 or {im}.dropped:")
+        with self.block():
+            self.line(f"_reason = 'parser-error' if {perr} == 1 else 'pipeline-drop'")
+            self.line("pipe.last_drop_reason = _reason")
+            self.line("if trace is not None:")
+            with self.block():
+                self.line("trace.drop(_reason)")
+            self.line("return []")
+        blen = self._find(BS_LEN_VAR)
+        self.line(f"out_len = {blen[0] if blen[1] else 'int(%s)' % blen[0]}")
+        self.line(f"if out_len > {S} or out_len < 0:")
+        with self.block():
+            self.line(
+                "raise _FErr('bytestack-bounds', "
+                f"'byte-stack length %d outside stack size {S}' % out_len)"
+            )
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_pt = _perf()")
+        if self.bs_scalar:
+            tup = ", ".join(self.bs_locals)
+            self.line(f"out_bytes = bytes(({tup},)[:out_len]) + payload")
+        else:
+            self.line("out_bytes = bytes(map(_bf.__getitem__, _BN[:out_len])) + payload")
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_obs('pipeline.latency_us.deparse', (_perf() - _pt) * 1e6)")
+        self.line("if trace is not None:")
+        with self.block():
+            self.line("trace.deparse(out_len, len(payload))")
+            self.line(
+                f"trace.output({im}.out_port, len(out_bytes), "
+                f"{im}.mcast_grp, {im}.recirculate_requested)"
+            )
+        self.line(
+            f"return [_POut(_Pkt(out_bytes), {im}.out_port, {im}.mcast_grp, "
+            f"recirculate={im}.recirculate_requested)]"
+        )
+
+    def _mono_per_packet(self) -> None:
+        self.line("_cursor = 0")
+        parser = self.composed.native_parser
+        if parser is not None:
+            self.line("_prr = None")
+            self.line("if lat_on:")
+            with self.block():
+                self.line("_pt = _perf()")
+            self.line("try:")
+            with self.block():
+                self._parser_emit(parser)
+            self.line("except _PErr as _sig:")
+            with self.block():
+                self.line("_prr = _sig.reason")
+            self.line("finally:")
+            with self.block():
+                self.line("if lat_on:")
+                with self.block():
+                    self.line("_obs('pipeline.latency_us.parse', (_perf() - _pt) * 1e6)")
+            self.line("if _prr is not None:")
+            with self.block():
+                self.line("pipe.last_drop_reason = _prr")
+                self.line("if trace is not None:")
+                with self.block():
+                    self.line("trace.drop(_prr)")
+                self.line("return []")
+        self.line("payload = data[_cursor:]")
+        self.line("try:")
+        with self.block():
+            self.stmts(self.composed.statements)
+        self.line("except (_Exit, _Return):")
+        with self.block():
+            self.line("pass")
+        im = self._find(IM_VAR)[0]
+        self.line(f"if {im}.dropped:")
+        with self.block():
+            self.line("pipe.last_drop_reason = 'pipeline-drop'")
+            self.line("if trace is not None:")
+            with self.block():
+                self.line("trace.drop('pipeline-drop')")
+            self.line("return []")
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_pt = _perf()")
+        self.line("_parts = []")
+        for emit in self.composed.native_emits or ():
+            htype = getattr(emit, "type", None)
+            g = self.expr(emit)
+            h = self.tmp()
+            self.line(f"{h} = {g}")
+            self.line(f"if not isinstance({h}, _HV):")
+            with self.block():
+                self.line("raise _TErr('native emit of a non-header value')")
+            self.line(f"if {h}.valid:")
+            with self.block():
+                if isinstance(htype, ast.HeaderType):
+                    plan = _pack_plan(htype)
+                    nbytes = htype.fixed_bit_width // 8
+                else:
+                    plan = ()
+                    nbytes = 0
+                f = self.tmp()
+                self.line(f"{f} = {h}.fields")
+                fold = "0"
+                for fname, width, fmask in plan:
+                    term = f"({f}[{fname!r}] & {fmask})"
+                    fold = term if fold == "0" else f"(({fold} << {width}) | {term})"
+                name = _expr_name(emit)
+                self.line(f"_pk = ({fold}).to_bytes({nbytes}, 'big')")
+                self.line("if trace is not None:")
+                with self.block():
+                    self.line(f"trace.emit({name!r}, {nbytes})")
+                self.line("_parts.append(_pk)")
+        self.line("_parts.append(payload)")
+        self.line("out_bytes = b''.join(_parts)")
+        self.line("if lat_on:")
+        with self.block():
+            self.line("_obs('pipeline.latency_us.deparse', (_perf() - _pt) * 1e6)")
+        self.line("if trace is not None:")
+        with self.block():
+            self.line(
+                f"trace.output({im}.out_port, len(out_bytes), "
+                f"{im}.mcast_grp, {im}.recirculate_requested)"
+            )
+        self.line(
+            f"return [_POut(_Pkt(out_bytes), {im}.out_port, {im}.mcast_grp, "
+            f"recirculate={im}.recirculate_requested)]"
+        )
+
+    def _gen_run(self) -> None:
+        self.line(
+            "def _cg_run(pipe, packet, in_port, trace, lat_on, step_limit, "
+            "faults, parser_budget):"
+        )
+        with self.block():
+            self.line("data = packet.tobytes()")
+            self.line("_dl = len(data)")
+            self.line("steps = 0")
+            self.line("_hits = 0")
+            self.line("_misses = 0")
+            self.line("_ttrace = pipe.table_trace")
+            self.line("_pers = pipe.persistent")
+            self.line("try:")
+            with self.block():
+                self._push_frame("pipeline")
+                self._root_inits("in_port", "_dl", "packet")
+                if self.composed.mode == "micro":
+                    self._micro_per_packet()
+                else:
+                    self._mono_per_packet()
+                self._pop_frame()
+            self.line("finally:")
+            with self.block():
+                self.line("pipe._hits_out = _hits")
+                self.line("pipe._misses_out = _misses")
+
+    def _gen_run_batch(self) -> None:
+        E, S = self.bs_extract_len, self.bs_size
+        names = self.bs_locals
+        tup = ", ".join(names) + ("," if S == 1 else "")
+        self.line("")
+        self.line("")
+        self.line("def _cg_run_batch(pipe, datas, ports, pkts, step_limit, faults):")
+        with self.block():
+            self.line("trace = None")
+            self.line("lat_on = False")
+            self.line("_hits = 0")
+            self.line("_misses = 0")
+            self.line("_ttrace = pipe.table_trace")
+            self.line("_pers = pipe.persistent")
+            self.line("_n = len(datas)")
+            self.line("_results = [None] * _n")
+            self.line("_lens = [0] * _n")
+            self.line("_outlens = [0] * _n")
+            self.line("_pays = [b''] * _n")
+            self.line("_ims = [None] * _n")
+            self.line(f"_cells = bytearray(_n * {S})")
+            self.line("try:")
+            with self.block():
+                # Stage A: parse every lane into the flat cell arena.
+                self.line("_off = 0")
+                self.line("for _lane in range(_n):")
+                with self.block():
+                    self.line("data = datas[_lane]")
+                    self.line("_dl = len(data)")
+                    if E > 0:
+                        self.line(f"if _dl >= {E}:")
+                        with self.block():
+                            self.line(f"_cells[_off:_off + {E}] = data[:{E}]")
+                            self.line(f"_lens[_lane] = {E}")
+                        self.line("else:")
+                        with self.block():
+                            self.line("_cells[_off:_off + _dl] = data")
+                            self.line("_lens[_lane] = _dl")
+                    self.line(f"_pays[_lane] = data[{E}:]")
+                    self.line(f"_off += {S}")
+                # Stage B: match-action body per lane.
+                self.line("_off = 0")
+                self.line("for _lane in range(_n):")
+                with self.block():
+                    self.line("_dl = len(datas[_lane])")
+                    self.line("try:")
+                    with self.block():
+                        self.line("steps = 0")
+                        self.line(f"{tup} = _cells[_off:_off + {S}]")
+                        self.line("_bsvld = True")
+                        self._push_frame("pipeline")
+                        self._root_inits("ports[_lane]", "_dl", "pkts[_lane]")
+                        self.line(f"{self._find(BS_LEN_VAR)[0]} = _lens[_lane]")
+                        self.line("try:")
+                        with self.block():
+                            self.stmts(self.composed.statements)
+                        self.line("except (_Exit, _Return):")
+                        with self.block():
+                            self.line("pass")
+                        im = self._find(IM_VAR)[0]
+                        perr = self._find(PARSER_ERR_VAR)[0]
+                        self.line(f"if {perr} == 1 or {im}.dropped:")
+                        with self.block():
+                            self.line(
+                                "_results[_lane] = ([], 'parser-error' if "
+                                f"{perr} == 1 else 'pipeline-drop', None)"
+                            )
+                        self.line("else:")
+                        with self.block():
+                            blen = self._find(BS_LEN_VAR)
+                            self.line(
+                                f"out_len = {blen[0] if blen[1] else 'int(%s)' % blen[0]}"
+                            )
+                            self.line(f"if out_len > {S} or out_len < 0:")
+                            with self.block():
+                                self.line(
+                                    "raise _FErr('bytestack-bounds', "
+                                    f"'byte-stack length %d outside stack size {S}'"
+                                    " % out_len)"
+                                )
+                            self.line(f"_cells[_off:_off + {S}] = ({tup})")
+                            self.line("_outlens[_lane] = out_len")
+                            self.line(f"_ims[_lane] = {im}")
+                        self._pop_frame()
+                    self.line("except Exception as _exc:")
+                    with self.block():
+                        self.line("_results[_lane] = (None, None, _exc)")
+                    self.line(f"_off += {S}")
+                # Stage C: deparse the surviving lanes.
+                self.line("_off = 0")
+                self.line("for _lane in range(_n):")
+                with self.block():
+                    self.line("if _results[_lane] is None:")
+                    with self.block():
+                        self.line("_im = _ims[_lane]")
+                        self.line(
+                            "_ob = bytes(_cells[_off:_off + _outlens[_lane]]) "
+                            "+ _pays[_lane]"
+                        )
+                        self.line(
+                            "_results[_lane] = ([_POut(_Pkt(_ob), _im.out_port, "
+                            "_im.mcast_grp, recirculate=_im.recirculate_requested)], "
+                            "None, None)"
+                        )
+                    self.line(f"_off += {S}")
+            self.line("finally:")
+            with self.block():
+                self.line("pipe._hits_out = _hits")
+                self.line("pipe._misses_out = _misses")
+            self.line("return _results")
+
+    def generate(self) -> str:
+        self._gen_run()
+        self.batch_ok = (
+            self.composed.mode == "micro"
+            and self.bs_scalar
+            and self.bs_size > 0
+            and not self.uses_recirc
+        )
+        if self.batch_ok:
+            self._gen_run_batch()
+        return self.render()
+
+
+class CodegenPipeline:
+    """Composed pipeline translated to generated Python source.
+
+    Observationally identical to the interpreter and the closure backend:
+    same verdicts, drop reasons, traces, fault-trip order, step counting,
+    and error strings. ``source`` holds the generated module text for
+    debugging; ``batch_supported`` is True when the struct-of-arrays
+    ``process_soa`` fast path was generated for this pipeline.
+    """
+
+    backend = "codegen"
+
+    def __init__(
+        self,
+        composed: ComposedPipeline,
+        use_table_index: bool = True,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.composed = composed
+        self.tables = {
+            name: TableRuntime(decl, use_index=use_table_index)
+            for name, decl in composed.tables.items()
+        }
+        self.persistent: Dict[str, RegisterState] = {}
+        self.last_drop_reason: Optional[str] = None
+        self.table_trace: List[str] = []
+        self._lat_tick = 0
+        self.step_limit = DEFAULT_STEP_BUDGET
+        self.faults: Optional[FaultPlan] = None
+        self.guards = ResourceGuards()
+        self._hits_out = 0
+        self._misses_out = 0
+        gen = _SourceGen(composed, self.tables)
+        self.source = gen.generate()
+        ns = gen.namespace
+        exec(compile(self.source, f"<codegen:{composed.name}>", "exec"), ns)
+        self._run = ns["_cg_run"]
+        self._run_batch = ns.get("_cg_run_batch")
+        self.batch_supported = self._run_batch is not None
+        self.configure_faults(guards=guards, faults=faults)
+        if METRICS.enabled:
+            METRICS.inc("codegen.builds")
+            METRICS.set_gauge("codegen.locals", gen.nlocals)
+
+    def configure_faults(
+        self,
+        guards: Optional[ResourceGuards] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if guards is not None:
+            self.guards = guards
+        self.step_limit = self.guards.interp_step_budget
+        self.faults = faults
+
+    def process(self, packet: Packet, in_port: int = 0, trace=None) -> List[PacketOut]:
+        lat_on = False
+        if METRICS.enabled:
+            METRICS.inc("codegen.packets")
+            tick = self._lat_tick
+            self._lat_tick = tick + 1
+            lat_on = tick % LATENCY_SAMPLE_EVERY == 0
+        self.last_drop_reason = None
+        self._hits_out = 0
+        self._misses_out = 0
+        try:
+            return self._run(
+                self,
+                packet,
+                in_port,
+                trace,
+                lat_on,
+                self.step_limit,
+                self.faults,
+                self.guards.parser_step_budget,
+            )
+        finally:
+            if METRICS.enabled:
+                if self._hits_out:
+                    METRICS.inc("codegen.table_hits", self._hits_out)
+                if self._misses_out:
+                    METRICS.inc("codegen.table_misses", self._misses_out)
+
+    def process_traced(self, packet: Packet, in_port: int = 0):
+        trace = PacketTrace()
+        outputs = self.process(packet, in_port, trace=trace)
+        return outputs, trace
+
+    def process_soa(self, datas, ports, pkts):
+        """Batch fast path: returns one ``(outputs, reason, exc)`` triple
+        per lane. ``outputs`` is None when the lane raised, ``reason`` is
+        the drop reason when the lane dropped with no outputs."""
+        if self._run_batch is None:
+            raise TargetError("batch execution is not supported for this pipeline")
+        if METRICS.enabled:
+            n = len(datas)
+            METRICS.inc("codegen.packets", n)
+            self._lat_tick += n
+        self.last_drop_reason = None
+        self._hits_out = 0
+        self._misses_out = 0
+        try:
+            return self._run_batch(self, datas, ports, pkts, self.step_limit, self.faults)
+        finally:
+            if METRICS.enabled:
+                if self._hits_out:
+                    METRICS.inc("codegen.table_hits", self._hits_out)
+                if self._misses_out:
+                    METRICS.inc("codegen.table_misses", self._misses_out)

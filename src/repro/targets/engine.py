@@ -67,7 +67,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.errors import TargetError
 from repro.net.packet import Packet
 from repro.obs.metrics import METRICS, MetricsRegistry
-from repro.targets.backends import make_pipeline
+from repro.targets.backends import EXEC_BACKENDS, make_pipeline
 from repro.targets.faults import ChaosPlan
 from repro.targets.ring import DEFAULT_RING_BYTES
 from repro.targets.supervision import RestartPolicy
@@ -351,7 +351,8 @@ def _consume(
             return
         try:
             verdicts = switch.process_batch(
-                (packet, in_port) for _, packet, in_port in batch
+                ((packet, in_port) for _, packet, in_port in batch),
+                soa=True,
             )
         except Exception as exc:  # noqa: BLE001 — the invariant under test
             # A packet escaped containment.  The switch's stats already
@@ -918,6 +919,15 @@ def run_profile_shards(
     ``engine.publish_interval_s > 0``) and a final snapshot per shard.
     """
     engine.validate()
+    if exec_backend not in EXEC_BACKENDS:
+        # Validate in the parent against the live seam registry; workers
+        # would otherwise each die on the same unknown-backend error.
+        err = TargetError(
+            f"unknown exec backend {exec_backend!r}; "
+            f"known: {', '.join(EXEC_BACKENDS)}"
+        )
+        err.code = "unknown-backend"
+        raise err
     program = str(getattr(composed, "name", "profile"))
     epochs_seen: Dict[int, int] = {}
 

@@ -1044,8 +1044,11 @@ class WorkerPool:
             )
         self.start()
         engine = self.engine
-        # Compile in the parent: a bad program fails here, once, before
-        # any worker sees a control message.
+        # Validate and compile in the parent: a bad backend name or
+        # program fails here, once, before any worker sees a control
+        # message (workers would otherwise die N times on the same
+        # unknown-backend error from the seam).
+        config.validate()
         composed = compose_program(config, program)
         self._run_id += 1
         run = self._run_id

@@ -44,7 +44,7 @@ from repro.lib.catalog import (
 )
 from repro.net.build import PacketBuilder
 from repro.net.packet import Packet
-from repro.targets.backends import make_pipeline
+from repro.targets.backends import EXEC_BACKENDS, make_pipeline
 from repro.targets.faults import FaultPlan, ResourceGuards
 from repro.targets.switch import Switch, SwitchConfig
 
@@ -97,6 +97,33 @@ class SoakConfig:
     #: post-mortem dumps (on uncaught escapes, ledger mismatch, or
     #: worker death).  0 disables the recorder.
     flight_recorder: int = 64
+
+    def validate(self) -> None:
+        """Reject config values that would otherwise only fail deep
+        inside a run (or inside N forked workers at once).
+
+        Validation is against the live registries — ``EXEC_BACKENDS``
+        from the backends seam, ``TRAFFIC_MIXES`` — never local
+        literals, so a new backend is accepted here the moment the seam
+        knows it.  :func:`run_soak` and the resident pool's parent-side
+        ``submit`` both call this up front.
+        """
+        if self.exec_backend not in EXEC_BACKENDS:
+            err = TargetError(
+                f"unknown exec backend {self.exec_backend!r}; "
+                f"known: {', '.join(EXEC_BACKENDS)}"
+            )
+            err.code = "unknown-backend"
+            raise err
+        if self.traffic not in TRAFFIC_MIXES:
+            raise TargetError(
+                f"unknown traffic mix {self.traffic!r}; "
+                f"known: {', '.join(TRAFFIC_MIXES)}"
+            )
+        if self.mode not in ("micro", "mono"):
+            raise TargetError(
+                f"unknown compile mode {self.mode!r}; known: micro, mono"
+            )
 
 
 def _fault_plan(
@@ -434,6 +461,7 @@ def run_soak(
     and is single-process only — worker processes cannot share one
     output file without interleaving corruption.
     """
+    config.validate()
     if engine is not None:
         from repro.targets.engine import run_sharded_program
 

@@ -18,6 +18,7 @@ from repro.targets.backends import (
     backend_of,
     make_pipeline,
 )
+from repro.targets.codegen import CodegenPipeline
 from repro.targets.compiled import CompiledPipeline
 from repro.targets.interpreter import Env
 from repro.targets.pipeline import PipelineInstance
@@ -31,7 +32,7 @@ def composed():
 
 class TestMakePipeline:
     def test_backend_names(self):
-        assert EXEC_BACKENDS == ("interp", "compiled")
+        assert EXEC_BACKENDS == ("interp", "compiled", "codegen")
         assert DEFAULT_EXEC_BACKEND == "interp"
 
     def test_interp_backend(self, composed):
@@ -44,6 +45,13 @@ class TestMakePipeline:
         assert isinstance(instance, CompiledPipeline)
         assert backend_of(instance) == "compiled"
 
+    def test_codegen_backend(self, composed):
+        instance = make_pipeline(composed, "codegen")
+        assert isinstance(instance, CodegenPipeline)
+        assert backend_of(instance) == "codegen"
+        # The generated module is kept for debugging and compiles clean.
+        assert "def _cg_run(" in instance.source
+
     def test_default_is_interp(self, composed):
         assert backend_of(make_pipeline(composed)) == "interp"
 
@@ -55,7 +63,7 @@ class TestMakePipeline:
         assert "compiled" in str(exc.value)  # names the known backends
 
     def test_shared_surface(self, composed):
-        """Both executors expose the surface the switch/API relies on."""
+        """Every executor exposes the surface the switch/API relies on."""
         for backend in EXEC_BACKENDS:
             instance = make_pipeline(composed, backend)
             for attr in (

@@ -8,6 +8,11 @@ behavior (site trips draw from per-site RNG streams, so trip *order and
 count* must match), step-budget kills, soak verdict digests, and the
 switch's ``emits + drops == units`` ledger.  Hypothesis drives random
 packet bytes and ports over every catalog program in both compile modes.
+
+The suite is parametrized over ``EXEC_BACKENDS`` — every non-interp
+backend (closure-compiled, source-codegen, and any future one) is
+diffed against the tree-walking reference, so a new backend inherits
+the whole parity contract by being added to the seam tuple.
 """
 
 import hashlib
@@ -25,8 +30,7 @@ from repro.lib.catalog import (
     build_pipeline,
 )
 from repro.net.packet import Packet
-from repro.targets.backends import make_pipeline
-from repro.targets.compiled import CompiledPipeline
+from repro.targets.backends import EXEC_BACKENDS, make_pipeline
 from repro.targets.faults import FaultPlan, ResourceGuards
 from repro.targets.pipeline import PipelineInstance
 from repro.targets.runtime_api import RuntimeAPI
@@ -41,6 +45,9 @@ from repro.targets.switch import Switch, SwitchConfig
 
 ALL_PROGRAMS = sorted({*COMPOSITIONS, *EXTRA_COMPOSITIONS})
 MODES = ("micro", "mono")
+
+#: Every backend that must match the interp reference, packet for packet.
+ALT_BACKENDS = tuple(b for b in EXEC_BACKENDS if b != "interp")
 
 # Build each (program, mode) composition once per test session — the
 # pipelines under test share it (compilation is deterministic, and both
@@ -124,9 +131,31 @@ def program(request):
     return request.param
 
 
+# Built-and-programmed (interp, alt) pipeline pairs, shared across
+# Hypothesis examples.  The catalog programs drive both executors with
+# identical packet sequences, so any persistent register state evolves
+# in lockstep on both sides and the parity comparison stays valid —
+# while the N-examples × N-programs × N-backends build cost is paid once
+# per combination instead of once per example.
+_PAIRS = {}
+
+
+def pipeline_pair(program, mode, backend):
+    key = (program, mode, backend)
+    if key not in _PAIRS:
+        composed = composed_for(program, mode)
+        interp = PipelineInstance(composed)
+        comp = make_pipeline(composed, backend)
+        install_entries(interp)
+        install_entries(comp)
+        _PAIRS[key] = (interp, comp)
+    return _PAIRS[key]
+
+
 class TestPipelineEquivalence:
     """Raw pipeline parity: outputs, reasons, traces, byte-for-byte."""
 
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
     @pytest.mark.parametrize("mode", MODES)
     @settings(
         max_examples=30,
@@ -143,24 +172,21 @@ class TestPipelineEquivalence:
             max_size=8,
         )
     )
-    def test_streams_identical(self, program, mode, packets):
-        composed = composed_for(program, mode)
-        interp = PipelineInstance(composed)
-        comp = CompiledPipeline(composed)
-        install_entries(interp)
-        install_entries(comp)
+    def test_streams_identical(self, program, mode, backend, packets):
+        interp, comp = pipeline_pair(program, mode, backend)
         for data, port in packets:
             assert run_one(interp, data, port) == run_one(comp, data, port), (
-                f"{program}/{mode} diverged on {data!r} port {port}"
+                f"{program}/{mode}/{backend} diverged on {data!r} port {port}"
             )
 
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
     @pytest.mark.parametrize("mode", MODES)
-    def test_fault_streams_identical(self, program, mode):
+    def test_fault_streams_identical(self, program, mode, backend):
         """Same FaultPlan seed → same trips, same verdicts, packet for
         packet (trip order/count parity)."""
         composed = composed_for(program, mode)
         interp = PipelineInstance(composed)
-        comp = CompiledPipeline(composed)
+        comp = make_pipeline(composed, backend)
         install_entries(interp)
         install_entries(comp)
         plan_i = FaultPlan(seed=3, sites={"extern": 0.08, "table": 0.08})
@@ -175,19 +201,20 @@ class TestPipelineEquivalence:
             )
             port = rng.randrange(8)
             assert run_one(interp, data, port) == run_one(comp, data, port), (
-                f"{program}/{mode} fault divergence at packet {i}"
+                f"{program}/{mode}/{backend} fault divergence at packet {i}"
             )
         # Trip parity: both plans drew and tripped the same sites the
         # same number of times — the RNG streams stayed in lockstep.
         assert plan_i.trips == plan_c.trips
 
-    def test_step_budget_kills_same_packet(self, program):
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_step_budget_kills_same_packet(self, program, backend):
         """A tight step budget kills on the same packet with the same
-        reason-coded FaultError under both backends."""
+        reason-coded FaultError under every backend."""
         composed = composed_for(program, "micro")
         guards = ResourceGuards(interp_step_budget=3)
         interp = PipelineInstance(composed, guards=guards)
-        comp = CompiledPipeline(composed, guards=guards)
+        comp = make_pipeline(composed, backend, guards=guards)
         rng = random.Random(1)
         budget_hits = 0
         for _ in range(30):
@@ -199,10 +226,11 @@ class TestPipelineEquivalence:
                 budget_hits += 1
         assert budget_hits > 0, "budget of 3 should trip on every program"
 
-    def test_table_trace_matches(self, program):
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_table_trace_matches(self, program, backend):
         composed = composed_for(program, "micro")
         interp = PipelineInstance(composed)
-        comp = CompiledPipeline(composed)
+        comp = make_pipeline(composed, backend)
         install_entries(interp)
         install_entries(comp)
         rng = random.Random(11)
@@ -227,7 +255,7 @@ class TestSwitchLedger:
             mode=mode,
         )
         switches = {}
-        for backend in ("interp", "compiled"):
+        for backend in EXEC_BACKENDS:
             composed = composed_for(program, mode)
             switch = Switch(
                 make_pipeline(composed, exec_backend=backend),
@@ -248,7 +276,7 @@ class TestSwitchLedger:
             stats = switch.stats
             assert stats["units"] == stats["out"] + stats["dropped"]
             digests[backend] = digest.hexdigest()
-        assert digests["interp"] == digests["compiled"]
+        assert len(set(digests.values())) == 1, digests
 
 
 class TestSoakDigests:
@@ -263,11 +291,12 @@ class TestSoakDigests:
                 ),
                 "P4",
             )
-            for backend in ("interp", "compiled")
+            for backend in EXEC_BACKENDS
         }
-        assert blocks["interp"]["digest"] == blocks["compiled"]["digest"]
-        assert blocks["compiled"]["uncaught"] == []
-        assert blocks["compiled"]["ledger_ok"]
+        assert len({b["digest"] for b in blocks.values()}) == 1
+        for backend in EXEC_BACKENDS:
+            assert blocks[backend]["uncaught"] == []
+            assert blocks[backend]["ledger_ok"]
 
     def test_soak_digest_mono_mode(self):
         digests = {
@@ -278,9 +307,9 @@ class TestSoakDigests:
                 ),
                 "P7",
             )["digest"]
-            for backend in ("interp", "compiled")
+            for backend in EXEC_BACKENDS
         }
-        assert digests["interp"] == digests["compiled"]
+        assert len(set(digests.values())) == 1, digests
 
     def test_run_soak_reports_backend(self):
         summary = run_soak(
@@ -296,7 +325,7 @@ class TestSoakDigests:
         from repro.targets.engine import EngineConfig
 
         digests = {}
-        for backend in ("interp", "compiled"):
+        for backend in EXEC_BACKENDS:
             summary = run_soak(
                 SoakConfig(
                     programs=["P4"], packets=600, seed=21, fault_rate=0.1,
@@ -305,7 +334,7 @@ class TestSoakDigests:
                 engine=EngineConfig(workers=2),
             )
             digests[backend] = summary["digest"]
-        assert digests["interp"] == digests["compiled"]
+        assert len(set(digests.values())) == 1, digests
 
 
 _COUNTER_SRC = """
@@ -341,14 +370,15 @@ class TestPersistentState:
     """Registers persist across packets identically; the catalog programs
     are stateless, so this compiles a per-port counter program."""
 
-    def test_register_state_parity(self):
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_register_state_parity(self, backend):
         from repro.core.api import build_dataplane, compile_module
 
         composed = build_dataplane(
             compile_module(_COUNTER_SRC, "counter.up4")
         ).instance.composed
         interp = PipelineInstance(composed)
-        comp = CompiledPipeline(composed)
+        comp = make_pipeline(composed, backend)
         rng = random.Random(2)
         for _ in range(60):
             data = bytes(rng.randrange(256) for _ in range(54))
