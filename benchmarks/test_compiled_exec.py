@@ -39,6 +39,7 @@ import pytest
 
 from repro.lib.catalog import build_monolithic, build_pipeline
 from repro.targets.backends import EXEC_BACKENDS, make_pipeline
+from repro.targets.vector import NUMPY_AVAILABLE
 from repro.targets.engine import EngineConfig
 from repro.targets.runtime_api import RuntimeAPI
 from repro.targets.soak import SoakConfig, run_soak
@@ -52,7 +53,16 @@ MIN_PARSER_SPEEDUP = 1.5 if QUICK else 3.0
 # Codegen must beat the closure backend by a clear margin on both
 # workloads (the ROADMAP's "next 10x on the hot path" clause).
 MIN_CODEGEN_VS_COMPILED = 1.2 if QUICK else 1.5
+# The vectorized backend must clearly beat codegen's batched SoA path on
+# the exact-heavy workload (ISSUE 10 acceptance gate: >= 2x full runs).
+MIN_VECTOR_VS_CODEGEN_BATCH = 1.2 if QUICK else 2.0
 OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_compiled_exec.json"
+
+#: Backends measured this run; ``vector`` drops out without the
+#: optional numpy extra (the workload blocks then simply omit it).
+BACKENDS = tuple(
+    b for b in EXEC_BACKENDS if b != "vector" or NUMPY_AVAILABLE
+)
 
 RESULTS = {}
 
@@ -100,7 +110,7 @@ def pkt_rate(instance, packets):
 def run_pair(name, program, mode, packets, entries=True):
     """Time every backend on one workload; record + sanity check."""
     rates, builds = {}, {}
-    for backend in EXEC_BACKENDS:
+    for backend in BACKENDS:
         instance, build_seconds = build_backend(
             program, mode, backend, entries=entries
         )
@@ -116,7 +126,7 @@ def run_pair(name, program, mode, packets, entries=True):
         "entries_installed": entries,
         "packets": COUNT,
     }
-    for backend in EXEC_BACKENDS:
+    for backend in BACKENDS:
         block[f"{backend}_pkts_per_sec"] = round(rates[backend])
         block[f"{backend}_usec_per_pkt"] = round(1e6 / rates[backend], 1)
         if backend != "interp":
@@ -223,7 +233,7 @@ def test_sharded_engine_per_backend():
     )
     block = {}
     digests = {}
-    for backend in EXEC_BACKENDS:
+    for backend in BACKENDS:
         start = time.perf_counter()
         summary = run_soak(
             SoakConfig(exec_backend=backend, **config),
@@ -243,3 +253,68 @@ def test_sharded_engine_per_backend():
         "digests_match": True,
         **block,
     }
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+def test_vector_batch():
+    """Columnwise numpy batches vs codegen's per-lane SoA batches.
+
+    Same exact-heavy P4 workload, same arena layout, swept over the
+    ``--batch-lanes`` settings the engine exposes: larger batches
+    amortize more per numpy op, so the sweep shows where the curve
+    flattens.  Lane digests must match codegen's batch output bit for
+    bit at every lane count, and the 256-lane point gates the
+    ISSUE 10 acceptance ratio.
+    """
+    codegen, _ = build_backend("P4", "micro", "codegen", entries=True)
+    vector, _ = build_backend("P4", "micro", "vector", entries=True)
+    assert vector.vector_plan is not None, vector.vector_decline_reason
+    packets = [eth_ipv4(), eth_ipv4(dst="10.1.2.3"), eth_ipv6()]
+
+    def lane_digest(results):
+        digest = hashlib.sha256()
+        for outputs, reason, exc in results:
+            assert exc is None
+            for out in outputs or ():
+                digest.update(out.packet.tobytes())
+                digest.update(bytes((out.port,)))
+        return digest.hexdigest()
+
+    def batch_rate(instance, datas, ports, pkts, rounds):
+        instance.process_soa(datas, ports, pkts)  # warmup
+        best = 0.0
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            for _ in range(rounds):
+                instance.process_soa(datas, ports, pkts)
+            best = max(best, rounds * len(datas) / (time.perf_counter() - start))
+        return best
+
+    sweep = {}
+    ratio_at_256 = None
+    for lanes in (64, 256, 1024):
+        datas = [packets[i % len(packets)].tobytes() for i in range(lanes)]
+        ports = [1] * lanes
+        pkts = [packets[i % len(packets)] for i in range(lanes)]
+        assert lane_digest(vector.process_soa(datas, ports, pkts)) == lane_digest(
+            codegen.process_soa(datas, ports, pkts)
+        ), f"vector diverged from codegen batch at {lanes} lanes"
+        rounds = max(1, (COUNT * 4) // lanes)
+        cg = batch_rate(codegen, datas, ports, pkts, rounds)
+        vec = batch_rate(vector, datas, ports, pkts, rounds)
+        sweep[str(lanes)] = {
+            "codegen_batch_pkts_per_sec": round(cg),
+            "vector_batch_pkts_per_sec": round(vec),
+            "vector_vs_codegen_batch": round(vec / cg, 2),
+        }
+        if lanes == 256:
+            ratio_at_256 = vec / cg
+    RESULTS["vector_batch_P4_micro"] = {
+        "program": "P4",
+        "mode": "micro",
+        "digests_match": True,
+        "gate_lanes": 256,
+        "min_vector_vs_codegen_batch": MIN_VECTOR_VS_CODEGEN_BATCH,
+        "lanes_sweep": sweep,
+    }
+    assert ratio_at_256 >= MIN_VECTOR_VS_CODEGEN_BATCH, sweep

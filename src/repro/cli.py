@@ -522,6 +522,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
         traffic=args.traffic,
         exec_backend=args.exec,
         flight_recorder=args.flight_recorder,
+        batch_lanes=args.batch_lanes,
     )
     telemetry, server, trace_writer = _setup_telemetry(args)
     engine = None
@@ -913,6 +914,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--flight-recorder", type=int, default=64, metavar="N",
         help="keep the last N verdicts per shard for post-mortem dumps "
         "on uncaught escapes or ledger mismatch (default: 64; 0 disables)",
+    )
+    p_soak.add_argument(
+        "--batch-lanes", type=int, default=256, metavar="N",
+        help="lanes per SoA batch handed to the switch (default: 256); "
+        "verdicts are batch-boundary-independent so this tunes "
+        "throughput without moving the digest",
     )
     p_soak.add_argument(
         "--chaos", action="append", default=[], metavar="SPEC",

@@ -1,7 +1,7 @@
 """The ``ExecBackend`` seam: one place that maps a backend name to a
 pipeline executor.
 
-Three backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
+Four backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
 
 * ``interp`` — :class:`~repro.targets.pipeline.PipelineInstance`, the
   reference tree-walking interpreter.  Default everywhere.
@@ -11,6 +11,11 @@ Three backends execute a :class:`~repro.midend.inline.ComposedPipeline`:
   one-time translation to generated Python source ``compile()``d into a
   single code object per pipeline, with an optional batched
   struct-of-arrays fast path (see ``DESIGN.md`` §15).
+* ``vector`` — :class:`~repro.targets.vector.VectorPipeline`, the
+  codegen backend with its SoA batch stage replaced by columnwise numpy
+  execution with divergence splitting (see ``DESIGN.md`` §16).  Needs
+  the optional ``[vector]`` extra (numpy); constructing it without
+  numpy raises a reason-coded ``error[vector-unavailable]``.
 
 All expose the same execution surface (``process``/``process_traced``,
 ``tables``, ``composed``, ``configure_faults``, ``guards``,
@@ -34,7 +39,7 @@ from repro.targets.faults import FaultPlan, ResourceGuards
 from repro.targets.pipeline import PipelineInstance
 
 #: Recognized execution backend names, in preference-display order.
-EXEC_BACKENDS = ("interp", "compiled", "codegen")
+EXEC_BACKENDS = ("interp", "compiled", "codegen", "vector")
 
 DEFAULT_EXEC_BACKEND = "interp"
 
@@ -65,6 +70,17 @@ def make_pipeline(
         )
     if exec_backend == "codegen":
         return CodegenPipeline(
+            composed,
+            use_table_index=use_table_index,
+            guards=guards,
+            faults=faults,
+        )
+    if exec_backend == "vector":
+        # Imported lazily: the module is numpy-tolerant, but the other
+        # backends should not pay its import on every process start.
+        from repro.targets.vector import VectorPipeline
+
+        return VectorPipeline(
             composed,
             use_table_index=use_table_index,
             guards=guards,

@@ -48,9 +48,14 @@ Metrics are emitted under ``codegen.*`` (``codegen.packets``,
 
 from __future__ import annotations
 
+import hashlib
+import importlib.util
+import marshal
+import os
 import re
+import tempfile
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import TargetError
 from repro.frontend import astnodes as ast
@@ -1692,6 +1697,94 @@ class _SourceGen:
         return self.render()
 
 
+class SoaLayout:
+    """The struct-of-arrays arena contract for one composed pipeline.
+
+    One cell per byte-stack slot, ``extract_len`` cells loaded from the
+    wire, lanes packed row-major (``lane * size + cell``).  Both the
+    generated ``_cg_run_batch`` body and the vector backend slice the
+    same layout, so it is exported here as a named object instead of
+    being re-derived from private ``_SourceGen`` fields.
+    """
+
+    __slots__ = ("size", "extract_len", "scalar", "batch_ok")
+
+    def __init__(self, size: int, extract_len: int, scalar: bool, batch_ok: bool) -> None:
+        self.size = size
+        self.extract_len = extract_len
+        self.scalar = scalar
+        self.batch_ok = batch_ok
+
+
+# ---------------------------------------------------------------------------
+# Build cache
+#
+# Generating source is cheap (~0.06s) but ``compile()`` dominates the
+# build (~0.26s) and every sharded worker replica used to pay it again
+# for the same program.  The generated module text is deterministic per
+# composed pipeline and contains no per-instance state (runtime objects
+# are injected through the exec namespace), so code objects can be
+# shared: an in-process dict serves repeat builds in one process, and a
+# marshal file under the tempdir serves fresh worker processes.  Keyed
+# on the interpreter's bytecode magic + the exact source, so stale or
+# foreign cache files can never produce wrong code.  Disable with
+# ``REPRO_CODEGEN_CACHE=0``; relocate with ``REPRO_CODEGEN_CACHE_DIR``.
+# ---------------------------------------------------------------------------
+
+_CODE_CACHE: Dict[str, Any] = {}
+
+
+def _disk_cache_dir() -> Optional[str]:
+    if os.environ.get("REPRO_CODEGEN_CACHE", "1") == "0":
+        return None
+    root = os.environ.get("REPRO_CODEGEN_CACHE_DIR")
+    if not root:
+        uid = getattr(os, "getuid", lambda: 0)()
+        root = os.path.join(tempfile.gettempdir(), f"repro-codegen-{uid}")
+    try:
+        os.makedirs(root, mode=0o700, exist_ok=True)
+    except OSError:
+        return None
+    return root
+
+
+def _compile_cached(source: str, filename: str):
+    key = hashlib.sha256(
+        importlib.util.MAGIC_NUMBER + filename.encode() + b"\x00" + source.encode()
+    ).hexdigest()
+    code = _CODE_CACHE.get(key)
+    if code is not None:
+        if METRICS.enabled:
+            METRICS.inc("codegen.build_cache_hits")
+        return code
+    root = _disk_cache_dir()
+    path = os.path.join(root, key + ".pyc") if root else None
+    if path is not None:
+        try:
+            with open(path, "rb") as fh:
+                code = marshal.loads(fh.read())
+        except Exception:
+            code = None  # missing, truncated, or foreign: recompile
+        if code is not None:
+            _CODE_CACHE[key] = code
+            if METRICS.enabled:
+                METRICS.inc("codegen.build_cache_hits")
+            return code
+    if METRICS.enabled:
+        METRICS.inc("codegen.build_cache_misses")
+    code = compile(source, filename, "exec")
+    _CODE_CACHE[key] = code
+    if path is not None:
+        try:
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(marshal.dumps(code))
+            os.replace(tmp, path)
+        except Exception:
+            pass  # cache is best-effort; the compiled code is in hand
+    return code
+
+
 class CodegenPipeline:
     """Composed pipeline translated to generated Python source.
 
@@ -1725,13 +1818,24 @@ class CodegenPipeline:
         self.guards = ResourceGuards()
         self._hits_out = 0
         self._misses_out = 0
+        # Metric family follows the registered backend name so subclasses
+        # (the vector backend) report under their own keys even on paths
+        # inherited from here — the CLI/engine summaries read
+        # ``{exec_backend}.table_hits`` etc.
+        self._m_packets = f"{self.backend}.packets"
+        self._m_hits = f"{self.backend}.table_hits"
+        self._m_misses = f"{self.backend}.table_misses"
         gen = _SourceGen(composed, self.tables)
         self.source = gen.generate()
         ns = gen.namespace
-        exec(compile(self.source, f"<codegen:{composed.name}>", "exec"), ns)
+        code = _compile_cached(self.source, f"<codegen:{composed.name}>")
+        exec(code, ns)
         self._run = ns["_cg_run"]
         self._run_batch = ns.get("_cg_run_batch")
         self.batch_supported = self._run_batch is not None
+        self.soa_layout = SoaLayout(
+            gen.bs_size, gen.bs_extract_len, gen.bs_scalar, gen.batch_ok
+        )
         self.configure_faults(guards=guards, faults=faults)
         if METRICS.enabled:
             METRICS.inc("codegen.builds")
@@ -1750,7 +1854,7 @@ class CodegenPipeline:
     def process(self, packet: Packet, in_port: int = 0, trace=None) -> List[PacketOut]:
         lat_on = False
         if METRICS.enabled:
-            METRICS.inc("codegen.packets")
+            METRICS.inc(self._m_packets)
             tick = self._lat_tick
             self._lat_tick = tick + 1
             lat_on = tick % LATENCY_SAMPLE_EVERY == 0
@@ -1771,9 +1875,9 @@ class CodegenPipeline:
         finally:
             if METRICS.enabled:
                 if self._hits_out:
-                    METRICS.inc("codegen.table_hits", self._hits_out)
+                    METRICS.inc(self._m_hits, self._hits_out)
                 if self._misses_out:
-                    METRICS.inc("codegen.table_misses", self._misses_out)
+                    METRICS.inc(self._m_misses, self._misses_out)
 
     def process_traced(self, packet: Packet, in_port: int = 0):
         trace = PacketTrace()
@@ -1788,7 +1892,7 @@ class CodegenPipeline:
             raise TargetError("batch execution is not supported for this pipeline")
         if METRICS.enabled:
             n = len(datas)
-            METRICS.inc("codegen.packets", n)
+            METRICS.inc(self._m_packets, n)
             self._lat_tick += n
         self.last_drop_reason = None
         self._hits_out = 0
@@ -1798,6 +1902,6 @@ class CodegenPipeline:
         finally:
             if METRICS.enabled:
                 if self._hits_out:
-                    METRICS.inc("codegen.table_hits", self._hits_out)
+                    METRICS.inc(self._m_hits, self._hits_out)
                 if self._misses_out:
-                    METRICS.inc("codegen.table_misses", self._misses_out)
+                    METRICS.inc(self._m_misses, self._misses_out)

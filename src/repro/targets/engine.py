@@ -85,10 +85,13 @@ SHARD_POLICIES = ("flow-hash", "round-robin")
 #: Stream-ingest modes (see the module docstring).
 INGEST_MODES = ("replay", "dispatch")
 
-#: Packets a worker hands to ``Switch.process_batch`` at a time.  Both
-#: ingest modes batch identically (exactly this many consecutive owned
-#: packets, partial batch only at end of stream) so the two produce the
-#: same batches — and therefore the same verdict stream — bit for bit.
+#: Default packets a worker hands to ``Switch.process_batch`` at a time
+#: (override per run via ``SoakConfig.batch_lanes`` / ``--batch-lanes``).
+#: Both ingest modes batch identically (exactly this many consecutive
+#: owned packets, partial batch only at end of stream) so the two
+#: produce the same batches — and because per-packet verdicts do not
+#: depend on batch boundaries (the SoA parity argument, DESIGN.md §15),
+#: the digest is invariant to the lane count too.
 BATCH_SIZE = 256
 
 
@@ -301,6 +304,7 @@ def _consume(
     publish=None,
     recorder=None,
     ack=None,
+    batch_lanes: int = BATCH_SIZE,
 ) -> Dict[str, object]:
     """Process one shard's packet stream and summarize it.
 
@@ -386,7 +390,7 @@ def _consume(
 
     for index, packet, in_port in stream:
         batch.append((index, packet, in_port))
-        if len(batch) >= BATCH_SIZE:
+        if len(batch) >= batch_lanes:
             flush()
             if ack_every and folded - acked_at >= ack_every:
                 acked_at = folded
@@ -458,7 +462,8 @@ def _run_shard(
         if assign_shard(index, packet.tobytes(), workers, policy) == shard
     )
     block = _consume(
-        switch, stream, engine, shard, publish=publish, recorder=recorder
+        switch, stream, engine, shard, publish=publish, recorder=recorder,
+        batch_lanes=getattr(config, "batch_lanes", BATCH_SIZE),
     )
     block["seed"] = shard_seed(config.seed, program, shard)
     return block

@@ -230,6 +230,7 @@ def _run_pool_shard(
         publish=publish if engine.collect_metrics else None,
         recorder=recorder,
         ack=ack if engine.ack_interval_pkts > 0 else None,
+        batch_lanes=getattr(config, "batch_lanes", 256),
     )
     block["seed"] = shard_seed(config.seed, program, shard)
     block["run"] = run

@@ -313,10 +313,13 @@ class Switch:
 
         With ``soa=True`` and a pipeline that advertises
         ``batch_supported`` (the codegen backend's struct-of-arrays fast
-        path), the whole batch runs through ``pipeline.process_soa``:
-        parse all lanes into a flat byte arena, run the match-action body
-        per lane, deparse survivors at the end.  Fault-site RNG streams
-        see lanes in submission order, so verdicts — and the soak digest
+        path, or the vector backend's columnwise numpy execution over
+        the same arena), the whole batch runs through
+        ``pipeline.process_soa``: parse all lanes into a flat byte
+        arena, run the match-action body per lane — or columnwise with
+        divergence splitting under ``--exec vector`` (DESIGN.md §16) —
+        and deparse survivors at the end.  Fault-site RNG streams see
+        lanes in submission order, so verdicts — and the soak digest
         over them — are bit-for-bit identical to the per-packet path.
         The fast path declines (and this falls back to per-packet
         processing) under ``strict`` mode, a configured recirculation

@@ -322,6 +322,10 @@ class TableRuntime:
         self._has_lpm = "lpm" in self.match_kinds
         self.use_index = use_index
         self._index = None
+        # Bumped on every mutation so batch executors that pre-compile
+        # per-table lookup structures (the vector backend) can tell when
+        # a cached structure is stale without comparing entry lists.
+        self.version = 0
         self.const_entries: List[Entry] = [
             self._convert_const_entry(e) for e in decl.const_entries
         ]
@@ -390,6 +394,7 @@ class TableRuntime:
         # Higher priority wins; stable for equal priorities.
         self.runtime_entries.sort(key=lambda e: -e.priority)
         self._index = None
+        self.version += 1
 
     def set_default(self, action_name: str, args: Optional[Sequence[int]] = None) -> None:
         if action_name not in self.decl.actions and action_name != "NoAction":
@@ -399,10 +404,12 @@ class TableRuntime:
         self.default_action = action_name
         self.default_args = list(args or [])
         self._index = None
+        self.version += 1
 
     def clear_runtime_entries(self) -> None:
         self.runtime_entries = []
         self._index = None
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -23,6 +23,7 @@ from repro.targets.compiled import CompiledPipeline
 from repro.targets.interpreter import Env
 from repro.targets.pipeline import PipelineInstance
 from repro.targets.switch import Switch
+from repro.targets.vector import NUMPY_AVAILABLE, VectorPipeline
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +33,7 @@ def composed():
 
 class TestMakePipeline:
     def test_backend_names(self):
-        assert EXEC_BACKENDS == ("interp", "compiled", "codegen")
+        assert EXEC_BACKENDS == ("interp", "compiled", "codegen", "vector")
         assert DEFAULT_EXEC_BACKEND == "interp"
 
     def test_interp_backend(self, composed):
@@ -52,6 +53,20 @@ class TestMakePipeline:
         # The generated module is kept for debugging and compiles clean.
         assert "def _cg_run(" in instance.source
 
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+    def test_vector_backend(self, composed):
+        instance = make_pipeline(composed, "vector")
+        assert isinstance(instance, VectorPipeline)
+        assert backend_of(instance) == "vector"
+
+    @pytest.mark.skipif(NUMPY_AVAILABLE, reason="numpy installed")
+    def test_vector_unavailable_without_numpy(self, composed):
+        """No numpy → a reason-coded error, not an ImportError."""
+        with pytest.raises(TargetError) as exc:
+            make_pipeline(composed, "vector")
+        assert exc.value.code == "vector-unavailable"
+        assert "numpy" in str(exc.value)
+
     def test_default_is_interp(self, composed):
         assert backend_of(make_pipeline(composed)) == "interp"
 
@@ -65,6 +80,8 @@ class TestMakePipeline:
     def test_shared_surface(self, composed):
         """Every executor exposes the surface the switch/API relies on."""
         for backend in EXEC_BACKENDS:
+            if backend == "vector" and not NUMPY_AVAILABLE:
+                continue
             instance = make_pipeline(composed, backend)
             for attr in (
                 "process",
